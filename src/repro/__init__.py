@@ -1,0 +1,75 @@
+"""Reproduction of "Revisiting Cache Freshness for Emerging Real-Time Applications".
+
+The package is organised around the pipeline the paper's evaluation uses:
+
+``workload`` -> ``sim`` (driving ``cache`` + ``backend``) -> ``core`` policies
+-> ``experiments`` that regenerate the paper's figures and tables, with the
+closed-form counterpart in ``model`` and the ``E[W]`` sketches in ``sketch``.
+
+The most common entry points are re-exported here so that downstream users can
+write::
+
+    from repro import Simulation, PoissonZipfWorkload, AdaptivePolicy, CostModel
+
+    workload = PoissonZipfWorkload(num_keys=100, rate_per_key=10.0, seed=1)
+    sim = Simulation(
+        workload=workload.generate(duration=50.0),
+        policy=AdaptivePolicy(),
+        staleness_bound=1.0,
+        costs=CostModel(),
+    )
+    result = sim.run()
+    print(result.normalized_freshness_cost, result.normalized_staleness_cost)
+"""
+
+from repro.core.cost_model import CostBreakdown, CostModel
+from repro.core.policy import Action, FreshnessPolicy
+from repro.core.ttl import TTLExpiryPolicy, TTLPollingPolicy
+from repro.core.write_reactive import AlwaysInvalidatePolicy, AlwaysUpdatePolicy
+from repro.core.adaptive import AdaptivePolicy, CacheStateAdaptivePolicy
+from repro.core.optimal import OptimalPolicy
+from repro.cache.cache import Cache
+from repro.cache.eviction import FIFOEviction, LFUEviction, LRUEviction
+from repro.backend.datastore import DataStore
+from repro.sim.simulation import Simulation
+from repro.sim.results import SimulationResult
+from repro.workload.base import OpType, Request
+from repro.workload.poisson import PoissonZipfWorkload
+from repro.workload.mixed import PoissonMixWorkload
+from repro.workload.meta import MetaWorkload
+from repro.workload.twitter import TwitterWorkload
+from repro.sketch.exact import ExactEWTracker
+from repro.sketch.countmin import CountMinEWSketch
+from repro.sketch.topk import TopKEWSketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "AdaptivePolicy",
+    "AlwaysInvalidatePolicy",
+    "AlwaysUpdatePolicy",
+    "Cache",
+    "CacheStateAdaptivePolicy",
+    "CostBreakdown",
+    "CostModel",
+    "CountMinEWSketch",
+    "DataStore",
+    "ExactEWTracker",
+    "FIFOEviction",
+    "FreshnessPolicy",
+    "LFUEviction",
+    "LRUEviction",
+    "MetaWorkload",
+    "OpType",
+    "OptimalPolicy",
+    "PoissonMixWorkload",
+    "PoissonZipfWorkload",
+    "Request",
+    "Simulation",
+    "SimulationResult",
+    "TTLExpiryPolicy",
+    "TTLPollingPolicy",
+    "TopKEWSketch",
+    "TwitterWorkload",
+]

@@ -1,0 +1,28 @@
+"""Backend data-store substrate.
+
+The backend is the ground truth: every write lands here, each key carries a
+monotonically increasing version number, and the full write history is kept so
+that the simulator can decide — for any read time and staleness bound — whether
+a cached version satisfies bounded staleness.  The backend also hosts the
+machinery that the paper's write-reactive policies need: a per-interval write
+buffer (Figure 4), a tracker of already-invalidated keys (§3.1), and a message
+channel to the cache that can model delay, loss, and reordering (§5).
+"""
+
+from repro.backend.datastore import DataStore, KeyHistory
+from repro.backend.buffer import WriteBuffer
+from repro.backend.messages import InvalidateMessage, Message, UpdateMessage
+from repro.backend.channel import Channel, DeliveryRecord
+from repro.backend.invalidation_tracker import InvalidationTracker
+
+__all__ = [
+    "Channel",
+    "DataStore",
+    "DeliveryRecord",
+    "InvalidateMessage",
+    "InvalidationTracker",
+    "KeyHistory",
+    "Message",
+    "UpdateMessage",
+    "WriteBuffer",
+]

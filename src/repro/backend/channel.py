@@ -1,0 +1,89 @@
+"""Backend-to-cache message channel with optional delay, loss, and reordering.
+
+The paper's §5 highlights guaranteed delivery of updates and invalidates as an
+open problem: a lost invalidate can leave a cached object stale forever.  The
+default channel is ideal (instantaneous, reliable) so the main experiments
+match the paper's simulation; the loss/delay knobs exist for the ablation
+benchmarks that demonstrate the open problem quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.backend.messages import Message
+from repro.errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class DeliveryRecord:
+    """Outcome of pushing one message through the channel."""
+
+    message: Message
+    delivered: bool
+    deliver_at: float
+
+
+class Channel:
+    """Models the path between the backend and the cache.
+
+    Args:
+        loss_probability: Probability that a message is silently dropped.
+        delay: Constant propagation delay in seconds added to every delivered
+            message.
+        jitter: Standard deviation of additional (non-negative) random delay;
+            with jitter, messages can be reordered.
+        seed: Seed for the loss/jitter random generator.
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
+        if delay < 0 or jitter < 0:
+            raise ConfigurationError("delay and jitter must be non-negative")
+        self.loss_probability = float(loss_probability)
+        self.delay = float(delay)
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether the channel is lossless and instantaneous."""
+        return self.loss_probability == 0.0 and self.delay == 0.0 and self.jitter == 0.0
+
+    def send(self, message: Message) -> DeliveryRecord:
+        """Send one message, returning whether and when it is delivered."""
+        self.sent += 1
+        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return DeliveryRecord(message=message, delivered=False, deliver_at=float("inf"))
+        extra = abs(float(self._rng.normal(0.0, self.jitter))) if self.jitter > 0 else 0.0
+        self.delivered += 1
+        return DeliveryRecord(
+            message=message,
+            delivered=True,
+            deliver_at=message.sent_at + self.delay + extra,
+        )
+
+    def send_batch(self, messages: List[Message]) -> List[DeliveryRecord]:
+        """Send a batch of messages, preserving input order of the records."""
+        return [self.send(message) for message in messages]
+
+    @property
+    def loss_ratio(self) -> float:
+        """Observed fraction of sent messages that were dropped."""
+        return self.dropped / self.sent if self.sent else 0.0

@@ -1,0 +1,35 @@
+"""Bottleneck detection and cost assignment (§3.3 of the paper).
+
+The adaptive policy's cost parameters (``c_m``, ``c_i``, ``c_u``) should
+reflect whatever resource is actually the bottleneck in the deployment: CPU at
+the cache or the backend, network bandwidth, or disk I/O.  The paper's
+prototype reads ``/proc/stat``, ``/proc/net/dev``, and ``/proc/diskstats`` to
+detect the bottleneck online; this package implements those probes with a
+synthetic ``/proc`` filesystem fallback so the detection path is fully
+exercisable in tests and on non-Linux machines.
+"""
+
+from repro.bottleneck.procfs import ProcFS, SyntheticProcFS, SystemProcFS
+from repro.bottleneck.probes import (
+    CpuSample,
+    DiskSample,
+    NetworkSample,
+    ResourceProbe,
+    UtilizationSnapshot,
+)
+from repro.bottleneck.detector import Bottleneck, BottleneckDetector
+from repro.bottleneck.costs import cost_model_for_bottleneck
+
+__all__ = [
+    "Bottleneck",
+    "BottleneckDetector",
+    "CpuSample",
+    "DiskSample",
+    "NetworkSample",
+    "ProcFS",
+    "ResourceProbe",
+    "SyntheticProcFS",
+    "SystemProcFS",
+    "UtilizationSnapshot",
+    "cost_model_for_bottleneck",
+]

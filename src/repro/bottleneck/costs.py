@@ -1,0 +1,53 @@
+"""Mapping a detected bottleneck to a cost model (§3.3, Table 1).
+
+* **CPU bottleneck**: costs are dominated by serialisation/deserialisation and
+  store operations, i.e. the Table 1 breakdown.
+* **Network bottleneck**: costs are proportional to message bytes — an
+  invalidate moves only the key, an update or miss moves the key and value.
+* **Disk bottleneck**: like CPU but with a much more expensive backend read
+  (the miss has to touch storage), which biases decisions toward updates.
+* **No bottleneck / latency priority**: the paper's advice is to always send
+  updates (``c_m`` treated as infinite); :func:`cost_model_for_bottleneck`
+  returns the latency-priority model in that case.
+"""
+
+from __future__ import annotations
+
+from repro.bottleneck.detector import Bottleneck
+from repro.core.cost_model import CostBreakdown, CostModel
+
+
+def cost_model_for_bottleneck(
+    bottleneck: Bottleneck,
+    key_size: int = 16,
+    value_size: int = 128,
+) -> CostModel:
+    """Build the cost model appropriate for a detected bottleneck.
+
+    Args:
+        bottleneck: The constraining resource.
+        key_size: Representative key size in bytes (used to seed the fixed
+            cost values; breakdown-backed models still honour per-request
+            sizes).
+        value_size: Representative value size in bytes.
+
+    Returns:
+        A :class:`~repro.core.cost_model.CostModel` suitable for the adaptive
+        policy under that bottleneck.
+    """
+    if bottleneck is Bottleneck.CPU:
+        return CostModel.cpu_bottleneck(key_size=key_size, value_size=value_size)
+    if bottleneck is Bottleneck.NETWORK:
+        return CostModel.network_bottleneck(key_size=key_size, value_size=value_size)
+    if bottleneck is Bottleneck.DISK:
+        breakdown = CostBreakdown(
+            serialize_per_byte=0.001,
+            deserialize_per_byte=0.001,
+            read_op=2.0,  # backend reads hit storage, dominating the miss cost
+            update_op=0.2,
+            delete_op=0.05,
+        )
+        return CostModel.cpu_bottleneck(
+            key_size=key_size, value_size=value_size, breakdown=breakdown
+        )
+    return CostModel.latency_priority()

@@ -1,0 +1,64 @@
+"""Classifying which resource is the bottleneck (§3.3 of the paper).
+
+The optimal cost assignment for ``c_m``, ``c_i``, ``c_u`` depends on what the
+deployment is short of: CPU cycles for (de)serialisation, network bytes, or
+disk bandwidth.  The detector looks at a utilisation snapshot and picks the
+most loaded resource, subject to a minimum threshold below which the system is
+considered unconstrained (in which case the user's offline-profiled label, if
+any, wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.bottleneck.probes import UtilizationSnapshot
+from repro.errors import ConfigurationError
+
+
+class Bottleneck(Enum):
+    """The resource constraining the deployment."""
+
+    CPU = "cpu"
+    NETWORK = "network"
+    DISK = "disk"
+    NONE = "none"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(slots=True)
+class BottleneckDetector:
+    """Picks the bottleneck from utilisation, with an optional manual override.
+
+    Args:
+        threshold: Minimum utilisation for a resource to count as a
+            bottleneck at all.
+        manual_label: A bottleneck label from offline profiling; used whenever
+            automatic detection finds nothing above the threshold (the paper
+            notes operators often know their bottleneck ahead of deployment).
+    """
+
+    threshold: float = 0.7
+    manual_label: Optional[Bottleneck] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in [0, 1], got {self.threshold}")
+
+    def detect(self, snapshot: UtilizationSnapshot) -> Bottleneck:
+        """Return the bottleneck implied by a utilisation snapshot."""
+        candidates = {
+            Bottleneck.CPU: snapshot.cpu,
+            Bottleneck.NETWORK: snapshot.network,
+            Bottleneck.DISK: snapshot.disk,
+        }
+        bottleneck, utilization = max(candidates.items(), key=lambda item: item[1])
+        if utilization >= self.threshold:
+            return bottleneck
+        if self.manual_label is not None:
+            return self.manual_label
+        return Bottleneck.NONE

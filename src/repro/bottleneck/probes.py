@@ -1,0 +1,183 @@
+"""Resource probes reading CPU, network, and disk counters from ``/proc``.
+
+Each probe parses one of the files the paper's prototype monitors and converts
+two consecutive samples into a utilisation ratio:
+
+* ``/proc/stat``       -> CPU busy fraction,
+* ``/proc/net/dev``    -> network throughput as a fraction of link capacity,
+* ``/proc/diskstats``  -> disk throughput as a fraction of device capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bottleneck.procfs import ProcFS, SystemProcFS
+from repro.errors import BottleneckError
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSample:
+    """Cumulative CPU jiffies split into busy, idle, and iowait."""
+
+    busy: int
+    idle: int
+    iowait: int
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.idle + self.iowait
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkSample:
+    """Cumulative bytes received and transmitted across all interfaces."""
+
+    rx_bytes: int
+    tx_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rx_bytes + self.tx_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class DiskSample:
+    """Cumulative sectors read and written across all block devices."""
+
+    sectors_read: int
+    sectors_written: int
+
+    SECTOR_BYTES = 512
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.sectors_read + self.sectors_written) * self.SECTOR_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationSnapshot:
+    """Utilisation of each resource over one sampling interval, in [0, 1]."""
+
+    cpu: float
+    network: float
+    disk: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"cpu": self.cpu, "network": self.network, "disk": self.disk}
+
+
+class ResourceProbe:
+    """Parses ``/proc`` counters and derives utilisation between samples.
+
+    Args:
+        procfs: File access layer (real or synthetic).
+        network_capacity_bytes_per_sec: Link capacity used to normalise
+            network throughput (default 10 Gbit/s).
+        disk_capacity_bytes_per_sec: Device capacity used to normalise disk
+            throughput (default 500 MB/s).
+        stat_path / net_path / disk_path: Override file locations (tests).
+    """
+
+    def __init__(
+        self,
+        procfs: Optional[ProcFS] = None,
+        network_capacity_bytes_per_sec: float = 1.25e9,
+        disk_capacity_bytes_per_sec: float = 5e8,
+        stat_path: str = "/proc/stat",
+        net_path: str = "/proc/net/dev",
+        disk_path: str = "/proc/diskstats",
+    ) -> None:
+        self.procfs = procfs if procfs is not None else SystemProcFS()
+        self.network_capacity = float(network_capacity_bytes_per_sec)
+        self.disk_capacity = float(disk_capacity_bytes_per_sec)
+        self.stat_path = stat_path
+        self.net_path = net_path
+        self.disk_path = disk_path
+
+    # ------------------------------------------------------------------ #
+    # Raw samples
+    # ------------------------------------------------------------------ #
+    def sample_cpu(self) -> CpuSample:
+        """Parse the aggregate ``cpu`` line of ``/proc/stat``."""
+        for line in self.procfs.read(self.stat_path).splitlines():
+            if line.startswith("cpu "):
+                fields = line.split()
+                values = [int(value) for value in fields[1:]]
+                if len(values) < 5:
+                    raise BottleneckError(f"malformed cpu line: {line!r}")
+                user, nice, system, idle, iowait = values[:5]
+                irq = values[5] if len(values) > 5 else 0
+                softirq = values[6] if len(values) > 6 else 0
+                return CpuSample(
+                    busy=user + nice + system + irq + softirq, idle=idle, iowait=iowait
+                )
+        raise BottleneckError(f"no aggregate cpu line found in {self.stat_path}")
+
+    def sample_network(self) -> NetworkSample:
+        """Parse ``/proc/net/dev``, summing bytes across non-loopback interfaces."""
+        rx_total = 0
+        tx_total = 0
+        for line in self.procfs.read(self.net_path).splitlines():
+            if ":" not in line:
+                continue
+            name, counters = line.split(":", maxsplit=1)
+            if name.strip() == "lo":
+                continue
+            fields = counters.split()
+            if len(fields) < 9:
+                raise BottleneckError(f"malformed net/dev line: {line!r}")
+            rx_total += int(fields[0])
+            tx_total += int(fields[8])
+        return NetworkSample(rx_bytes=rx_total, tx_bytes=tx_total)
+
+    def sample_disk(self) -> DiskSample:
+        """Parse ``/proc/diskstats``, summing sectors across whole devices."""
+        sectors_read = 0
+        sectors_written = 0
+        for line in self.procfs.read(self.disk_path).splitlines():
+            fields = line.split()
+            if len(fields) < 10:
+                continue
+            device = fields[2]
+            # Skip partitions (e.g. sda1) to avoid double counting; whole
+            # devices end in a letter for scsi-style names.
+            if device[-1].isdigit() and not device.startswith(("nvme", "mmcblk")):
+                continue
+            sectors_read += int(fields[5])
+            sectors_written += int(fields[9])
+        return DiskSample(sectors_read=sectors_read, sectors_written=sectors_written)
+
+    # ------------------------------------------------------------------ #
+    # Utilisation between two samples
+    # ------------------------------------------------------------------ #
+    def utilization_between(
+        self,
+        cpu_before: CpuSample,
+        cpu_after: CpuSample,
+        net_before: NetworkSample,
+        net_after: NetworkSample,
+        disk_before: DiskSample,
+        disk_after: DiskSample,
+        elapsed_seconds: float,
+    ) -> UtilizationSnapshot:
+        """Convert two raw samples into per-resource utilisation ratios."""
+        if elapsed_seconds <= 0:
+            raise BottleneckError(f"elapsed_seconds must be positive, got {elapsed_seconds}")
+        cpu_delta_total = cpu_after.total - cpu_before.total
+        cpu_delta_busy = cpu_after.busy - cpu_before.busy
+        cpu_utilization = cpu_delta_busy / cpu_delta_total if cpu_delta_total > 0 else 0.0
+
+        net_bytes = net_after.total_bytes - net_before.total_bytes
+        net_utilization = net_bytes / (self.network_capacity * elapsed_seconds)
+
+        disk_bytes = disk_after.total_bytes - disk_before.total_bytes
+        disk_utilization = disk_bytes / (self.disk_capacity * elapsed_seconds)
+
+        clamp = lambda value: min(max(value, 0.0), 1.0)  # noqa: E731 - tiny local helper
+        return UtilizationSnapshot(
+            cpu=clamp(cpu_utilization),
+            network=clamp(net_utilization),
+            disk=clamp(disk_utilization),
+        )

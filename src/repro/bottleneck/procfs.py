@@ -1,0 +1,128 @@
+"""Access to ``/proc``-style counter files.
+
+The probes in :mod:`repro.bottleneck.probes` parse the three files the paper's
+prototype reads (``/proc/stat``, ``/proc/net/dev``, ``/proc/diskstats``).  To
+keep them testable — and usable on systems without a Linux ``/proc`` — file
+access goes through the small :class:`ProcFS` interface with two
+implementations: the real filesystem and an in-memory synthetic one whose
+counters the caller advances explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict
+
+from repro.errors import BottleneckError
+
+
+class ProcFS(ABC):
+    """Minimal read-only view of ``/proc``."""
+
+    @abstractmethod
+    def read(self, path: str) -> str:
+        """Return the contents of ``path`` (e.g. ``/proc/stat``).
+
+        Raises:
+            BottleneckError: If the file cannot be read.
+        """
+
+
+class SystemProcFS(ProcFS):
+    """Reads the real ``/proc`` filesystem."""
+
+    def read(self, path: str) -> str:
+        try:
+            return Path(path).read_text()
+        except OSError as exc:
+            raise BottleneckError(f"cannot read {path}: {exc}") from exc
+
+
+class SyntheticProcFS(ProcFS):
+    """An in-memory ``/proc`` with counters the test or simulation controls.
+
+    Counters are set through :meth:`set_cpu`, :meth:`set_network`, and
+    :meth:`set_disk`; the rendered file contents follow the real kernel
+    formats closely enough for the probes' parsers.
+    """
+
+    def __init__(self) -> None:
+        self._cpu_jiffies: Dict[str, int] = {
+            "user": 0,
+            "nice": 0,
+            "system": 0,
+            "idle": 0,
+            "iowait": 0,
+            "irq": 0,
+            "softirq": 0,
+        }
+        self._interfaces: Dict[str, tuple[int, int]] = {"eth0": (0, 0)}
+        self._disks: Dict[str, tuple[int, int]] = {"sda": (0, 0)}
+
+    # ------------------------------------------------------------------ #
+    # Counter control
+    # ------------------------------------------------------------------ #
+    def set_cpu(self, busy_jiffies: int, idle_jiffies: int, iowait_jiffies: int = 0) -> None:
+        """Set cumulative CPU jiffies (busy split evenly across busy fields)."""
+        per_field = busy_jiffies // 3
+        self._cpu_jiffies.update(
+            {
+                "user": per_field,
+                "nice": 0,
+                "system": per_field,
+                "idle": idle_jiffies,
+                "iowait": iowait_jiffies,
+                "irq": 0,
+                "softirq": busy_jiffies - 2 * per_field,
+            }
+        )
+
+    def set_network(self, interface: str, rx_bytes: int, tx_bytes: int) -> None:
+        """Set cumulative received/transmitted bytes for an interface."""
+        self._interfaces[interface] = (rx_bytes, tx_bytes)
+
+    def set_disk(self, device: str, sectors_read: int, sectors_written: int) -> None:
+        """Set cumulative sectors read/written for a block device."""
+        self._disks[device] = (sectors_read, sectors_written)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def _render_stat(self) -> str:
+        jiffies = self._cpu_jiffies
+        fields = " ".join(
+            str(jiffies[name])
+            for name in ("user", "nice", "system", "idle", "iowait", "irq", "softirq")
+        )
+        return f"cpu  {fields} 0 0 0\n"
+
+    def _render_net_dev(self) -> str:
+        header = (
+            "Inter-|   Receive                                                |  Transmit\n"
+            " face |bytes    packets errs drop fifo frame compressed multicast|bytes"
+            "    packets errs drop fifo colls carrier compressed\n"
+        )
+        lines = []
+        for name, (rx_bytes, tx_bytes) in self._interfaces.items():
+            lines.append(
+                f"{name}: {rx_bytes} 0 0 0 0 0 0 0 {tx_bytes} 0 0 0 0 0 0 0\n"
+            )
+        return header + "".join(lines)
+
+    def _render_diskstats(self) -> str:
+        lines = []
+        for index, (device, (sectors_read, sectors_written)) in enumerate(self._disks.items()):
+            lines.append(
+                f"   8      {index} {device} 0 0 {sectors_read} 0 0 0 {sectors_written} 0 0 0 0\n"
+            )
+        return "".join(lines)
+
+    def read(self, path: str) -> str:
+        if path.endswith("stat") and "disk" not in path:
+            return self._render_stat()
+        if path.endswith("net/dev"):
+            return self._render_net_dev()
+        if path.endswith("diskstats"):
+            return self._render_diskstats()
+        raise BottleneckError(f"synthetic procfs has no file {path}")

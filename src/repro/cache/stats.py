@@ -1,0 +1,71 @@
+"""Counters describing cache behaviour during a simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Aggregate cache counters.
+
+    The split between ``stale_misses`` and ``cold_misses`` mirrors the paper's
+    definition of the staleness cost: only misses on objects that *were*
+    present in the cache but could not be returned because they were stale
+    (invalidated or expired) count towards :math:`C_S`.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    stale_misses: int = 0
+    cold_misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    updates_applied: int = 0
+    updates_ignored: int = 0
+    expirations: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Total misses of any kind."""
+        return self.stale_misses + self.cold_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of lookups that missed for any reason."""
+        return self.misses / self.lookups if self.lookups else 0.0
+
+    @property
+    def stale_miss_ratio(self) -> float:
+        """Misses due to staleness over lookups where the object was cached.
+
+        This is the per-cache analogue of the paper's normalised staleness
+        cost :math:`C'_S`: the denominator only counts reads for which the
+        object was present in the cache (hits plus stale misses).
+        """
+        present = self.hits + self.stale_misses
+        return self.stale_misses / present if present else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the counters (and derived ratios) as a plain dictionary."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "stale_misses": self.stale_misses,
+            "cold_misses": self.cold_misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "updates_applied": self.updates_applied,
+            "updates_ignored": self.updates_ignored,
+            "expirations": self.expirations,
+            "hit_ratio": self.hit_ratio,
+            "miss_ratio": self.miss_ratio,
+            "stale_miss_ratio": self.stale_miss_ratio,
+        }

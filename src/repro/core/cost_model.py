@@ -1,0 +1,222 @@
+"""The freshness cost model: ``c_m``, ``c_i``, ``c_u`` and the Table 1 breakdown.
+
+The paper measures the throughput overhead of a freshness mechanism in units
+of three per-operation costs:
+
+* ``c_m`` — the cost of servicing a miss (the cache asks the data store for a
+  fresh copy),
+* ``c_i`` — the cost of an invalidation message (key only), and
+* ``c_u`` — the cost of an update message (key plus value).
+
+Table 1 breaks each cost into serialisation/deserialisation and store
+operations at the cache and the data store, for a deployment where CPU is the
+bottleneck.  :class:`CostBreakdown` implements that breakdown (optionally
+scaled by key/value sizes, which also covers the network-bottleneck case where
+message bytes dominate); :class:`CostModel` is the runtime interface used by
+policies and the simulator, either with fixed costs or backed by a breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """Primitive operation costs used to derive ``c_m``, ``c_i``, and ``c_u``.
+
+    All values are in arbitrary cost units (e.g. microseconds of CPU time or
+    bytes on the wire).  Per-byte terms model serialisation and
+    deserialisation work proportional to message size; per-operation terms
+    model fixed store work (lookups, updates, deletes).
+
+    The composition follows Table 1 of the paper:
+
+    ====================  =====================================================
+    Cost                  Breakdown
+    ====================  =====================================================
+    ``c_m`` (miss)        cache: ser(K) + deser(K+V) + update;
+                          store: deser(K) + read + ser(K+V)
+    ``c_i`` (invalidate)  cache: deser(K) + delete;  store: ser(K)
+    ``c_u`` (update)      cache: deser(K+V) + update;  store: ser(K+V)
+    ====================  =====================================================
+    """
+
+    serialize_per_byte: float = 0.002
+    deserialize_per_byte: float = 0.002
+    read_op: float = 0.2
+    update_op: float = 0.2
+    delete_op: float = 0.05
+
+    def _ser(self, size: int) -> float:
+        return self.serialize_per_byte * size
+
+    def _deser(self, size: int) -> float:
+        return self.deserialize_per_byte * size
+
+    def miss_cost(self, key_size: int, value_size: int) -> float:
+        """Cost of servicing a miss for an object of the given sizes."""
+        cache_side = self._ser(key_size) + self._deser(key_size + value_size) + self.update_op
+        store_side = self._deser(key_size) + self.read_op + self._ser(key_size + value_size)
+        return cache_side + store_side
+
+    def invalidate_cost(self, key_size: int) -> float:
+        """Cost of an invalidation message (carries only the key)."""
+        cache_side = self._deser(key_size) + self.delete_op
+        store_side = self._ser(key_size)
+        return cache_side + store_side
+
+    def update_cost(self, key_size: int, value_size: int) -> float:
+        """Cost of an update message (carries the key and the new value)."""
+        cache_side = self._deser(key_size + value_size) + self.update_op
+        store_side = self._ser(key_size + value_size)
+        return cache_side + store_side
+
+    def serve_cost(self, key_size: int, value_size: int) -> float:
+        """Useful work to serve one read (used to normalise ``C_F``).
+
+        Serving a read requires deserialising the request key, a store/cache
+        lookup, and serialising the response — the same work as the
+        store-side half of a miss.
+        """
+        return self._deser(key_size) + self.read_op + self._ser(key_size + value_size)
+
+
+class CostModel:
+    """Runtime cost oracle used by policies and the simulator.
+
+    Two modes are supported:
+
+    * **Fixed costs** (default): ``c_m``, ``c_i``, ``c_u`` and the read-serving
+      cost are constants, independent of object size.  This matches the
+      analytical model of §2–§3.
+    * **Breakdown-backed**: costs are derived from a :class:`CostBreakdown`
+      and scale with the key/value sizes of each object, matching §3.3's
+      guidance that costs "should be scaled by the sizes of the actual keys
+      and values".
+
+    Args:
+        miss: Fixed ``c_m`` (ignored when ``breakdown`` is given).
+        invalidate: Fixed ``c_i``.
+        update: Fixed ``c_u``.
+        serve: Fixed cost of serving one read, used as the normalisation
+            denominator for :math:`C'_F`.  Defaults to ``miss``.
+        breakdown: Optional :class:`CostBreakdown`; when given, all costs are
+            computed from it using per-request sizes.
+    """
+
+    def __init__(
+        self,
+        miss: float = 1.0,
+        invalidate: float = 0.1,
+        update: float = 0.6,
+        serve: Optional[float] = None,
+        breakdown: Optional[CostBreakdown] = None,
+    ) -> None:
+        if min(miss, invalidate, update) < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if serve is not None and serve <= 0:
+            raise ConfigurationError(f"serve cost must be positive, got {serve}")
+        self._miss = float(miss)
+        self._invalidate = float(invalidate)
+        self._update = float(update)
+        self._serve = float(serve) if serve is not None else float(miss)
+        self.breakdown = breakdown
+
+    # ------------------------------------------------------------------ #
+    # Constructors for common bottleneck scenarios
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cpu_bottleneck(
+        cls, key_size: int = 16, value_size: int = 128, breakdown: Optional[CostBreakdown] = None
+    ) -> "CostModel":
+        """Cost model for a CPU-bottlenecked deployment (Table 1).
+
+        The returned model is breakdown-backed, so per-request sizes are
+        honoured; the ``key_size``/``value_size`` arguments only seed the
+        fixed fallback values.
+        """
+        breakdown = breakdown or CostBreakdown()
+        return cls(
+            miss=breakdown.miss_cost(key_size, value_size),
+            invalidate=breakdown.invalidate_cost(key_size),
+            update=breakdown.update_cost(key_size, value_size),
+            serve=breakdown.serve_cost(key_size, value_size),
+            breakdown=breakdown,
+        )
+
+    @classmethod
+    def network_bottleneck(
+        cls, key_size: int = 16, value_size: int = 128, cost_per_byte: float = 0.01
+    ) -> "CostModel":
+        """Cost model where message bytes on the wire dominate.
+
+        A miss moves the key to the store and the value back; an invalidate
+        moves only the key; an update moves the key and the value.
+        """
+        breakdown = CostBreakdown(
+            serialize_per_byte=cost_per_byte / 2.0,
+            deserialize_per_byte=cost_per_byte / 2.0,
+            read_op=0.0,
+            update_op=0.0,
+            delete_op=0.0,
+        )
+        return cls(
+            miss=breakdown.miss_cost(key_size, value_size),
+            invalidate=breakdown.invalidate_cost(key_size),
+            update=breakdown.update_cost(key_size, value_size),
+            serve=breakdown.serve_cost(key_size, value_size),
+            breakdown=breakdown,
+        )
+
+    @classmethod
+    def latency_priority(cls, miss: float = 1.0, update: float = 0.6) -> "CostModel":
+        """Cost model for deployments that always prefer updates (§3.3).
+
+        Setting ``c_m`` effectively to infinity makes every decision rule pick
+        updates, matching the paper's "user prioritises read latency or always
+        overprovisions" scenario.
+        """
+        return cls(miss=float("inf"), invalidate=0.0, update=update, serve=miss)
+
+    # ------------------------------------------------------------------ #
+    # Cost queries
+    # ------------------------------------------------------------------ #
+    def miss_cost(self, key_size: int = 16, value_size: int = 128) -> float:
+        """Return ``c_m`` for an object of the given sizes."""
+        if self.breakdown is not None:
+            return self.breakdown.miss_cost(key_size, value_size)
+        return self._miss
+
+    def invalidate_cost(self, key_size: int = 16) -> float:
+        """Return ``c_i`` for an object of the given key size."""
+        if self.breakdown is not None:
+            return self.breakdown.invalidate_cost(key_size)
+        return self._invalidate
+
+    def update_cost(self, key_size: int = 16, value_size: int = 128) -> float:
+        """Return ``c_u`` for an object of the given sizes."""
+        if self.breakdown is not None:
+            return self.breakdown.update_cost(key_size, value_size)
+        return self._update
+
+    def serve_cost(self, key_size: int = 16, value_size: int = 128) -> float:
+        """Return the useful work to serve one read (normalisation unit)."""
+        if self.breakdown is not None:
+            return self.breakdown.serve_cost(key_size, value_size)
+        return self._serve
+
+    def as_tuple(self, key_size: int = 16, value_size: int = 128) -> tuple[float, float, float]:
+        """Return ``(c_m, c_i, c_u)`` for the given sizes."""
+        return (
+            self.miss_cost(key_size, value_size),
+            self.invalidate_cost(key_size),
+            self.update_cost(key_size, value_size),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c_m, c_i, c_u = self.as_tuple()
+        return f"CostModel(c_m={c_m:.4g}, c_i={c_i:.4g}, c_u={c_u:.4g})"

@@ -1,0 +1,198 @@
+"""Update-vs-invalidate decision rules (§3.2 and §3.3 of the paper).
+
+Three related rules are implemented:
+
+* :func:`update_preferred` — the throughput-optimal rule derived from the
+  online-gap formulation: send updates when
+  ``c_u < P_R(T) / (P_R(T) + P_W(T)) * (c_m + c_i)``, which reduces to
+  ``c_u < r * (c_m + c_i)`` as ``T -> 0``.
+* :func:`ew_decision` — the pragmatic per-key approximation that uses
+  ``E[W]``, the expected number of writes between reads: a run of ``E[W]``
+  writes followed by a read costs ``E[W] * c_u`` under updates versus
+  ``c_i + c_m`` under invalidation, so updates are preferred when
+  ``E[W] * c_u < c_i + c_m``.
+
+  .. note::
+     The paper's prose states the comparison the other way around ("pick
+     invalidate if E[W] c_u < c_m + c_i"); the cost argument in the same
+     paragraph (E[W] updates vs. one invalidate plus one miss) implies the
+     inequality selects *updates*, which is what this implementation does.
+* :func:`decide_with_slo` — the throughput rule augmented with a staleness
+  SLO: updates are chosen either when they are cheaper or when invalidation
+  would violate the allowed stale-read ratio (``1 - r > C`` as ``T -> 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import Action
+from repro.errors import ConfigurationError
+
+
+def update_preferred(
+    p_read: float,
+    p_write: float,
+    miss_cost: float,
+    invalidate_cost: float,
+    update_cost: float,
+) -> bool:
+    """Return whether updates minimise throughput overhead (§3.2).
+
+    Args:
+        p_read: ``P_R(T)``, probability of at least one read in an interval.
+        p_write: ``P_W(T)``, probability of at least one write in an interval.
+        miss_cost: ``c_m``.
+        invalidate_cost: ``c_i``.
+        update_cost: ``c_u``.
+
+    Returns:
+        ``True`` when ``c_u < P_R / (P_R + P_W) * (c_m + c_i)``.  If both
+        probabilities are zero (no traffic), invalidation is (vacuously)
+        preferred since an update can never pay off.
+    """
+    for name, value in (("p_read", p_read), ("p_write", p_write)):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    total = p_read + p_write
+    if total == 0.0:
+        return False
+    threshold = p_read / total * (miss_cost + invalidate_cost)
+    return update_cost < threshold
+
+
+def update_preferred_small_t(
+    read_ratio: float, miss_cost: float, invalidate_cost: float, update_cost: float
+) -> bool:
+    """The ``T -> 0`` limit of :func:`update_preferred`: ``c_u < r (c_m + c_i)``."""
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ConfigurationError(f"read_ratio must be in [0, 1], got {read_ratio}")
+    return update_cost < read_ratio * (miss_cost + invalidate_cost)
+
+
+def ew_decision(
+    expected_writes_between_reads: float,
+    miss_cost: float,
+    invalidate_cost: float,
+    update_cost: float,
+) -> Action:
+    """Pick update or invalidate from an ``E[W]`` estimate (§3.3).
+
+    A run of ``E[W]`` writes followed by a read costs ``E[W] * c_u`` under an
+    update policy versus ``c_i + c_m`` under invalidation (one invalidate, one
+    miss), so updates win when ``E[W] * c_u < c_i + c_m``.
+
+    Args:
+        expected_writes_between_reads: The ``E[W]`` estimate (>= 0).
+        miss_cost: ``c_m``.
+        invalidate_cost: ``c_i``.
+        update_cost: ``c_u``.
+
+    Returns:
+        :attr:`Action.UPDATE` or :attr:`Action.INVALIDATE`.
+    """
+    if expected_writes_between_reads < 0:
+        raise ConfigurationError(
+            f"E[W] must be non-negative, got {expected_writes_between_reads}"
+        )
+    update_run_cost = expected_writes_between_reads * update_cost
+    invalidate_run_cost = invalidate_cost + miss_cost
+    if update_run_cost < invalidate_run_cost:
+        return Action.UPDATE
+    return Action.INVALIDATE
+
+
+def decide_with_slo(
+    read_ratio: float,
+    miss_cost: float,
+    invalidate_cost: float,
+    update_cost: float,
+    staleness_slo: float,
+) -> Action:
+    """Throughput decision constrained by a staleness SLO (§3.2, ``T -> 0``).
+
+    The backend chooses updates if either
+
+    * updates are cheaper anyway (``(c_i + c_m) * r > c_u``), or
+    * invalidation would exceed the allowed stale-read ratio
+      (``1 - r > C`` where ``C`` is the user's bound on :math:`C'_S`),
+
+    and chooses invalidates otherwise.
+
+    Args:
+        read_ratio: Per-key read probability ``r``.
+        miss_cost: ``c_m``.
+        invalidate_cost: ``c_i``.
+        update_cost: ``c_u``.
+        staleness_slo: Maximum tolerated stale-read miss ratio ``C``.
+
+    Returns:
+        :attr:`Action.UPDATE` or :attr:`Action.INVALIDATE`.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ConfigurationError(f"read_ratio must be in [0, 1], got {read_ratio}")
+    if staleness_slo < 0:
+        raise ConfigurationError(f"staleness_slo must be >= 0, got {staleness_slo}")
+    cheaper_to_update = (invalidate_cost + miss_cost) * read_ratio > update_cost
+    slo_requires_update = (1.0 - read_ratio) > staleness_slo
+    if cheaper_to_update or slo_requires_update:
+        return Action.UPDATE
+    return Action.INVALIDATE
+
+
+def optimal_update_probability(
+    p_read: float,
+    p_write: float,
+    miss_cost: float,
+    invalidate_cost: float,
+    update_cost: float,
+) -> float:
+    """Return the gap-minimising update probability ``k`` (§3.2).
+
+    The expected gap ``G`` is linear in ``k``, so the optimum is at an
+    endpoint: ``k = 1`` (always update) when the coefficient of ``k`` is
+    negative, ``k = 0`` (always invalidate) otherwise.
+    """
+    return 1.0 if update_preferred(p_read, p_write, miss_cost, invalidate_cost, update_cost) else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRule:
+    """A reusable, cost-parameterised decision rule.
+
+    Bundles the cost parameters so call sites only supply the per-key
+    statistics.  Used by the adaptive policies and by the experiments that
+    check sketch decision accuracy (Figure 6b).
+    """
+
+    miss_cost: float
+    invalidate_cost: float
+    update_cost: float
+    staleness_slo: float | None = None
+
+    def from_ew(self, expected_writes_between_reads: float) -> Action:
+        """Decide from an ``E[W]`` estimate, honouring the SLO if configured."""
+        if self.staleness_slo is not None:
+            # E[W] = (1 - r) / r  =>  r = 1 / (1 + E[W]).
+            read_ratio = 1.0 / (1.0 + max(expected_writes_between_reads, 0.0))
+            return decide_with_slo(
+                read_ratio=read_ratio,
+                miss_cost=self.miss_cost,
+                invalidate_cost=self.invalidate_cost,
+                update_cost=self.update_cost,
+                staleness_slo=self.staleness_slo,
+            )
+        return ew_decision(
+            expected_writes_between_reads,
+            miss_cost=self.miss_cost,
+            invalidate_cost=self.invalidate_cost,
+            update_cost=self.update_cost,
+        )
+
+    def from_probabilities(self, p_read: float, p_write: float) -> Action:
+        """Decide from interval read/write probabilities (§3.2 rule)."""
+        if update_preferred(
+            p_read, p_write, self.miss_cost, self.invalidate_cost, self.update_cost
+        ):
+            return Action.UPDATE
+        return Action.INVALIDATE

@@ -1,0 +1,65 @@
+"""Staleness SLO helpers (§3.2, "Maximizing throughput for a latency SLO").
+
+Latency SLOs are implementation-specific, so the paper uses the stale-read
+miss ratio :math:`C'_S` as a proxy: the operator specifies a bound ``C`` and
+the policy must keep the fraction of reads that miss due to staleness below
+it.  :class:`StalenessSLO` packages that bound together with compliance
+checking against simulation results, and exposes the closed-form prediction
+of whether an invalidation-based policy can meet the bound for a key with a
+given read ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.model.arrivals import p_read, p_write
+
+
+@dataclass(frozen=True, slots=True)
+class StalenessSLO:
+    """A bound ``C`` on the stale-read miss ratio :math:`C'_S`.
+
+    Args:
+        max_stale_miss_ratio: The largest acceptable fraction of reads that
+            miss because the cached object was stale (``0`` means "never serve
+            a stale-induced miss", which forces updates everywhere).
+    """
+
+    max_stale_miss_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_stale_miss_ratio <= 1.0:
+            raise ConfigurationError(
+                f"max_stale_miss_ratio must be in [0, 1], got {self.max_stale_miss_ratio}"
+            )
+
+    def is_met(self, stale_miss_ratio: float) -> bool:
+        """Whether an observed stale-read miss ratio complies with the SLO."""
+        return stale_miss_ratio <= self.max_stale_miss_ratio + 1e-12
+
+    def invalidation_feasible(
+        self, rate: float, read_ratio: float, staleness_bound: float
+    ) -> bool:
+        """Whether always-invalidate can meet the SLO for a Poisson key.
+
+        Uses the closed form :math:`C'_S = \\frac{1}{\\lambda r T}
+        \\frac{P_R P_W}{P_R + P_W}` from §3.2; as ``T -> 0`` this tends to
+        ``1 - r``.
+        """
+        if rate <= 0 or staleness_bound <= 0:
+            return True
+        reads = p_read(rate, read_ratio, staleness_bound)
+        writes = p_write(rate, read_ratio, staleness_bound)
+        if reads == 0.0:
+            return True
+        denominator = rate * read_ratio * staleness_bound
+        predicted = (reads * writes / (reads + writes)) / denominator if denominator > 0 else 1.0 - read_ratio
+        return predicted <= self.max_stale_miss_ratio + 1e-12
+
+    def invalidation_feasible_small_t(self, read_ratio: float) -> bool:
+        """The ``T -> 0`` limit: invalidation meets the SLO iff ``1 - r <= C``."""
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ConfigurationError(f"read_ratio must be in [0, 1], got {read_ratio}")
+        return (1.0 - read_ratio) <= self.max_stale_miss_ratio + 1e-12

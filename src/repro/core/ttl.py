@@ -1,0 +1,101 @@
+"""TTL-based freshness policies (§2.2 of the paper).
+
+Both policies attach a timer of duration ``T`` (the staleness bound, unless
+overridden) to every object brought into the cache:
+
+* **TTL-expiry**: when the timer fires, the object is expired; the next read
+  misses and re-fetches it.  Staleness cost is paid on every such miss; the
+  freshness cost is the re-fetch (``c_m``) for those misses.
+* **TTL-polling**: when the timer fires, the object is re-fetched from the
+  backend immediately, so cached data is never stale (``C_S = 0``) but a
+  ``c_m`` is paid every interval for every cached object.
+
+Neither policy requires any coordination with the backend, which is why TTLs
+are easy to deploy — and why their overhead explodes as ``T`` shrinks to
+real-time scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import FreshnessPolicy
+from repro.errors import ConfigurationError
+
+
+class _TTLPolicy(FreshnessPolicy):
+    """Shared plumbing for the two TTL variants."""
+
+    def __init__(self, ttl: Optional[float] = None) -> None:
+        super().__init__()
+        if ttl is not None and ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive, got {ttl}")
+        self._ttl_override = ttl
+
+    @property
+    def ttl(self) -> float:
+        """The timer duration: the explicit override or the staleness bound."""
+        if self._ttl_override is not None:
+            return self._ttl_override
+        if self.context is None:
+            raise ConfigurationError(
+                "TTL policy is not bound to a simulation and has no explicit ttl"
+            )
+        return self.context.staleness_bound
+
+    def expiry_time(self, fetched_at: float) -> float:
+        """Time at which an object fetched at ``fetched_at`` expires."""
+        return fetched_at + self.ttl
+
+
+class TTLExpiryPolicy(_TTLPolicy):
+    """Expire cached objects when their TTL lapses.
+
+    Args:
+        ttl: Timer duration in seconds.  Defaults to the simulation's
+            staleness bound, which is the largest value that still satisfies
+            the bound.
+    """
+
+    name = "ttl-expiry"
+    ttl_mode = "expiry"
+
+    def is_expired(self, fetched_at: float, now: float) -> bool:
+        """Whether an object fetched at ``fetched_at`` has expired by ``now``."""
+        return now >= self.expiry_time(fetched_at)
+
+
+class TTLPollingPolicy(_TTLPolicy):
+    """Re-fetch cached objects from the backend every TTL interval.
+
+    Args:
+        ttl: Timer duration in seconds.  Defaults to the simulation's
+            staleness bound.
+    """
+
+    name = "ttl-polling"
+    ttl_mode = "polling"
+
+    def polls_between(self, anchor: float, accounted_until: float, now: float) -> int:
+        """Number of polls for an entry between two accounting points.
+
+        Polls occur at ``anchor + k * ttl`` for ``k = 1, 2, ...``.  The
+        simulator accounts for them lazily (there is no need to simulate each
+        poll as an event since polling cost does not depend on the request
+        stream), so this returns how many polls fall in
+        ``(accounted_until, now]``.
+        """
+        if now <= anchor:
+            return 0
+        ttl = self.ttl
+        total_by_now = int((now - anchor) / ttl)
+        total_by_accounted = int(max(accounted_until - anchor, 0.0) / ttl) if accounted_until > anchor else 0
+        return max(total_by_now - total_by_accounted, 0)
+
+    def last_poll_at_or_before(self, anchor: float, now: float) -> float:
+        """Time of the most recent poll at or before ``now`` (or the anchor)."""
+        if now <= anchor:
+            return anchor
+        ttl = self.ttl
+        k = int((now - anchor) / ttl)
+        return anchor + k * ttl

@@ -1,0 +1,40 @@
+"""The non-adaptive write-reactive baselines (§3.1 of the paper).
+
+Both policies react to writes rather than timers: writes are buffered at the
+backend and, at the end of every staleness interval ``T``, one message per
+dirty key is emitted.
+
+* **Always-invalidate** ("Inv." in Figure 5): send an invalidate for every
+  dirty key.  The backend's invalidation tracker suppresses redundant
+  invalidates for keys that are already invalidated and have not been
+  re-fetched.
+* **Always-update** ("Up." in Figure 5): send an update (key plus fresh value)
+  for every dirty key, keeping cached copies always valid at the price of a
+  larger message for every write interval — even for keys nobody reads.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Action, FreshnessPolicy
+
+
+class AlwaysInvalidatePolicy(FreshnessPolicy):
+    """Send an invalidate for every key written during the interval."""
+
+    name = "invalidate"
+    reacts_to_writes = True
+
+    def decide(self, key: str, time: float) -> Action:
+        """Always invalidate (duplicate suppression happens in the backend)."""
+        return Action.INVALIDATE
+
+
+class AlwaysUpdatePolicy(FreshnessPolicy):
+    """Send an update for every key written during the interval."""
+
+    name = "update"
+    reacts_to_writes = True
+
+    def decide(self, key: str, time: float) -> Action:
+        """Always push the fresh value."""
+        return Action.UPDATE

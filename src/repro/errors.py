@@ -1,0 +1,31 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation is driven incorrectly at runtime."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator or trace file is malformed."""
+
+
+class SketchError(ReproError):
+    """Raised when a sketch is queried or updated incorrectly."""
+
+
+class BottleneckError(ReproError):
+    """Raised when bottleneck probes cannot produce a measurement."""

@@ -1,0 +1,36 @@
+"""The analytical freshness/staleness cost model (§2 and §3.1 of the paper).
+
+Closed-form expressions for the freshness cost :math:`C_F` and the staleness
+cost :math:`C_S` of every policy, assuming per-key Poisson arrivals with rate
+``lambda`` and read probability ``r``.  These formulas produce the
+"Theoretical" curves overlaid on the simulation results in Figures 2 and 3 and
+drive the decision rules of §3.2.
+"""
+
+from repro.model.arrivals import p_read, p_write
+from repro.model.analytical import (
+    InvalidationModel,
+    KeyParameters,
+    PolicyModel,
+    TTLExpiryModel,
+    TTLPollingModel,
+    UpdateModel,
+    aggregate_normalized_costs,
+    steady_state_invalidated_probability,
+)
+from repro.model.gap import expected_gap, gap_minimizing_k
+
+__all__ = [
+    "InvalidationModel",
+    "KeyParameters",
+    "PolicyModel",
+    "TTLExpiryModel",
+    "TTLPollingModel",
+    "UpdateModel",
+    "aggregate_normalized_costs",
+    "expected_gap",
+    "gap_minimizing_k",
+    "p_read",
+    "p_write",
+    "steady_state_invalidated_probability",
+]

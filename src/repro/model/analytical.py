@@ -1,0 +1,270 @@
+"""Closed-form freshness and staleness costs per policy (§2.2 and §3.1).
+
+Each policy has a small model class exposing, for a single key with Poisson
+parameters ``(rate, read_ratio)`` and a staleness bound ``T`` over a horizon
+``T'``:
+
+* ``freshness_cost``   — :math:`C_F`, the expected throughput overhead,
+* ``staleness_cost``   — :math:`C_S`, the expected number of misses caused by
+  stale (expired or invalidated) cached data,
+* ``normalized_freshness_cost`` — :math:`C'_F`, normalised by the useful work
+  spent serving reads, and
+* ``normalized_staleness_cost`` — :math:`C'_S`, the miss ratio caused solely
+  by reading stale data.
+
+:func:`aggregate_normalized_costs` sums the per-key costs over a key
+population (the paper's independence/additivity assumption from §2.1), which
+is how the theoretical curves of Figures 2 and 3 are produced for workloads
+with Zipf-distributed per-key rates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cost_model import CostModel
+from repro.errors import ConfigurationError
+from repro.model.arrivals import expected_reads, p_read, p_write
+
+
+@dataclass(frozen=True, slots=True)
+class KeyParameters:
+    """Poisson parameters of a single key.
+
+    Attributes:
+        rate: Aggregate request rate ``lambda`` for the key (requests/second).
+        read_ratio: Probability ``r`` that a request is a read.
+        key_size: Key size in bytes (for size-aware cost models).
+        value_size: Value size in bytes.
+    """
+
+    rate: float
+    read_ratio: float
+    key_size: int = 16
+    value_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {self.rate}")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ConfigurationError(f"read_ratio must be in [0, 1], got {self.read_ratio}")
+
+
+class PolicyModel(ABC):
+    """Base class for the per-policy closed forms.
+
+    Args:
+        costs: Cost model supplying ``c_m``, ``c_i``, ``c_u``, and the
+            read-serving cost used for normalisation.
+    """
+
+    name: str = "model"
+
+    def __init__(self, costs: CostModel | None = None) -> None:
+        self.costs = costs if costs is not None else CostModel()
+
+    # -- core quantities ------------------------------------------------ #
+    @abstractmethod
+    def freshness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        """Expected :math:`C_F` for one key over ``horizon`` seconds."""
+
+    @abstractmethod
+    def staleness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        """Expected :math:`C_S` (stale-induced misses) for one key."""
+
+    # -- normalisations -------------------------------------------------- #
+    def useful_work(self, key: KeyParameters, horizon: float) -> float:
+        """Work spent serving the key's reads (the :math:`C'_F` denominator)."""
+        reads = expected_reads(key.rate, key.read_ratio, horizon)
+        return reads * self.costs.serve_cost(key.key_size, key.value_size)
+
+    def normalized_freshness_cost(
+        self, key: KeyParameters, bound: float, horizon: float
+    ) -> float:
+        """:math:`C'_F`: wasted work relative to useful read-serving work."""
+        useful = self.useful_work(key, horizon)
+        if useful == 0.0:
+            return 0.0
+        return self.freshness_cost(key, bound, horizon) / useful
+
+    def normalized_staleness_cost(
+        self, key: KeyParameters, bound: float, horizon: float
+    ) -> float:
+        """:math:`C'_S`: stale-induced misses per read."""
+        reads = expected_reads(key.rate, key.read_ratio, horizon)
+        if reads == 0.0:
+            return 0.0
+        return self.staleness_cost(key, bound, horizon) / reads
+
+    def _sizes(self, key: KeyParameters) -> tuple[int, int]:
+        return key.key_size, key.value_size
+
+
+class TTLExpiryModel(PolicyModel):
+    """TTL-expiry: expire the object every ``T``; pay a miss on the next read.
+
+    :math:`C_S = \\frac{T'}{T} P_R(T)` and :math:`C_F = C_S \\cdot c_m`.
+    """
+
+    name = "ttl-expiry"
+
+    def staleness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        reads = p_read(key.rate, key.read_ratio, bound)
+        return (horizon / bound) * reads
+
+    def freshness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        key_size, value_size = self._sizes(key)
+        return self.staleness_cost(key, bound, horizon) * self.costs.miss_cost(
+            key_size, value_size
+        )
+
+
+class TTLPollingModel(PolicyModel):
+    """TTL-polling: re-fetch every ``T``; never stale, always paying ``c_m``.
+
+    :math:`C_F = c_m \\frac{T'}{T}` and :math:`C_S = 0`.
+    """
+
+    name = "ttl-polling"
+
+    def staleness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        return 0.0
+
+    def freshness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        key_size, value_size = self._sizes(key)
+        return self.costs.miss_cost(key_size, value_size) * (horizon / bound)
+
+
+def steady_state_invalidated_probability(p_reads: float, p_writes: float) -> float:
+    """Steady-state probability ``p`` that a key is invalidated at an interval end.
+
+    A key remains invalidated across an interval if it is not read (no
+    re-fetch) and becomes invalidated if it was valid and received a write, so
+    ``p`` satisfies the paper's recurrence ``p = p (1 - P_R) + (1 - p) P_W``
+    whose fixed point is ``p = P_W / (P_R + P_W)`` — the expression §3.1
+    substitutes into the invalidation cost.
+    """
+    total = p_reads + p_writes
+    if total == 0.0:
+        return 0.0
+    return p_writes / total
+
+
+class InvalidationModel(PolicyModel):
+    """Always-invalidate with backend duplicate suppression (§3.1).
+
+    With ``p = P_W / (P_R + P_W)`` the steady-state probability that the key
+    is already invalidated at an interval boundary,
+
+    .. math::
+
+        C_F = \\frac{T'}{T} \\frac{P_R P_W}{P_R + P_W} (c_m + c_i),
+        \\qquad
+        C_S = \\frac{T'}{T} \\frac{P_R P_W}{P_R + P_W}.
+    """
+
+    name = "invalidate"
+
+    def _interval_factor(self, key: KeyParameters, bound: float) -> float:
+        reads = p_read(key.rate, key.read_ratio, bound)
+        writes = p_write(key.rate, key.read_ratio, bound)
+        total = reads + writes
+        if total == 0.0:
+            return 0.0
+        return reads * writes / total
+
+    def staleness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        return (horizon / bound) * self._interval_factor(key, bound)
+
+    def freshness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        key_size, value_size = self._sizes(key)
+        per_interval = self._interval_factor(key, bound)
+        cost = self.costs.miss_cost(key_size, value_size) + self.costs.invalidate_cost(key_size)
+        _require_positive_bound(bound, horizon)
+        return (horizon / bound) * per_interval * cost
+
+
+class UpdateModel(PolicyModel):
+    """Always-update (§3.1).
+
+    :math:`C_F = \\frac{T'}{T} P_W(T) \\cdot c_u` and :math:`C_S = 0`.
+    """
+
+    name = "update"
+
+    def staleness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        return 0.0
+
+    def freshness_cost(self, key: KeyParameters, bound: float, horizon: float) -> float:
+        _require_positive_bound(bound, horizon)
+        key_size, value_size = self._sizes(key)
+        writes = p_write(key.rate, key.read_ratio, bound)
+        return (horizon / bound) * writes * self.costs.update_cost(key_size, value_size)
+
+
+def _require_positive_bound(bound: float, horizon: float) -> None:
+    if bound <= 0:
+        raise ConfigurationError(f"staleness bound must be positive, got {bound}")
+    if horizon < 0:
+        raise ConfigurationError(f"horizon must be non-negative, got {horizon}")
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateCosts:
+    """Workload-level costs obtained by summing independent per-key costs."""
+
+    freshness_cost: float
+    staleness_cost: float
+    useful_work: float
+    total_reads: float
+
+    @property
+    def normalized_freshness_cost(self) -> float:
+        """:math:`C'_F` over the whole workload."""
+        return self.freshness_cost / self.useful_work if self.useful_work > 0 else 0.0
+
+    @property
+    def normalized_staleness_cost(self) -> float:
+        """:math:`C'_S` over the whole workload."""
+        return self.staleness_cost / self.total_reads if self.total_reads > 0 else 0.0
+
+
+def aggregate_normalized_costs(
+    model: PolicyModel,
+    keys: Sequence[KeyParameters] | Iterable[KeyParameters],
+    bound: float,
+    horizon: float,
+) -> AggregateCosts:
+    """Sum per-key costs across a key population (the §2.1 additivity assumption).
+
+    Args:
+        model: The per-policy closed form.
+        keys: Poisson parameters of every key in the workload.
+        bound: Staleness bound ``T`` in seconds.
+        horizon: Workload duration ``T'`` in seconds.
+
+    Returns:
+        Aggregate raw and normalised costs.
+    """
+    freshness = 0.0
+    staleness = 0.0
+    useful = 0.0
+    reads = 0.0
+    for key in keys:
+        freshness += model.freshness_cost(key, bound, horizon)
+        staleness += model.staleness_cost(key, bound, horizon)
+        useful += model.useful_work(key, horizon)
+        reads += expected_reads(key.rate, key.read_ratio, horizon)
+    return AggregateCosts(
+        freshness_cost=freshness,
+        staleness_cost=staleness,
+        useful_work=useful,
+        total_reads=reads,
+    )

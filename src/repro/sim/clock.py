@@ -1,0 +1,39 @@
+"""Simulation clock.
+
+A thin wrapper around "the current simulation time" that enforces
+monotonicity: the simulator only ever moves time forward, and any attempt to
+process an out-of-order request is a programming error surfaced immediately
+rather than a silent accounting corruption.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimulationClock:
+    """Monotonically non-decreasing simulation time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Advance the clock to ``time``.
+
+        Raises:
+            SimulationError: If ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move simulation time backwards: {time} < {self._now}"
+            )
+        self._now = float(time)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now})"

@@ -1,0 +1,31 @@
+"""Internal simulator events.
+
+The simulator is request-driven: TTL expiries and polling refreshes are
+accounted lazily (they never change which requests arrive, only the costs), so
+the only genuine events besides requests are the periodic interval flushes of
+the write-reactive policies and the delayed delivery of freshness messages
+when a non-ideal channel is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class FlushEvent:
+    """An interval boundary at which buffered writes are acted upon."""
+
+    time: float
+    interval_index: int
+
+
+@dataclass(slots=True)
+class PendingDelivery:
+    """A freshness message in flight on a delayed channel."""
+
+    message: Message
+    deliver_at: float
+    applied: bool = False

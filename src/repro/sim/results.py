@@ -1,0 +1,149 @@
+"""Simulation results and the cost normalisations of §2.2.
+
+:class:`SimulationResult` accumulates the raw counters during a run and
+derives the two headline metrics of the paper:
+
+* :attr:`SimulationResult.normalized_freshness_cost` — :math:`C'_F`, the
+  freshness (throughput) overhead divided by the useful work spent serving
+  reads ("the ratio of the wasted cycles to the useful cycles"), and
+* :attr:`SimulationResult.normalized_staleness_cost` — :math:`C'_S`, the miss
+  ratio caused solely by reading stale data (stale-induced misses divided by
+  the reads for which the object was present in the cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Counters and costs accumulated over one simulation run."""
+
+    policy_name: str = ""
+    workload_name: str = ""
+    staleness_bound: float = 0.0
+    duration: float = 0.0
+
+    # Request counters.
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    stale_misses: int = 0
+    cold_misses: int = 0
+
+    # Costs (dimensionless cost units from the CostModel).
+    freshness_cost: float = 0.0
+    cold_miss_cost: float = 0.0
+    useful_work: float = 0.0
+
+    # Message counters.
+    invalidates_sent: int = 0
+    updates_sent: int = 0
+    updates_wasted: int = 0
+    suppressed_invalidates: int = 0
+    decisions_nothing: int = 0
+    polls: int = 0
+    stale_refetches: int = 0
+    messages_dropped: int = 0
+
+    # Integrity checks.
+    staleness_violations: int = 0
+
+    # Cache-level statistics snapshot (filled at the end of the run).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def staleness_cost(self) -> float:
+        """:math:`C_S`: the number of misses caused by stale cached data."""
+        return float(self.stale_misses)
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of requests replayed."""
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        """Total misses of any kind."""
+        return self.stale_misses + self.cold_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of reads that missed for any reason."""
+        return self.misses / self.reads if self.reads else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served directly from the cache."""
+        return self.hits / self.reads if self.reads else 0.0
+
+    @property
+    def normalized_freshness_cost(self) -> float:
+        """:math:`C'_F`: freshness overhead relative to useful read-serving work."""
+        if self.useful_work <= 0.0:
+            return 0.0
+        return self.freshness_cost / self.useful_work
+
+    @property
+    def normalized_staleness_cost(self) -> float:
+        """:math:`C'_S`: miss ratio caused solely by reading stale data.
+
+        Normalised by the reads for which the requested object was present in
+        the cache (hits plus stale misses), per §2.2.
+        """
+        present = self.hits + self.stale_misses
+        if present == 0:
+            return 0.0
+        return self.stale_misses / present
+
+    @property
+    def stale_miss_ratio_of_all_reads(self) -> float:
+        """:math:`C_S / N_R`: stale-induced misses over *all* reads.
+
+        This is the normalisation the closed-form model uses; it coincides
+        with :attr:`normalized_staleness_cost` when the cache is large enough
+        that cold misses are rare.
+        """
+        if self.reads == 0:
+            return 0.0
+        return self.stale_misses / self.reads
+
+    @property
+    def freshness_messages(self) -> int:
+        """Total number of invalidate/update messages emitted by the backend."""
+        return self.invalidates_sent + self.updates_sent
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten counters and derived metrics for reporting/CSV export."""
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "staleness_bound": self.staleness_bound,
+            "duration": self.duration,
+            "reads": self.reads,
+            "writes": self.writes,
+            "hits": self.hits,
+            "stale_misses": self.stale_misses,
+            "cold_misses": self.cold_misses,
+            "freshness_cost": self.freshness_cost,
+            "staleness_cost": self.staleness_cost,
+            "useful_work": self.useful_work,
+            "normalized_freshness_cost": self.normalized_freshness_cost,
+            "normalized_staleness_cost": self.normalized_staleness_cost,
+            "miss_ratio": self.miss_ratio,
+            "hit_ratio": self.hit_ratio,
+            "invalidates_sent": self.invalidates_sent,
+            "updates_sent": self.updates_sent,
+            "updates_wasted": self.updates_wasted,
+            "suppressed_invalidates": self.suppressed_invalidates,
+            "decisions_nothing": self.decisions_nothing,
+            "polls": self.polls,
+            "stale_refetches": self.stale_refetches,
+            "messages_dropped": self.messages_dropped,
+            "staleness_violations": self.staleness_violations,
+        }

@@ -1,0 +1,112 @@
+"""Helpers for running families of simulations.
+
+Experiments almost always run the *same* request stream under several policies
+(Figure 5) or the same policy across a sweep of staleness bounds (Figures 2
+and 3).  These helpers build fresh component instances per run so results are
+independent, and return plain result objects that the experiment modules turn
+into tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.backend.channel import Channel
+from repro.core.cost_model import CostModel
+from repro.core.policy import FreshnessPolicy
+from repro.sim.results import SimulationResult
+from repro.sim.simulation import Simulation
+from repro.workload.base import Request
+
+PolicyFactory = Callable[[], FreshnessPolicy]
+
+
+@dataclass(slots=True)
+class PolicyRun:
+    """One simulation run: the policy label plus its result."""
+
+    label: str
+    result: SimulationResult
+
+
+def compare_policies(
+    requests: Sequence[Request],
+    policy_factories: Dict[str, PolicyFactory],
+    staleness_bound: float,
+    costs: Optional[CostModel] = None,
+    cache_capacity: Optional[int] = None,
+    channel_factory: Optional[Callable[[], Channel]] = None,
+    workload_name: str = "",
+    duration: Optional[float] = None,
+) -> List[PolicyRun]:
+    """Run the same request stream under several policies.
+
+    Args:
+        requests: The request stream (shared verbatim across runs).
+        policy_factories: Mapping from display label to a zero-argument
+            factory producing a *fresh* policy instance (policies hold per-run
+            state, so instances must not be reused).
+        staleness_bound: Staleness bound ``T`` in seconds.
+        costs: Cost model shared by every run.
+        cache_capacity: Cache capacity in objects (``None`` = unbounded).
+        channel_factory: Optional factory for a backend-to-cache channel per
+            run (``None`` = ideal channel).
+        workload_name: Label recorded in every result.
+        duration: Simulated horizon; defaults to the last request time.
+
+    Returns:
+        One :class:`PolicyRun` per entry of ``policy_factories``, in order.
+    """
+    runs: List[PolicyRun] = []
+    for label, factory in policy_factories.items():
+        simulation = Simulation(
+            workload=requests,
+            policy=factory(),
+            staleness_bound=staleness_bound,
+            costs=costs,
+            cache_capacity=cache_capacity,
+            channel=channel_factory() if channel_factory is not None else None,
+            workload_name=workload_name,
+            duration=duration,
+        )
+        runs.append(PolicyRun(label=label, result=simulation.run()))
+    return runs
+
+
+def sweep_staleness_bounds(
+    requests: Sequence[Request],
+    policy_factory: PolicyFactory,
+    bounds: Iterable[float],
+    costs: Optional[CostModel] = None,
+    cache_capacity: Optional[int] = None,
+    workload_name: str = "",
+    duration: Optional[float] = None,
+) -> List[SimulationResult]:
+    """Run one policy across a sweep of staleness bounds.
+
+    Args:
+        requests: The request stream (shared verbatim across runs).
+        policy_factory: Zero-argument factory producing a fresh policy per run.
+        bounds: The staleness bounds ``T`` to sweep, in seconds.
+        costs: Cost model shared by every run.
+        cache_capacity: Cache capacity in objects (``None`` = unbounded).
+        workload_name: Label recorded in every result.
+        duration: Simulated horizon; defaults to the last request time.
+
+    Returns:
+        One :class:`SimulationResult` per bound, in sweep order.
+    """
+    results: List[SimulationResult] = []
+    for bound in bounds:
+        simulation = Simulation(
+            workload=requests,
+            policy=policy_factory(),
+            staleness_bound=bound,
+            costs=costs,
+            cache_capacity=cache_capacity,
+            workload_name=workload_name,
+            duration=duration,
+        )
+        results.append(simulation.run())
+    return results

@@ -1,0 +1,368 @@
+"""The cache-aside simulation loop.
+
+The simulator replays a time-ordered request stream (Figure 1 of the paper):
+
+* reads are served from the cache; a miss fetches the object from the backend
+  and populates the cache,
+* writes go straight to the backend, bypassing the cache, and
+* the configured freshness policy keeps cached data within the staleness
+  bound ``T`` — either with per-object TTL timers (TTL-expiry / TTL-polling)
+  or by reacting to writes at interval boundaries (invalidate / update /
+  adaptive / optimal, Figure 4).
+
+Cost accounting follows §2.1: the freshness cost :math:`C_F` accumulates the
+cost of every message or re-fetch performed *to keep data fresh* (TTL polls,
+invalidates, updates, and the misses caused by stale data); the staleness cost
+:math:`C_S` counts the misses that occurred because a cached object could not
+be returned due to staleness.  Misses on objects that were never cached (or
+were evicted) count toward the miss ratio but toward neither cost, matching
+the paper's definitions.
+
+TTL timers are accounted lazily rather than simulated as events: an expiry
+only matters when the next read arrives, and the number of polls an entry has
+performed is a pure function of elapsed time, so both can be settled when the
+entry is next touched, evicted, or when the run ends.  This keeps the run time
+proportional to the number of requests even for very small staleness bounds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backend.buffer import WriteBuffer
+from repro.backend.channel import Channel
+from repro.backend.datastore import DataStore
+from repro.backend.invalidation_tracker import InvalidationTracker
+from repro.backend.messages import InvalidateMessage, UpdateMessage
+from repro.cache.cache import Cache
+from repro.cache.entry import CacheEntry
+from repro.cache.eviction import EvictionPolicy
+from repro.core.cost_model import CostModel
+from repro.core.policy import Action, FreshnessPolicy, FutureIndex, PolicyContext
+from repro.core.ttl import TTLPollingPolicy
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulationClock
+from repro.sim.events import PendingDelivery
+from repro.sim.results import SimulationResult
+from repro.workload.base import Request
+
+
+class Simulation:
+    """Replay a request stream under a freshness policy and account its costs.
+
+    Args:
+        workload: Time-ordered request stream to replay.
+        policy: The freshness policy under test.
+        staleness_bound: The bound ``T`` in seconds that cached data must
+            satisfy (also the TTL duration and the write-batching interval).
+        costs: Cost model supplying ``c_m``, ``c_i``, ``c_u``.
+        cache_capacity: Maximum number of cached objects (``None`` =
+            unbounded).
+        eviction: Eviction policy for the cache (default LRU).
+        channel: Backend-to-cache message channel; ``None`` means ideal
+            (instantaneous and lossless).
+        tracker_capacity: Capacity of the backend's invalidated-key tracker
+            (``None`` = exact tracking).
+        duration: Simulated horizon ``T'``; defaults to the time of the last
+            request.
+        workload_name: Label recorded in the result (for reports).
+        discard_buffer_on_miss_fill: Whether the backend drops a buffered
+            write for a key once a miss has re-fetched that key within the
+            same interval (the backend served that miss, so it knows the cache
+            is fresh again).
+        final_flush: Whether to flush the write buffer once more at the end of
+            the run, matching the closed-form model that charges every
+            interval containing a write.
+    """
+
+    def __init__(
+        self,
+        workload: Sequence[Request],
+        policy: FreshnessPolicy,
+        staleness_bound: float,
+        costs: Optional[CostModel] = None,
+        cache_capacity: Optional[int] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        channel: Optional[Channel] = None,
+        tracker_capacity: Optional[int] = None,
+        duration: Optional[float] = None,
+        workload_name: str = "",
+        discard_buffer_on_miss_fill: bool = True,
+        final_flush: bool = True,
+    ) -> None:
+        if staleness_bound <= 0:
+            raise ConfigurationError(
+                f"staleness_bound must be positive, got {staleness_bound}"
+            )
+        self.requests = list(workload)
+        self.policy = policy
+        self.staleness_bound = float(staleness_bound)
+        self.costs = costs if costs is not None else CostModel()
+        self.channel = channel
+        self.workload_name = workload_name
+        self.discard_buffer_on_miss_fill = discard_buffer_on_miss_fill
+        self.final_flush = final_flush
+
+        if duration is None:
+            duration = self.requests[-1].time if self.requests else 0.0
+        self.duration = float(duration)
+
+        self.datastore = DataStore()
+        self.cache = Cache(capacity=cache_capacity, eviction=eviction, on_evict=self._on_evict)
+        self.buffer = WriteBuffer()
+        self.tracker = InvalidationTracker(capacity=tracker_capacity)
+        self.clock = SimulationClock()
+        self.result = SimulationResult(
+            policy_name=policy.name,
+            workload_name=workload_name,
+            staleness_bound=self.staleness_bound,
+            duration=self.duration,
+        )
+        self._pending_deliveries: List[PendingDelivery] = []
+        self._next_flush = self.staleness_bound
+        self._has_run = False
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Replay the whole request stream and return the accumulated result."""
+        if self._has_run:
+            raise ConfigurationError("a Simulation instance can only be run once")
+        self._has_run = True
+        self._bind_policy()
+        for request in self.requests:
+            self._advance_background_work(request.time)
+            self.clock.advance_to(request.time)
+            if request.is_write:
+                self._process_write(request)
+            else:
+                self._process_read(request)
+        self._finalize()
+        return self.result
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def _bind_policy(self) -> None:
+        future = (
+            FutureIndex.from_requests(self.requests) if self.policy.needs_future else None
+        )
+        context = PolicyContext(
+            costs=self.costs,
+            staleness_bound=self.staleness_bound,
+            cache=self.cache,
+            datastore=self.datastore,
+            tracker=self.tracker,
+            future=future,
+        )
+        self.policy.bind(context)
+
+    # ------------------------------------------------------------------ #
+    # Background work: interval flushes and delayed message delivery
+    # ------------------------------------------------------------------ #
+    def _advance_background_work(self, until: float) -> None:
+        """Run interval flushes and message deliveries due before ``until``."""
+        if self.policy.reacts_to_writes:
+            while self._next_flush <= until:
+                self._deliver_messages(self._next_flush)
+                self._flush(self._next_flush)
+                self._next_flush += self.staleness_bound
+        self._deliver_messages(until)
+
+    def _flush(self, flush_time: float) -> None:
+        """Act on every key written during the interval ending at ``flush_time``."""
+        for buffered in self.buffer.drain():
+            action = self.policy.decide(buffered.key, flush_time)
+            if action is Action.NOTHING:
+                self.result.decisions_nothing += 1
+            elif action is Action.INVALIDATE:
+                self._send_invalidate(buffered.key, buffered.key_size, flush_time)
+            elif action is Action.UPDATE:
+                self._send_update(buffered.key, buffered.key_size, flush_time)
+
+    def _send_invalidate(self, key: str, key_size: int, time: float) -> None:
+        if self.tracker.is_invalidated(key):
+            # The backend already invalidated this key and the cache has not
+            # re-fetched it since, so a second invalidate is redundant (§3.1).
+            self.result.suppressed_invalidates += 1
+            return
+        self.result.invalidates_sent += 1
+        self.result.freshness_cost += self.costs.invalidate_cost(key_size)
+        self.tracker.mark_invalidated(key, time)
+        message = InvalidateMessage(
+            key=key, sent_at=time, key_size=key_size, version=self.datastore.latest_version(key)
+        )
+        self._transmit(message)
+
+    def _send_update(self, key: str, key_size: int, time: float) -> None:
+        value_size = self.datastore.value_size(key)
+        self.result.updates_sent += 1
+        self.result.freshness_cost += self.costs.update_cost(key_size, value_size)
+        # An update carries the latest value, so even a previously invalidated
+        # cached copy becomes valid again once it is applied.
+        self.tracker.mark_refetched(key)
+        message = UpdateMessage(
+            key=key,
+            sent_at=time,
+            key_size=key_size,
+            value_size=value_size,
+            version=self.datastore.latest_version(key),
+        )
+        self._transmit(message)
+
+    def _transmit(self, message) -> None:
+        """Push a message through the channel (or apply it immediately)."""
+        if self.channel is None:
+            self._apply_message(message, message.sent_at)
+            return
+        record = self.channel.send(message)
+        if not record.delivered:
+            self.result.messages_dropped += 1
+            return
+        if record.deliver_at <= message.sent_at:
+            self._apply_message(message, message.sent_at)
+        else:
+            self._pending_deliveries.append(
+                PendingDelivery(message=message, deliver_at=record.deliver_at)
+            )
+
+    def _deliver_messages(self, until: float) -> None:
+        """Apply in-flight messages whose delivery time has arrived."""
+        if not self._pending_deliveries:
+            return
+        remaining: List[PendingDelivery] = []
+        for pending in self._pending_deliveries:
+            if pending.deliver_at <= until:
+                self._apply_message(pending.message, pending.deliver_at)
+            else:
+                remaining.append(pending)
+        self._pending_deliveries = remaining
+
+    def _apply_message(self, message, time: float) -> None:
+        """Apply a delivered freshness message to the cache."""
+        if isinstance(message, UpdateMessage):
+            applied = self.cache.apply_update(
+                message.key, version=message.version, time=time, value_size=message.value_size
+            )
+            if not applied:
+                self.result.updates_wasted += 1
+        else:
+            self.cache.apply_invalidate(message.key, time)
+
+    # ------------------------------------------------------------------ #
+    # Request processing
+    # ------------------------------------------------------------------ #
+    def _process_write(self, request: Request) -> None:
+        self.result.writes += 1
+        self.datastore.write(request.key, request.time, request.value_size)
+        self.policy.observe_write(request.key, request.time)
+        if self.policy.reacts_to_writes:
+            self.buffer.record_write(
+                request.key,
+                request.time,
+                key_size=request.key_size,
+                value_size=request.value_size,
+            )
+
+    def _process_read(self, request: Request) -> None:
+        self.result.reads += 1
+        self.policy.observe_read(request.key, request.time)
+        value_size = self.datastore.value_size(request.key)
+        self.result.useful_work += self.costs.serve_cost(request.key_size, value_size)
+
+        self._settle_ttl_state(request.key, request.time)
+        entry, outcome = self.cache.lookup(request.key, request.time)
+        if outcome == "hit":
+            self.result.hits += 1
+            if not self.datastore.is_fresh(
+                request.key, entry.as_of, request.time, self.staleness_bound
+            ):
+                self.result.staleness_violations += 1
+            return
+
+        version, backend_value_size = self.datastore.read(request.key, request.time)
+        if outcome == "stale_miss":
+            self.result.stale_misses += 1
+            self.result.stale_refetches += 1
+            self.result.freshness_cost += self.costs.miss_cost(
+                request.key_size, backend_value_size
+            )
+        else:
+            self.result.cold_misses += 1
+            self.result.cold_miss_cost += self.costs.miss_cost(
+                request.key_size, backend_value_size
+            )
+        self.cache.fill(
+            request.key,
+            version=version,
+            time=request.time,
+            key_size=request.key_size,
+            value_size=backend_value_size,
+        )
+        self.tracker.mark_refetched(request.key)
+        if self.discard_buffer_on_miss_fill and self.policy.reacts_to_writes:
+            # The backend just served this key's latest value; any write
+            # buffered earlier in the interval no longer needs a message.
+            self.buffer.discard(request.key)
+
+    # ------------------------------------------------------------------ #
+    # Lazy TTL accounting
+    # ------------------------------------------------------------------ #
+    def _settle_ttl_state(self, key: str, now: float) -> None:
+        """Settle lazy TTL expiry or polling costs for ``key`` before a lookup."""
+        mode = self.policy.ttl_mode
+        if mode is None:
+            return
+        entry = self.cache.peek(key)
+        if entry is None:
+            return
+        if mode == "expiry":
+            if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
+                self.cache.expire(key)
+        elif mode == "polling":
+            self._account_polls(entry, now)
+
+    def _account_polls(self, entry: CacheEntry, now: float) -> None:
+        """Charge the polls an entry performed since the last accounting point."""
+        policy = self.policy
+        if not isinstance(policy, TTLPollingPolicy):
+            return
+        polls = policy.polls_between(entry.fetched_at, entry.last_poll_accounted, now)
+        if polls <= 0:
+            return
+        self.result.polls += polls
+        self.result.freshness_cost += polls * self.costs.miss_cost(
+            entry.key_size, entry.value_size
+        )
+        last_poll = policy.last_poll_at_or_before(entry.fetched_at, now)
+        entry.last_poll_accounted = last_poll
+        # Each poll refreshes the cached copy, so the entry now reflects the
+        # backend as of the most recent poll.
+        entry.as_of = max(entry.as_of, last_poll)
+        entry.version = max(entry.version, self.datastore.version_at(entry.key, last_poll))
+
+    def _on_evict(self, entry: CacheEntry, time: float) -> None:
+        """Settle outstanding polling costs when an entry is evicted."""
+        if self.policy.ttl_mode == "polling":
+            self._account_polls(entry, time)
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def _finalize(self) -> None:
+        end_time = max(self.duration, self.clock.now)
+        self.clock.advance_to(end_time)
+        if self.policy.reacts_to_writes:
+            while self._next_flush <= end_time:
+                self._deliver_messages(self._next_flush)
+                self._flush(self._next_flush)
+                self._next_flush += self.staleness_bound
+            if self.final_flush and len(self.buffer):
+                self._flush(end_time)
+        self._deliver_messages(end_time)
+        if self.policy.ttl_mode == "polling":
+            for entry in list(self.cache.entries()):
+                self._account_polls(entry, end_time)
+        self.result.duration = end_time
+        self.result.cache_stats = self.cache.stats.as_dict()

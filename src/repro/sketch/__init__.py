@@ -1,0 +1,26 @@
+"""Sketches for estimating E[W], the expected number of writes between reads.
+
+The adaptive policy (§3.3 of the paper) decides between updating and
+invalidating a key by comparing ``E[W] * c_u`` against ``c_i + c_m``.  Exact
+per-key tracking needs three counters per key, which grows linearly with the
+key population, so the paper proposes approximating the counts with a
+Count-min sketch and improving accuracy with a Top-K sketch that keeps exact
+counters only for the hottest keys.
+"""
+
+from repro.sketch.base import EWEstimator
+from repro.sketch.hashing import HashFamily
+from repro.sketch.exact import ExactEWTracker
+from repro.sketch.countmin import CountMinEWSketch, CountMinSketch
+from repro.sketch.topk import TopKEWSketch
+from repro.sketch.memory import estimator_memory_bytes
+
+__all__ = [
+    "CountMinEWSketch",
+    "CountMinSketch",
+    "EWEstimator",
+    "ExactEWTracker",
+    "HashFamily",
+    "TopKEWSketch",
+    "estimator_memory_bytes",
+]

@@ -1,0 +1,42 @@
+"""Common interface for E[W] estimators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class EWEstimator(ABC):
+    """Estimates, per key, the expected number of writes between reads.
+
+    Estimators observe the request stream through :meth:`observe_read` and
+    :meth:`observe_write` and answer :meth:`estimate` queries at decision
+    time.  They must also report their memory footprint so experiments can
+    reproduce the storage-saving comparison of Figure 6c.
+    """
+
+    #: Short name used in experiment reports ("exact", "count-min", "top-k").
+    name: str = "estimator"
+
+    @abstractmethod
+    def observe_read(self, key: str) -> None:
+        """Record a read of ``key``."""
+
+    @abstractmethod
+    def observe_write(self, key: str) -> None:
+        """Record a write of ``key``."""
+
+    @abstractmethod
+    def estimate(self, key: str) -> float:
+        """Return the estimated E[W] for ``key``.
+
+        Keys with no observed history return the estimator's default prior
+        (implementation-specific, typically 1.0, i.e. "one write per read").
+        """
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate memory used by the estimator state, in bytes."""
+
+    def reset(self) -> None:
+        """Forget all state.  Subclasses may override for efficiency."""
+        raise NotImplementedError

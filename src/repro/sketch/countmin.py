@@ -1,0 +1,122 @@
+"""Count-min sketch and the Count-min based E[W] estimator (§3.3).
+
+The Count-min sketch (Cormode & Muthukrishnan, 2005) approximates per-key
+counters with a ``depth x width`` array of integers: each key hashes to one
+column per row, increments add to every hashed cell, and point queries return
+the minimum across rows, which upper-bounds the true count with error
+proportional to the total stream length divided by the width.
+
+For E[W] estimation the paper keeps two approximate counters per key (reads
+and writes) and estimates ``E[W] ~= writes / reads``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sketch.base import EWEstimator
+from repro.sketch.hashing import HashFamily
+
+
+class CountMinSketch:
+    """A plain Count-min sketch over string keys.
+
+    Args:
+        width: Number of counters per row; error scales as ``total/width``.
+        depth: Number of rows (independent hash functions); failure
+            probability scales as ``exp(-depth)``.
+        seed: Seed for the hash family.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError(
+                f"width and depth must be >= 1, got width={width}, depth={depth}"
+            )
+        self.width = int(width)
+        self.depth = int(depth)
+        self._hashes = HashFamily(depth=depth, width=width, seed=seed)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    def add(self, key: str, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        for row, column in enumerate(self._hashes.indices(key)):
+            self._table[row, column] += count
+        self.total += count
+
+    def query(self, key: str) -> int:
+        """Return the (over-)estimated count of ``key``."""
+        return int(
+            min(
+                self._table[row, column]
+                for row, column in enumerate(self._hashes.indices(key))
+            )
+        )
+
+    def memory_bytes(self) -> int:
+        """Memory of the counter table in bytes."""
+        return int(self._table.nbytes)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._table.fill(0)
+        self.total = 0
+
+
+class CountMinEWSketch(EWEstimator):
+    """E[W] estimator backed by two Count-min sketches (reads and writes).
+
+    Args:
+        width: Width of each underlying sketch.
+        depth: Depth of each underlying sketch.
+        default_estimate: E[W] returned for keys never observed.
+        seed: Seed for the hash families (both sketches share hash functions
+            so that their collisions line up, which keeps the ratio estimate
+            better behaved).
+    """
+
+    name = "count-min"
+
+    def __init__(
+        self,
+        width: int = 256,
+        depth: int = 4,
+        default_estimate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.default_estimate = float(default_estimate)
+        self._reads = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._writes = CountMinSketch(width=width, depth=depth, seed=seed)
+
+    def observe_read(self, key: str) -> None:
+        """Record a read of ``key``."""
+        self._reads.add(key)
+
+    def observe_write(self, key: str) -> None:
+        """Record a write of ``key``."""
+        self._writes.add(key)
+
+    def estimate(self, key: str) -> float:
+        """Estimate E[W] as approximate writes divided by approximate reads."""
+        reads = self._reads.query(key)
+        writes = self._writes.query(key)
+        if reads == 0 and writes == 0:
+            return self.default_estimate
+        if reads == 0:
+            # All observed requests were writes: every read (if one ever
+            # arrives) would be preceded by at least this many writes.
+            return float(writes)
+        return writes / reads
+
+    def memory_bytes(self) -> int:
+        """Memory of both sketch tables in bytes."""
+        return self._reads.memory_bytes() + self._writes.memory_bytes()
+
+    def reset(self) -> None:
+        """Zero both sketches."""
+        self._reads.reset()
+        self._writes.reset()

@@ -1,0 +1,53 @@
+"""Pairwise-independent hash functions for sketching.
+
+Count-min sketches need one hash function per row.  We use the classic
+multiply-shift construction over a stable 64-bit fingerprint of the key so
+that results are deterministic across processes (Python's built-in ``hash``
+is salted per process and would make experiments unreproducible).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_fingerprint(key: str) -> int:
+    """Return a stable 64-bit fingerprint of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashFamily:
+    """A family of ``depth`` hash functions mapping keys to ``[0, width)``.
+
+    Each function is ``h_i(x) = ((a_i * x + b_i) mod 2^64) >> shift mod width``
+    with odd multipliers drawn from a seeded generator, giving deterministic,
+    well-spread row indices.
+    """
+
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.depth = int(depth)
+        self.width = int(width)
+        rng = np.random.default_rng(seed)
+        self._multipliers = [int(rng.integers(1, _MASK64)) | 1 for _ in range(depth)]
+        self._offsets = [int(rng.integers(0, _MASK64)) for _ in range(depth)]
+
+    def indices(self, key: str) -> List[int]:
+        """Return the column index of ``key`` in each row."""
+        fingerprint = stable_fingerprint(key)
+        columns = []
+        for row in range(self.depth):
+            mixed = (self._multipliers[row] * fingerprint + self._offsets[row]) & _MASK64
+            columns.append((mixed >> 16) % self.width)
+        return columns

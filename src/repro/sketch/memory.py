@@ -1,0 +1,28 @@
+"""Storage accounting helpers for the sketch comparison (Figure 6c)."""
+
+from __future__ import annotations
+
+from repro.sketch.base import EWEstimator
+
+
+def estimator_memory_bytes(estimator: EWEstimator) -> int:
+    """Return the estimator's memory footprint in bytes.
+
+    Thin wrapper around :meth:`EWEstimator.memory_bytes` kept for symmetry
+    with :func:`storage_saving`, which experiments call directly.
+    """
+    return estimator.memory_bytes()
+
+
+def storage_saving(baseline: EWEstimator, candidate: EWEstimator) -> float:
+    """Return how many times smaller ``candidate`` is than ``baseline``.
+
+    Figure 6c reports storage saving as the ratio of the exact tracker's
+    memory to the sketch's memory (larger is better).  A candidate that uses
+    no memory at all (degenerate) returns ``float('inf')``.
+    """
+    baseline_bytes = baseline.memory_bytes()
+    candidate_bytes = candidate.memory_bytes()
+    if candidate_bytes == 0:
+        return float("inf")
+    return baseline_bytes / candidate_bytes

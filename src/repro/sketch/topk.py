@@ -1,0 +1,158 @@
+"""Top-K sketch: exact counters for hot keys, Count-min for the rest (§3.3).
+
+The paper's modified Top-K sketch keeps precise read/write counters for the
+``K`` most accessed keys and falls back to the Count-min approximation for the
+cold tail.  Keys are promoted into the exact set when their (approximate)
+access count exceeds that of the coldest tracked key, and the displaced key is
+demoted back to the sketch.  This keeps decisions for hot keys — which account
+for most of the traffic and therefore most of the freshness cost — exact while
+bounding storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.sketch.base import EWEstimator
+from repro.sketch.countmin import CountMinEWSketch, CountMinSketch
+
+
+@dataclass(slots=True)
+class _HotKeyCounters:
+    """Exact per-key counters for a key in the Top-K set."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class TopKEWSketch(EWEstimator):
+    """Hybrid exact/approximate E[W] estimator.
+
+    Args:
+        k: Number of keys tracked exactly.
+        width: Width of the fallback Count-min sketches.
+        depth: Depth of the fallback Count-min sketches.
+        default_estimate: E[W] returned for keys never observed.
+        seed: Seed for the sketch hash families.
+    """
+
+    name = "top-k"
+
+    #: Approximate per-hot-key storage: two 8-byte counters plus a pointer.
+    BYTES_PER_HOT_KEY = 2 * 8 + 8
+
+    def __init__(
+        self,
+        k: int = 64,
+        width: int = 256,
+        depth: int = 4,
+        default_estimate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.default_estimate = float(default_estimate)
+        self._hot: Dict[str, _HotKeyCounters] = {}
+        self._cold = CountMinEWSketch(
+            width=width, depth=depth, default_estimate=default_estimate, seed=seed
+        )
+        self._access_counts = CountMinSketch(width=width, depth=depth, seed=seed + 1)
+        self.promotions = 0
+        self.demotions = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation path
+    # ------------------------------------------------------------------ #
+    def _observe(self, key: str, is_read: bool) -> None:
+        self._access_counts.add(key)
+        counters = self._hot.get(key)
+        if counters is None:
+            counters = self._maybe_promote(key)
+        if counters is not None:
+            if is_read:
+                counters.reads += 1
+            else:
+                counters.writes += 1
+            return
+        if is_read:
+            self._cold.observe_read(key)
+        else:
+            self._cold.observe_write(key)
+
+    def observe_read(self, key: str) -> None:
+        """Record a read of ``key``."""
+        self._observe(key, is_read=True)
+
+    def observe_write(self, key: str) -> None:
+        """Record a write of ``key``."""
+        self._observe(key, is_read=False)
+
+    # ------------------------------------------------------------------ #
+    # Promotion / demotion
+    # ------------------------------------------------------------------ #
+    def _maybe_promote(self, key: str) -> _HotKeyCounters | None:
+        """Promote ``key`` into the exact set if it is hot enough.
+
+        Returns the key's exact counters if promoted, else ``None``.
+        """
+        if len(self._hot) < self.k:
+            counters = _HotKeyCounters()
+            self._hot[key] = counters
+            self.promotions += 1
+            return counters
+        candidate_count = self._access_counts.query(key)
+        coldest_key = min(self._hot, key=lambda hot_key: self._hot[hot_key].total)
+        coldest = self._hot[coldest_key]
+        if candidate_count <= coldest.total:
+            return None
+        # Demote the coldest hot key: fold its exact counts into the sketch so
+        # its history is not lost entirely.
+        for _ in range(coldest.reads):
+            self._cold.observe_read(coldest_key)
+        for _ in range(coldest.writes):
+            self._cold.observe_write(coldest_key)
+        del self._hot[coldest_key]
+        self.demotions += 1
+        counters = _HotKeyCounters()
+        self._hot[key] = counters
+        self.promotions += 1
+        return counters
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_hot(self, key: str) -> bool:
+        """Whether ``key`` is currently tracked exactly."""
+        return key in self._hot
+
+    def estimate(self, key: str) -> float:
+        """Return E[W] for ``key``: exact for hot keys, sketched otherwise."""
+        counters = self._hot.get(key)
+        if counters is not None:
+            if counters.reads == 0 and counters.writes == 0:
+                return self.default_estimate
+            if counters.reads == 0:
+                return float(counters.writes)
+            return counters.writes / counters.reads
+        return self._cold.estimate(key)
+
+    def memory_bytes(self) -> int:
+        """Memory of the hot table plus both fallback sketches."""
+        hot_key_bytes = sum(len(key) for key in self._hot)
+        hot_bytes = len(self._hot) * self.BYTES_PER_HOT_KEY + hot_key_bytes
+        return hot_bytes + self._cold.memory_bytes() + self._access_counts.memory_bytes()
+
+    def reset(self) -> None:
+        """Forget all hot keys and zero the sketches."""
+        self._hot.clear()
+        self._cold.reset()
+        self._access_counts.reset()
+        self.promotions = 0
+        self.demotions = 0

@@ -1,0 +1,36 @@
+"""Workload generators and trace utilities.
+
+The paper evaluates on four workloads: a synthetic Poisson workload with
+Zipfian key popularity, a 50/50 mix of a read-heavy and a write-heavy Poisson
+workload, and two production workloads from Meta and Twitter.  Production
+traces are not redistributable, so :mod:`repro.workload.meta` and
+:mod:`repro.workload.twitter` provide synthetic stand-ins that reproduce the
+statistical properties that drive the paper's results (popularity skew,
+read/write mix, and per-key request interleaving).  See ``DESIGN.md`` for the
+substitution rationale.
+"""
+
+from repro.workload.base import OpType, Request, Workload
+from repro.workload.zipf import ZipfSampler
+from repro.workload.poisson import PoissonZipfWorkload
+from repro.workload.mixed import PoissonMixWorkload
+from repro.workload.meta import MetaWorkload
+from repro.workload.twitter import TwitterWorkload
+from repro.workload.trace import TraceWorkload, read_trace, write_trace
+from repro.workload.stats import WorkloadStats, characterize
+
+__all__ = [
+    "MetaWorkload",
+    "OpType",
+    "PoissonMixWorkload",
+    "PoissonZipfWorkload",
+    "Request",
+    "TraceWorkload",
+    "TwitterWorkload",
+    "Workload",
+    "WorkloadStats",
+    "ZipfSampler",
+    "characterize",
+    "read_trace",
+    "write_trace",
+]

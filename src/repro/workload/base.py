@@ -1,0 +1,145 @@
+"""Core request and workload abstractions.
+
+A workload is a finite, time-ordered stream of :class:`Request` objects.  The
+simulator (:mod:`repro.sim`) replays the stream against a cache-aside cache
+and a backend data store, so every generator in this package must produce
+requests sorted by ``time``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.errors import WorkloadError
+
+
+class OpType(Enum):
+    """Type of a single request issued by the application."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A single application request.
+
+    Attributes:
+        time: Arrival time in seconds from the start of the workload.
+        key: Object key being read or written.
+        op: Whether the request is a read or a write.
+        key_size: Size of the key in bytes (used by the cost model when the
+            network or serialisation is the bottleneck).
+        value_size: Size of the value in bytes.
+    """
+
+    time: float
+    key: str
+    op: OpType
+    key_size: int = 16
+    value_size: int = 128
+
+    @property
+    def is_read(self) -> bool:
+        """Return ``True`` when the request is a read."""
+        return self.op is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Return ``True`` when the request is a write."""
+        return self.op is OpType.WRITE
+
+
+class Workload(ABC):
+    """A reproducible generator of request streams.
+
+    Concrete workloads are configured at construction time (rates, key
+    population, read ratio, seed) and produce a request stream on demand via
+    :meth:`generate`.  Generators must be deterministic for a fixed seed.
+    """
+
+    #: Human-readable name used in experiment reports.
+    name: str = "workload"
+
+    @abstractmethod
+    def generate(self, duration: float) -> List[Request]:
+        """Generate all requests arriving within ``[0, duration)`` seconds.
+
+        Args:
+            duration: Length of the generated trace in seconds.
+
+        Returns:
+            Requests sorted by arrival time.
+
+        Raises:
+            WorkloadError: If ``duration`` is not positive.
+        """
+
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Iterate over the generated requests (convenience wrapper)."""
+        return iter(self.generate(duration))
+
+
+def validate_duration(duration: float) -> float:
+    """Validate a workload duration, returning it unchanged.
+
+    Raises:
+        WorkloadError: If the duration is not a positive, finite number.
+    """
+    if not (duration > 0):
+        raise WorkloadError(f"workload duration must be positive, got {duration!r}")
+    if duration != duration or duration == float("inf"):
+        raise WorkloadError(f"workload duration must be finite, got {duration!r}")
+    return float(duration)
+
+
+def merge_streams(streams: Sequence[Iterable[Request]]) -> List[Request]:
+    """Merge several request streams into a single time-ordered stream.
+
+    The merge is stable: requests with identical timestamps keep the order of
+    their source streams.
+
+    Args:
+        streams: Request iterables, each already sorted by time.
+
+    Returns:
+        A single list sorted by arrival time.
+    """
+    merged: List[Request] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda request: request.time)
+    return merged
+
+
+def check_sorted(requests: Sequence[Request]) -> None:
+    """Raise :class:`WorkloadError` if ``requests`` is not time-ordered."""
+    previous = float("-inf")
+    for index, request in enumerate(requests):
+        if request.time < previous:
+            raise WorkloadError(
+                f"request stream is not sorted by time at index {index}: "
+                f"{request.time} < {previous}"
+            )
+        previous = request.time
+
+
+@dataclass(slots=True)
+class RequestLog:
+    """A mutable accumulator used by generators while building a stream."""
+
+    requests: List[Request] = field(default_factory=list)
+
+    def add(self, request: Request) -> None:
+        """Append a request to the log."""
+        self.requests.append(request)
+
+    def sorted(self) -> List[Request]:
+        """Return the accumulated requests sorted by time."""
+        return sorted(self.requests, key=lambda request: request.time)

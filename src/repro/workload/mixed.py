@@ -1,0 +1,100 @@
+"""The "Poisson (Mix)" workload: a 50/50 blend of read- and write-heavy traffic.
+
+The paper evaluates the adaptive policy on a workload that mixes two Poisson
+workloads — one read-heavy and one write-heavy — to model a cache shared by
+multiple applications.  Different keys therefore favour different freshness
+actions (updates for read-heavy keys, invalidates for write-heavy keys),
+which is exactly the situation the adaptive policy is designed for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.workload.base import Request, Workload, merge_streams, validate_duration
+from repro.workload.poisson import PoissonKeyProfile, PoissonZipfWorkload
+
+
+class PoissonMixWorkload(Workload):
+    """Mixture of a read-heavy and a write-heavy Poisson workload.
+
+    Each component owns a disjoint half of the key population (prefixes
+    ``rh`` and ``wh``), mirroring a shared cache serving two applications
+    with different access patterns.
+
+    Args:
+        num_keys: Total number of keys across both components (split evenly).
+        rate_per_key: Mean per-key request rate for both components.
+        read_heavy_ratio: Read probability of the read-heavy component.
+        write_heavy_ratio: Read probability of the write-heavy component.
+        zipf_exponent: Popularity skew within each component.
+        key_size: Key size in bytes.
+        value_size: Value size in bytes.
+        seed: Seed for reproducible generation.
+    """
+
+    name = "poisson-mix"
+
+    def __init__(
+        self,
+        num_keys: int = 100,
+        rate_per_key: float = 10.0,
+        read_heavy_ratio: float = 0.95,
+        write_heavy_ratio: float = 0.2,
+        zipf_exponent: float = 1.3,
+        key_size: int = 16,
+        value_size: int = 128,
+        seed: int | None = None,
+    ) -> None:
+        if num_keys < 2:
+            raise ConfigurationError(f"num_keys must be >= 2 to split, got {num_keys}")
+        if not 0.0 <= write_heavy_ratio <= read_heavy_ratio <= 1.0:
+            raise ConfigurationError(
+                "expected 0 <= write_heavy_ratio <= read_heavy_ratio <= 1, got "
+                f"{write_heavy_ratio} and {read_heavy_ratio}"
+            )
+        self.num_keys = int(num_keys)
+        self.rate_per_key = float(rate_per_key)
+        self.read_heavy_ratio = float(read_heavy_ratio)
+        self.write_heavy_ratio = float(write_heavy_ratio)
+        self.zipf_exponent = float(zipf_exponent)
+        self.seed = seed
+        half = self.num_keys // 2
+        base_seed = 0 if seed is None else seed
+        self._read_heavy = PoissonZipfWorkload(
+            num_keys=half,
+            rate_per_key=rate_per_key,
+            read_ratio=read_heavy_ratio,
+            zipf_exponent=zipf_exponent,
+            key_size=key_size,
+            value_size=value_size,
+            key_prefix="rh",
+            seed=base_seed,
+        )
+        self._write_heavy = PoissonZipfWorkload(
+            num_keys=self.num_keys - half,
+            rate_per_key=rate_per_key,
+            read_ratio=write_heavy_ratio,
+            zipf_exponent=zipf_exponent,
+            key_size=key_size,
+            value_size=value_size,
+            key_prefix="wh",
+            seed=base_seed + 1,
+        )
+
+    @property
+    def components(self) -> tuple[PoissonZipfWorkload, PoissonZipfWorkload]:
+        """Return the (read-heavy, write-heavy) component workloads."""
+        return self._read_heavy, self._write_heavy
+
+    def key_profiles(self) -> List[PoissonKeyProfile]:
+        """Return per-key rate/read-ratio profiles across both components."""
+        return self._read_heavy.key_profiles() + self._write_heavy.key_profiles()
+
+    def generate(self, duration: float) -> List[Request]:
+        """Generate the merged, time-ordered request stream."""
+        duration = validate_duration(duration)
+        return merge_streams(
+            [self._read_heavy.generate(duration), self._write_heavy.generate(duration)]
+        )

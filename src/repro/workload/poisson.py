@@ -1,0 +1,119 @@
+"""Synthetic Poisson workload with Zipfian key popularity.
+
+This is the "Poisson" workload from the paper's evaluation (Figures 2, 3, and
+5): requests to each key arrive as a Poisson process, each request is
+independently a read with probability ``r`` and a write otherwise, and the
+per-key arrival rates follow a Zipf distribution across the key population
+(``s = 1.3`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.base import OpType, Request, Workload, validate_duration
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(slots=True)
+class PoissonKeyProfile:
+    """Arrival characteristics of a single key in a Poisson workload."""
+
+    key: str
+    rate: float
+    read_ratio: float
+
+
+class PoissonZipfWorkload(Workload):
+    """Poisson arrivals per key with Zipf-distributed per-key rates.
+
+    The aggregate arrival rate is ``rate_per_key * num_keys`` and is divided
+    across keys proportionally to a bounded Zipf distribution, so the hottest
+    key receives far more than ``rate_per_key`` and the coldest far less.
+    Setting ``zipf_exponent`` close to zero approaches a uniform split.
+
+    Args:
+        num_keys: Number of distinct keys.
+        rate_per_key: Mean per-key arrival rate in requests/second.  The
+            paper uses ``lambda = 10``.
+        read_ratio: Probability that a request is a read (``r`` in the paper).
+        zipf_exponent: Skew of the popularity distribution (``s = 1.3``).
+        key_size: Key size in bytes attached to every request.
+        value_size: Value size in bytes attached to every request.
+        key_prefix: Prefix used when building key names.
+        seed: Seed for reproducible generation.
+    """
+
+    name = "poisson"
+
+    def __init__(
+        self,
+        num_keys: int = 100,
+        rate_per_key: float = 10.0,
+        read_ratio: float = 0.9,
+        zipf_exponent: float = 1.3,
+        key_size: int = 16,
+        value_size: int = 128,
+        key_prefix: str = "key",
+        seed: int | None = None,
+    ) -> None:
+        if num_keys < 1:
+            raise ConfigurationError(f"num_keys must be >= 1, got {num_keys}")
+        if rate_per_key <= 0:
+            raise ConfigurationError(f"rate_per_key must be > 0, got {rate_per_key}")
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ConfigurationError(f"read_ratio must be in [0, 1], got {read_ratio}")
+        self.num_keys = int(num_keys)
+        self.rate_per_key = float(rate_per_key)
+        self.read_ratio = float(read_ratio)
+        self.zipf_exponent = float(zipf_exponent)
+        self.key_size = int(key_size)
+        self.value_size = int(value_size)
+        self.key_prefix = key_prefix
+        self.seed = seed
+        self._sampler = ZipfSampler(num_keys=num_keys, exponent=zipf_exponent, seed=seed)
+
+    def key_name(self, rank: int) -> str:
+        """Return the key name for a popularity rank (0 is the hottest key)."""
+        return f"{self.key_prefix}-{rank:06d}"
+
+    def key_profiles(self) -> List[PoissonKeyProfile]:
+        """Return the per-key arrival rate and read ratio.
+
+        These profiles feed the analytical model when overlaying theoretical
+        curves on simulation results (Figures 2 and 3).
+        """
+        total_rate = self.rate_per_key * self.num_keys
+        rates = self._sampler.expected_rates(total_rate)
+        return [
+            PoissonKeyProfile(key=self.key_name(rank), rate=float(rate), read_ratio=self.read_ratio)
+            for rank, rate in enumerate(rates)
+        ]
+
+    def generate(self, duration: float) -> List[Request]:
+        """Generate a time-ordered request stream covering ``[0, duration)``."""
+        duration = validate_duration(duration)
+        rng = np.random.default_rng(self.seed)
+        total_rate = self.rate_per_key * self.num_keys
+        expected = total_rate * duration
+        count = int(rng.poisson(expected))
+        if count == 0:
+            return []
+        times = np.sort(rng.random(count) * duration)
+        ranks = self._sampler.sample(count)
+        is_read = rng.random(count) < self.read_ratio
+        requests = [
+            Request(
+                time=float(times[i]),
+                key=self.key_name(int(ranks[i])),
+                op=OpType.READ if is_read[i] else OpType.WRITE,
+                key_size=self.key_size,
+                value_size=self.value_size,
+            )
+            for i in range(count)
+        ]
+        return requests

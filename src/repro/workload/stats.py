@@ -1,0 +1,121 @@
+"""Workload characterisation utilities.
+
+The analytical model (:mod:`repro.model`) needs per-key arrival rates and
+read ratios; experiments also report aggregate workload properties next to
+their results.  :func:`characterize` derives both from a concrete request
+stream, which is useful for the Meta/Twitter-style workloads whose per-key
+parameters are not known in closed form.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+from repro.workload.base import Request
+
+
+@dataclass(slots=True)
+class KeyStats:
+    """Observed request statistics for a single key."""
+
+    reads: int = 0
+    writes: int = 0
+    first_time: float = float("inf")
+    last_time: float = float("-inf")
+
+    @property
+    def total(self) -> int:
+        """Total number of requests to the key."""
+        return self.reads + self.writes
+
+    @property
+    def read_ratio(self) -> float:
+        """Observed fraction of requests that are reads."""
+        return self.reads / self.total if self.total else 0.0
+
+    def rate(self, duration: float) -> float:
+        """Observed request rate over the workload duration."""
+        return self.total / duration if duration > 0 else 0.0
+
+
+@dataclass(slots=True)
+class WorkloadStats:
+    """Aggregate and per-key statistics of a request stream."""
+
+    duration: float
+    total_requests: int
+    total_reads: int
+    total_writes: int
+    per_key: Dict[str, KeyStats] = field(default_factory=dict)
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys observed."""
+        return len(self.per_key)
+
+    @property
+    def read_ratio(self) -> float:
+        """Aggregate fraction of requests that are reads."""
+        return self.total_reads / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Aggregate request rate in requests/second."""
+        return self.total_requests / self.duration if self.duration > 0 else 0.0
+
+    def mean_rate_per_key(self) -> float:
+        """Mean per-key request rate in requests/second."""
+        if not self.per_key or self.duration <= 0:
+            return 0.0
+        return self.aggregate_rate / self.num_keys
+
+    def hottest_keys(self, count: int = 10) -> Sequence[str]:
+        """Return the ``count`` most requested keys, hottest first."""
+        ranked = sorted(self.per_key.items(), key=lambda item: item[1].total, reverse=True)
+        return [key for key, _ in ranked[:count]]
+
+    def key_rates(self) -> Mapping[str, float]:
+        """Per-key observed request rates (requests/second)."""
+        return {key: stats.rate(self.duration) for key, stats in self.per_key.items()}
+
+    def key_read_ratios(self) -> Mapping[str, float]:
+        """Per-key observed read ratios."""
+        return {key: stats.read_ratio for key, stats in self.per_key.items()}
+
+
+def characterize(requests: Sequence[Request], duration: float | None = None) -> WorkloadStats:
+    """Compute aggregate and per-key statistics for a request stream.
+
+    Args:
+        requests: The request stream (need not be sorted).
+        duration: Workload duration; defaults to the largest request time.
+
+    Returns:
+        A :class:`WorkloadStats` summary.
+    """
+    per_key: Dict[str, KeyStats] = defaultdict(KeyStats)
+    total_reads = 0
+    total_writes = 0
+    max_time = 0.0
+    for request in requests:
+        stats = per_key[request.key]
+        if request.is_read:
+            stats.reads += 1
+            total_reads += 1
+        else:
+            stats.writes += 1
+            total_writes += 1
+        stats.first_time = min(stats.first_time, request.time)
+        stats.last_time = max(stats.last_time, request.time)
+        max_time = max(max_time, request.time)
+    if duration is None:
+        duration = max_time
+    return WorkloadStats(
+        duration=float(duration),
+        total_requests=total_reads + total_writes,
+        total_reads=total_reads,
+        total_writes=total_writes,
+        per_key=dict(per_key),
+    )

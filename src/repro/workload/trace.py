@@ -1,0 +1,130 @@
+"""Reading and writing request traces as CSV files.
+
+The simulator consumes in-memory request lists, but experiments often want to
+persist a generated workload (so that every policy is evaluated on the exact
+same trace) or to load externally collected traces.  The format is a simple
+CSV with header ``time,key,op,key_size,value_size``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.workload.base import OpType, Request, Workload, check_sorted
+
+_HEADER = ["time", "key", "op", "key_size", "value_size"]
+
+
+def write_trace(requests: Iterable[Request], path: str | Path) -> int:
+    """Write a request stream to ``path`` in CSV format.
+
+    Args:
+        requests: Requests to persist (any iterable; written in order).
+        path: Destination file path.
+
+    Returns:
+        The number of requests written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for request in requests:
+            writer.writerow(
+                [
+                    f"{request.time:.9f}",
+                    request.key,
+                    request.op.value,
+                    request.key_size,
+                    request.value_size,
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> List[Request]:
+    """Load a request stream previously written with :func:`write_trace`.
+
+    Raises:
+        WorkloadError: If the file is missing, has an unexpected header, or
+            contains malformed rows.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file does not exist: {path}")
+    requests: List[Request] = []
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise WorkloadError(f"trace file is empty: {path}") from exc
+        if header != _HEADER:
+            raise WorkloadError(
+                f"unexpected trace header in {path}: {header!r} (expected {_HEADER!r})"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_HEADER):
+                raise WorkloadError(
+                    f"malformed row at {path}:{line_number}: expected "
+                    f"{len(_HEADER)} fields, got {len(row)}"
+                )
+            try:
+                requests.append(
+                    Request(
+                        time=float(row[0]),
+                        key=row[1],
+                        op=OpType(row[2]),
+                        key_size=int(row[3]),
+                        value_size=int(row[4]),
+                    )
+                )
+            except (ValueError, KeyError) as exc:
+                raise WorkloadError(
+                    f"malformed row at {path}:{line_number}: {row!r}"
+                ) from exc
+    check_sorted(requests)
+    return requests
+
+
+class TraceWorkload(Workload):
+    """A workload backed by a pre-recorded trace.
+
+    The trace can be given either as an in-memory request list or as a path to
+    a CSV trace file.  :meth:`generate` returns the prefix of the trace that
+    falls within the requested duration.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        requests: Sequence[Request] | None = None,
+        path: str | Path | None = None,
+        name: str | None = None,
+    ) -> None:
+        if (requests is None) == (path is None):
+            raise WorkloadError("provide exactly one of 'requests' or 'path'")
+        if path is not None:
+            self._requests = read_trace(path)
+        else:
+            self._requests = list(requests or [])
+            check_sorted(self._requests)
+        if name is not None:
+            self.name = name
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def generate(self, duration: float | None = None) -> List[Request]:
+        """Return the trace, truncated to ``duration`` seconds if given."""
+        if duration is None:
+            return list(self._requests)
+        return [request for request in self._requests if request.time < duration]

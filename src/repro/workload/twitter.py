@@ -1,0 +1,153 @@
+"""Synthetic stand-in for the Twitter production cache workload.
+
+The paper replays traces from the Twitter in-memory cache study (Yang et al.,
+ATC'21).  Those traces are not redistributable, so this module generates a
+synthetic workload reproducing the properties the evaluation depends on:
+
+* Zipfian popularity with moderate skew (exponent ~0.9),
+* a sizeable write fraction — the Twitter study reports many clusters that
+  are write-heavy compared to classic CDN-style caches (default ``r = 0.8``),
+* per-cluster heterogeneity: a fraction of the key space is write-dominated
+  (e.g. counters and timelines), the rest read-dominated, and
+* diurnal rate modulation (a slow sinusoidal envelope on the arrival rate).
+
+See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.base import OpType, Request, Workload, validate_duration
+from repro.workload.zipf import ZipfSampler
+
+
+class TwitterWorkload(Workload):
+    """Synthetic workload modelled on Twitter's production cache clusters.
+
+    Args:
+        num_keys: Number of distinct keys.
+        total_rate: Mean aggregate request rate in requests/second.
+        read_ratio: Read probability for the read-dominated part of the key
+            space.
+        write_heavy_read_ratio: Read probability for the write-dominated part.
+        write_heavy_key_fraction: Fraction of keys that are write-dominated.
+        zipf_exponent: Popularity skew (default 0.9).
+        diurnal_amplitude: Relative amplitude of the sinusoidal rate envelope
+            (0 disables modulation, 0.5 means the rate swings +/-50%).
+        diurnal_period: Period of the rate envelope in seconds.
+        key_size: Key size in bytes.
+        value_size: Mean value size in bytes (Twitter objects are small).
+        seed: Seed for reproducible generation.
+    """
+
+    name = "twitter"
+
+    def __init__(
+        self,
+        num_keys: int = 500,
+        total_rate: float = 1500.0,
+        read_ratio: float = 0.9,
+        write_heavy_read_ratio: float = 0.35,
+        write_heavy_key_fraction: float = 0.3,
+        zipf_exponent: float = 0.9,
+        diurnal_amplitude: float = 0.3,
+        diurnal_period: float = 60.0,
+        key_size: int = 32,
+        value_size: int = 64,
+        seed: int | None = None,
+    ) -> None:
+        if num_keys < 1:
+            raise ConfigurationError(f"num_keys must be >= 1, got {num_keys}")
+        if total_rate <= 0:
+            raise ConfigurationError(f"total_rate must be > 0, got {total_rate}")
+        for name, value in (
+            ("read_ratio", read_ratio),
+            ("write_heavy_read_ratio", write_heavy_read_ratio),
+            ("write_heavy_key_fraction", write_heavy_key_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude}"
+            )
+        if diurnal_period <= 0:
+            raise ConfigurationError(f"diurnal_period must be > 0, got {diurnal_period}")
+        self.num_keys = int(num_keys)
+        self.total_rate = float(total_rate)
+        self.read_ratio = float(read_ratio)
+        self.write_heavy_read_ratio = float(write_heavy_read_ratio)
+        self.write_heavy_key_fraction = float(write_heavy_key_fraction)
+        self.zipf_exponent = float(zipf_exponent)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.diurnal_period = float(diurnal_period)
+        self.key_size = int(key_size)
+        self.value_size = int(value_size)
+        self.seed = seed
+        self._sampler = ZipfSampler(num_keys=num_keys, exponent=zipf_exponent, seed=seed)
+
+    def key_name(self, rank: int) -> str:
+        """Return the key name for a popularity rank (0 is the hottest key)."""
+        return f"tw-{rank:06d}"
+
+    def is_write_heavy_key(self, rank: int) -> bool:
+        """Return whether the key at ``rank`` belongs to the write-heavy slice.
+
+        Write-heavy keys are spread across the popularity distribution (every
+        ``1/fraction``-th rank) rather than clustered at the head or tail, so
+        both hot and cold keys appear in each class.
+        """
+        if self.write_heavy_key_fraction <= 0.0:
+            return False
+        stride = max(1, round(1.0 / self.write_heavy_key_fraction))
+        return rank % stride == 0
+
+    def _thinned_times(self, rng: np.random.Generator, duration: float) -> np.ndarray:
+        """Draw arrival times from a sinusoidally-modulated Poisson process."""
+        peak_rate = self.total_rate * (1.0 + self.diurnal_amplitude)
+        expected = int(peak_rate * duration) + 16
+        count = int(rng.poisson(expected))
+        if count == 0:
+            return np.empty(0)
+        candidate = np.sort(rng.random(count) * duration)
+        envelope = 1.0 + self.diurnal_amplitude * np.sin(
+            2.0 * np.pi * candidate / self.diurnal_period
+        )
+        accept = rng.random(count) < (self.total_rate * envelope) / peak_rate
+        return candidate[accept]
+
+    def generate(self, duration: float) -> List[Request]:
+        """Generate a time-ordered request stream covering ``[0, duration)``."""
+        duration = validate_duration(duration)
+        rng = np.random.default_rng(self.seed)
+        times = self._thinned_times(rng, duration)
+        count = times.size
+        if count == 0:
+            return []
+        ranks = self._sampler.sample(count)
+        read_probabilities = np.array(
+            [
+                self.write_heavy_read_ratio
+                if self.is_write_heavy_key(int(rank))
+                else self.read_ratio
+                for rank in ranks
+            ]
+        )
+        is_read = rng.random(count) < read_probabilities
+        value_sizes = np.maximum(
+            8, rng.lognormal(mean=np.log(self.value_size), sigma=0.6, size=count)
+        ).astype(np.int64)
+        return [
+            Request(
+                time=float(times[i]),
+                key=self.key_name(int(ranks[i])),
+                op=OpType.READ if is_read[i] else OpType.WRITE,
+                key_size=self.key_size,
+                value_size=int(value_sizes[i]),
+            )
+            for i in range(count)
+        ]

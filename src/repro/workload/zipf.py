@@ -1,0 +1,88 @@
+"""Zipfian key-popularity sampling.
+
+The paper's synthetic workload draws keys from a Zipfian distribution with
+exponent ``s = 1.3``.  :class:`ZipfSampler` implements bounded Zipf sampling
+over a fixed key population using inverse-CDF lookup, which is fast enough to
+generate millions of requests and exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Sample key indices from a bounded Zipf (zeta) distribution.
+
+    The probability of rank ``i`` (1-indexed) is ``i**-s / H(n, s)`` where
+    ``H`` is the generalised harmonic number over ``n`` keys.
+
+    Args:
+        num_keys: Size of the key population (must be >= 1).
+        exponent: Zipf exponent ``s`` (must be > 0).  Larger values
+            concentrate more mass on the most popular keys.
+        seed: Seed for the internal random generator.  Sampling with the same
+            seed and arguments yields identical sequences.
+    """
+
+    def __init__(self, num_keys: int, exponent: float, seed: int | None = None) -> None:
+        if num_keys < 1:
+            raise ConfigurationError(f"num_keys must be >= 1, got {num_keys}")
+        if exponent <= 0:
+            raise ConfigurationError(f"Zipf exponent must be > 0, got {exponent}")
+        self.num_keys = int(num_keys)
+        self.exponent = float(exponent)
+        ranks = np.arange(1, self.num_keys + 1, dtype=np.float64)
+        weights = ranks ** (-self.exponent)
+        self._probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._probabilities)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-rank probabilities, most popular first (rank 0 is hottest)."""
+        return self._probabilities.copy()
+
+    def probability_of(self, rank: int) -> float:
+        """Return the sampling probability of the key at ``rank`` (0-based)."""
+        if not 0 <= rank < self.num_keys:
+            raise ConfigurationError(
+                f"rank must be in [0, {self.num_keys}), got {rank}"
+            )
+        return float(self._probabilities[rank])
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` key ranks (0-based) according to the distribution."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        uniform = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniform, side="left").astype(np.int64)
+
+    def sample_one(self) -> int:
+        """Draw a single key rank (0-based)."""
+        return int(self.sample(1)[0])
+
+    def expected_rates(self, total_rate: float) -> np.ndarray:
+        """Split an aggregate request rate across keys by popularity.
+
+        Args:
+            total_rate: Aggregate arrival rate (requests/second) over all keys.
+
+        Returns:
+            Per-key arrival rates, hottest key first.
+        """
+        if total_rate < 0:
+            raise ConfigurationError(f"total_rate must be >= 0, got {total_rate}")
+        return self._probabilities * total_rate
+
+
+def zipf_probabilities(num_keys: int, exponent: float) -> Sequence[float]:
+    """Return the bounded-Zipf probability vector without building a sampler."""
+    sampler = ZipfSampler(num_keys=num_keys, exponent=exponent, seed=0)
+    return sampler.probabilities.tolist()
