@@ -3,23 +3,31 @@
 The package is organised around the pipeline the paper's evaluation uses:
 
 ``workload`` -> ``sim`` (driving ``cache`` + ``backend``) -> ``core`` policies
--> ``experiments`` that regenerate the paper's figures and tables, with the
-closed-form counterpart in ``model`` and the ``E[W]`` sketches in ``sketch``.
+-> ``experiments``, the orchestration layer that expands declarative
+policy x workload x staleness-bound grids, runs them across worker processes,
+and exports the rows that regenerate the paper's figures and tables — with
+the closed-form counterpart in ``model`` and the ``E[W]`` sketches in
+``sketch``.
 
-The most common entry points are re-exported here so that downstream users can
-write::
+The pipeline streams end-to-end: workloads yield requests lazily via
+``iter_requests`` and the simulator consumes the stream without copying it,
+so arbitrarily long traces replay in constant memory.  The most common entry
+points are re-exported here so that downstream users can write::
 
     from repro import Simulation, PoissonZipfWorkload, AdaptivePolicy, CostModel
 
     workload = PoissonZipfWorkload(num_keys=100, rate_per_key=10.0, seed=1)
     sim = Simulation(
-        workload=workload.generate(duration=50.0),
+        workload=workload.iter_requests(duration=50.0),
         policy=AdaptivePolicy(),
         staleness_bound=1.0,
         costs=CostModel(),
     )
     result = sim.run()
     print(result.normalized_freshness_cost, result.normalized_staleness_cost)
+
+Grids and benchmarks are also available from the command line via
+``python -m repro`` (``run``, ``sweep``, and ``bench`` subcommands).
 """
 
 from repro.core.cost_model import CostBreakdown, CostModel
@@ -41,12 +49,20 @@ from repro.workload.twitter import TwitterWorkload
 from repro.sketch.exact import ExactEWTracker
 from repro.sketch.countmin import CountMinEWSketch
 from repro.sketch.topk import TopKEWSketch
+from repro.experiments.spec import ChannelSpec, ExperimentSpec, WorkloadSpec
+from repro.experiments.runner import run_experiment
+from repro.experiments.bench import run_bench
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Action",
     "AdaptivePolicy",
+    "ChannelSpec",
+    "ExperimentSpec",
+    "WorkloadSpec",
+    "run_bench",
+    "run_experiment",
     "AlwaysInvalidatePolicy",
     "AlwaysUpdatePolicy",
     "Cache",

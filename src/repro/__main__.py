@@ -1,0 +1,193 @@
+"""Command-line entry point: ``python -m repro``.
+
+Three subcommands drive the experiment layer:
+
+* ``run``    — one streamed simulation (workload x policy x bound), JSON out.
+* ``sweep``  — a full experiment grid executed across worker processes.
+* ``bench``  — replay-throughput benchmark emitting a ``BENCH_*.json`` record.
+
+Examples::
+
+    python -m repro run --workload poisson --policy adaptive --bound 1.0
+    python -m repro sweep --policies ttl-expiry,invalidate,update,adaptive \
+        --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
+    python -m repro bench --requests 500000 --output-dir .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    DEFAULT_BENCH_POLICIES,
+    ExperimentSpec,
+    WorkloadSpec,
+    run_bench,
+    run_experiment,
+    write_results_csv,
+    write_results_json,
+)
+from repro.experiments.registry import POLICY_FACTORIES, WORKLOAD_FACTORIES
+from repro.experiments.runner import run_cell
+from repro.experiments.spec import RunCell, stable_cell_seed
+
+
+def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
+    """Parse repeated ``key=value`` options; values are JSON when possible."""
+    params: Dict[str, Any] = {}
+    for pair in pairs or []:
+        key, separator, raw = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _csv_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _capacity(text: str) -> Optional[int]:
+    return None if text.lower() in ("none", "inf", "unbounded") else int(text)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    seed = stable_cell_seed(args.seed, args.workload, params, args.duration)
+    cell = RunCell(
+        experiment="cli-run",
+        cell_id=0,
+        policy=args.policy,
+        workload=args.workload,
+        workload_params=tuple(sorted(params.items())),
+        staleness_bound=args.bound,
+        cache_capacity=args.capacity,
+        channel=None,
+        duration=args.duration,
+        seed=seed,
+    )
+    row = run_cell(cell)
+    text = json.dumps(row, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    workloads = [WorkloadSpec.of(name, params) for name in _csv_list(args.workloads)]
+    spec = ExperimentSpec(
+        name=args.name,
+        policies=_csv_list(args.policies),
+        workloads=workloads,
+        staleness_bounds=[float(bound) for bound in _csv_list(args.bounds)],
+        cache_capacities=[_capacity(cap) for cap in _csv_list(args.capacities)],
+        duration=args.duration,
+        base_seed=args.seed,
+        cost_preset=args.cost_preset,
+    )
+    print(f"sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
+    rows = run_experiment(spec, processes=args.processes)
+    wrote = False
+    if args.json:
+        write_results_json(rows, args.json, metadata={"spec": spec.name, "cells": len(rows)})
+        print(f"wrote {args.json}")
+        wrote = True
+    if args.csv:
+        write_results_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+        wrote = True
+    if not wrote:
+        print(json.dumps(rows, indent=2))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    record = run_bench(
+        policies=_csv_list(args.policies),
+        num_requests=args.requests,
+        num_keys=args.keys,
+        staleness_bound=args.bound,
+        seed=args.seed,
+        output_dir=args.output_dir,
+        label=args.label,
+    )
+    for result in record["results"]:
+        print(
+            f"{result['policy']:>12}: {result['requests_per_sec']:>12,.0f} req/s "
+            f"({result['requests']} requests in {result['wall_seconds']:.2f}s)"
+        )
+    print(f"peak RSS: {record['peak_rss_kib']} KiB")
+    print(f"wrote {record['path']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cache-freshness simulation pipeline and experiment runner.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one streamed simulation")
+    run.add_argument("--workload", default="poisson", choices=sorted(WORKLOAD_FACTORIES))
+    run.add_argument("--policy", default="adaptive", choices=sorted(POLICY_FACTORIES))
+    run.add_argument("--bound", type=float, default=1.0, help="staleness bound T (seconds)")
+    run.add_argument("--duration", type=float, default=10.0, help="trace duration (seconds)")
+    run.add_argument("--capacity", type=_capacity, default=None, help="cache capacity (objects)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--param", action="append", metavar="KEY=VALUE",
+                     help="workload constructor parameter (repeatable)")
+    run.add_argument("--output", help="write the result JSON here instead of stdout")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = subparsers.add_parser("sweep", help="run an experiment grid in parallel")
+    sweep.add_argument("--name", default="sweep")
+    sweep.add_argument("--policies", default="ttl-expiry,ttl-polling,invalidate,update,adaptive")
+    sweep.add_argument("--workloads", default="poisson")
+    sweep.add_argument("--bounds", default="0.1,1.0,10.0")
+    sweep.add_argument("--capacities", default="none")
+    sweep.add_argument("--duration", type=float, default=10.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--cost-preset", default="fixed",
+                       choices=["fixed", "cpu", "network", "latency"])
+    sweep.add_argument("--processes", type=int, default=None,
+                       help="worker processes (default: one per CPU, 1 = serial)")
+    sweep.add_argument("--param", action="append", metavar="KEY=VALUE",
+                       help="workload constructor parameter applied to every workload")
+    sweep.add_argument("--json", help="write results JSON here")
+    sweep.add_argument("--csv", help="write results CSV here")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    bench = subparsers.add_parser("bench", help="measure streaming replay throughput")
+    bench.add_argument("--policies", default=",".join(DEFAULT_BENCH_POLICIES))
+    bench.add_argument("--requests", type=int, default=200_000)
+    bench.add_argument("--keys", type=int, default=1000)
+    bench.add_argument("--bound", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output-dir", default=".")
+    bench.add_argument("--label", default=None, help="suffix for the BENCH_<label>.json record")
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Result export: JSON and CSV.
+
+Rows are the flat dictionaries produced by
+:func:`repro.experiments.runner.run_experiment`.  Columns are ordered by
+first appearance across all rows so files are stable and diff-friendly;
+nested values (workload parameters, channel settings) are JSON-encoded in
+CSV cells.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+def _column_order(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Union of row keys, ordered by first appearance."""
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key)
+    return list(columns)
+
+
+def write_results_json(
+    rows: Sequence[Mapping[str, Any]],
+    path: str | Path,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write result rows (plus optional run metadata) as a JSON document."""
+    path = Path(path)
+    document = {"metadata": dict(metadata or {}), "results": [dict(row) for row in rows]}
+    with path.open("w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def write_results_csv(rows: Sequence[Mapping[str, Any]], path: str | Path) -> Path:
+    """Write result rows as CSV with a stable column order."""
+    path = Path(path)
+    columns = _column_order(rows)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([_cell(row.get(column)) for column in columns])
+    return path
+
+
+def _cell(value: Any) -> Any:
+    """Flatten nested values so CSV cells stay machine-parseable."""
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, sort_keys=True)
+    if value is None:
+        return ""
+    return value

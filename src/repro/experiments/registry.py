@@ -1,0 +1,105 @@
+"""Name-based registries for policies, workloads, and cost models.
+
+Experiment specs are declarative — plain names and parameter dicts — so that
+they can be expanded into grid cells, pickled across process boundaries, and
+serialised into result files.  This module is the single place that maps
+those names onto concrete component instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.adaptive import AdaptivePolicy, CacheStateAdaptivePolicy
+from repro.core.cost_model import CostModel
+from repro.core.optimal import OptimalPolicy
+from repro.core.policy import FreshnessPolicy
+from repro.core.ttl import TTLExpiryPolicy, TTLPollingPolicy
+from repro.core.write_reactive import AlwaysInvalidatePolicy, AlwaysUpdatePolicy
+from repro.errors import ConfigurationError
+from repro.workload.base import Workload
+from repro.workload.meta import MetaWorkload
+from repro.workload.mixed import PoissonMixWorkload
+from repro.workload.poisson import PoissonZipfWorkload
+from repro.workload.trace import TraceWorkload
+from repro.workload.twitter import TwitterWorkload
+
+POLICY_FACTORIES: Dict[str, Callable[[], FreshnessPolicy]] = {
+    "ttl-expiry": TTLExpiryPolicy,
+    "ttl-polling": TTLPollingPolicy,
+    "invalidate": AlwaysInvalidatePolicy,
+    "update": AlwaysUpdatePolicy,
+    "adaptive": AdaptivePolicy,
+    "adaptive+cs": CacheStateAdaptivePolicy,
+    "optimal": OptimalPolicy,
+}
+
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "poisson": PoissonZipfWorkload,
+    "poisson-mix": PoissonMixWorkload,
+    "meta": MetaWorkload,
+    "twitter": TwitterWorkload,
+    "trace": TraceWorkload,
+}
+
+COST_PRESETS: Dict[str, Callable[..., CostModel]] = {
+    "fixed": CostModel,
+    "cpu": CostModel.cpu_bottleneck,
+    "network": CostModel.network_bottleneck,
+    "latency": CostModel.latency_priority,
+}
+
+
+def make_policy(name: str) -> FreshnessPolicy:
+    """Build a fresh policy instance by registry name.
+
+    Raises:
+        ConfigurationError: If the name is not registered.
+    """
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; expected one of {sorted(POLICY_FACTORIES)}"
+        ) from exc
+    return factory()
+
+
+def make_workload(
+    name: str, seed: Optional[int] = None, params: Optional[Mapping[str, Any]] = None
+) -> Workload:
+    """Build a workload by registry name with keyword parameters.
+
+    ``seed`` is threaded through for the synthetic generators; trace-backed
+    workloads ignore it (their streams are already fixed).
+
+    Raises:
+        ConfigurationError: If the name is not registered.
+    """
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_FACTORIES)}"
+        ) from exc
+    kwargs: Dict[str, Any] = dict(params or {})
+    if name != "trace" and seed is not None:
+        kwargs.setdefault("seed", seed)
+    return factory(**kwargs)
+
+
+def make_cost_model(
+    preset: str = "fixed", params: Optional[Mapping[str, Any]] = None
+) -> CostModel:
+    """Build a cost model from a preset name plus keyword overrides.
+
+    Raises:
+        ConfigurationError: If the preset is not registered.
+    """
+    try:
+        factory = COST_PRESETS[preset]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown cost preset {preset!r}; expected one of {sorted(COST_PRESETS)}"
+        ) from exc
+    return factory(**dict(params or {}))

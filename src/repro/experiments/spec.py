@@ -1,0 +1,212 @@
+"""Declarative experiment grids.
+
+An :class:`ExperimentSpec` names the axes of an evaluation — policies,
+workloads, staleness bounds, cache capacities, channels — and expands into the
+cross product of concrete :class:`RunCell` instances.  Cells are plain,
+picklable data, so they can be fanned out across worker processes and recorded
+verbatim next to their results.
+
+Seeding is deterministic and *workload-anchored*: a cell's seed is a stable
+hash of the workload coordinates (name, parameters, duration, base seed) and
+is independent of the policy, bound, capacity, and channel axes.  Every cell
+that replays the same workload therefore replays an *identical* trace, which
+is what makes the resulting policy comparisons meaningful — and results
+reproducible regardless of how many worker processes executed the grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelSpec:
+    """Parameters of a lossy/delayed backend-to-cache channel."""
+
+    loss_probability: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to primitives for serialisation."""
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """A workload axis entry: registry name plus constructor parameters."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, params: Optional[Mapping[str, Any]] = None) -> "WorkloadSpec":
+        """Build a spec from a name and a parameter mapping."""
+        items = tuple(sorted((params or {}).items()))
+        return cls(name=name, params=items)
+
+    def params_dict(self) -> Dict[str, Any]:
+        """Return the parameters as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label used in reports."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class RunCell:
+    """One fully-specified simulation run within an experiment grid."""
+
+    experiment: str
+    cell_id: int
+    policy: str
+    workload: str
+    workload_params: Tuple[Tuple[str, Any], ...]
+    staleness_bound: float
+    cache_capacity: Optional[int]
+    channel: Optional[ChannelSpec]
+    duration: float
+    seed: int
+    cost_preset: str = "fixed"
+    cost_params: Tuple[Tuple[str, Any], ...] = ()
+
+    def describe(self) -> Dict[str, Any]:
+        """Flatten the cell coordinates for result rows and logs."""
+        return {
+            "experiment": self.experiment,
+            "cell_id": self.cell_id,
+            "policy": self.policy,
+            "workload": self.workload,
+            "workload_params": dict(self.workload_params),
+            "staleness_bound": self.staleness_bound,
+            "cache_capacity": self.cache_capacity,
+            "channel": self.channel.as_dict() if self.channel is not None else None,
+            "duration": self.duration,
+            "seed": self.seed,
+            "cost_preset": self.cost_preset,
+        }
+
+
+def stable_cell_seed(
+    base_seed: int,
+    workload: str,
+    workload_params: Mapping[str, Any] | Sequence[Tuple[str, Any]],
+    duration: float,
+) -> int:
+    """Derive a deterministic, process-independent seed for a workload cell.
+
+    Uses CRC-32 over a canonical JSON encoding (``hash()`` is randomised per
+    interpreter and would break cross-process reproducibility).  The seed
+    intentionally ignores the policy/bound/capacity/channel axes so that every
+    cell sharing a workload replays the identical trace.
+    """
+    payload = json.dumps(
+        {
+            "base_seed": base_seed,
+            "workload": workload,
+            "params": sorted((key, repr(value)) for key, value in dict(workload_params).items()),
+            "duration": duration,
+        },
+        sort_keys=True,
+    )
+    return (base_seed * 0x9E3779B1 + zlib.crc32(payload.encode())) % 2**32
+
+
+@dataclass(slots=True)
+class ExperimentSpec:
+    """The declarative description of an experiment grid.
+
+    Attributes:
+        name: Experiment name, recorded in every result row.
+        policies: Policy registry names to evaluate.
+        workloads: Workload axis; entries are :class:`WorkloadSpec` or bare
+            registry names (expanded with default parameters).
+        staleness_bounds: Staleness bounds ``T`` in seconds.
+        cache_capacities: Cache capacity axis (``None`` = unbounded).
+        channels: Channel axis (``None`` = ideal channel).
+        duration: Trace duration in seconds, shared by every cell.
+        base_seed: Root of the deterministic per-cell seeding.
+        cost_preset: Cost-model preset name (see the registry).
+        cost_params: Keyword overrides for the preset.
+    """
+
+    name: str
+    policies: Sequence[str]
+    workloads: Sequence[Union[str, WorkloadSpec]]
+    staleness_bounds: Sequence[float]
+    cache_capacities: Sequence[Optional[int]] = (None,)
+    channels: Sequence[Optional[ChannelSpec]] = (None,)
+    duration: float = 10.0
+    base_seed: int = 0
+    cost_preset: str = "fixed"
+    cost_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ConfigurationError("an experiment needs at least one policy")
+        if not self.workloads:
+            raise ConfigurationError("an experiment needs at least one workload")
+        if not self.staleness_bounds:
+            raise ConfigurationError("an experiment needs at least one staleness bound")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+
+    def normalized_workloads(self) -> List[WorkloadSpec]:
+        """Return the workload axis with bare names promoted to specs."""
+        return [
+            workload if isinstance(workload, WorkloadSpec) else WorkloadSpec.of(workload)
+            for workload in self.workloads
+        ]
+
+    @property
+    def num_cells(self) -> int:
+        """Size of the expanded grid."""
+        return (
+            len(self.policies)
+            * len(self.workloads)
+            * len(self.staleness_bounds)
+            * len(self.cache_capacities)
+            * len(self.channels)
+        )
+
+    def expand(self) -> List[RunCell]:
+        """Expand the grid into concrete, deterministically-seeded cells."""
+        cost_params = tuple(sorted(self.cost_params.items()))
+        cells: List[RunCell] = []
+        grid = itertools.product(
+            self.normalized_workloads(),
+            self.staleness_bounds,
+            self.cache_capacities,
+            self.channels,
+            self.policies,
+        )
+        for cell_id, (workload, bound, capacity, channel, policy) in enumerate(grid):
+            seed = stable_cell_seed(self.base_seed, workload.name, workload.params, self.duration)
+            cells.append(
+                RunCell(
+                    experiment=self.name,
+                    cell_id=cell_id,
+                    policy=policy,
+                    workload=workload.name,
+                    workload_params=workload.params,
+                    staleness_bound=float(bound),
+                    cache_capacity=capacity,
+                    channel=channel,
+                    duration=float(self.duration),
+                    seed=seed,
+                    cost_preset=self.cost_preset,
+                    cost_params=cost_params,
+                )
+            )
+        return cells

@@ -22,6 +22,18 @@ from repro.workload.base import Request
 PolicyFactory = Callable[[], FreshnessPolicy]
 
 
+def _reusable(requests: Iterable[Request]) -> Sequence[Request]:
+    """Materialize a one-shot stream so it can be replayed across runs.
+
+    These helpers deliberately replay the *same* trace under several
+    configurations, so a lazy generator has to be drawn once up front.  For a
+    single-configuration streaming run, build :class:`Simulation` directly.
+    """
+    if isinstance(requests, Sequence):
+        return requests
+    return list(requests)
+
+
 @dataclass(slots=True)
 class PolicyRun:
     """One simulation run: the policy label plus its result."""
@@ -31,7 +43,7 @@ class PolicyRun:
 
 
 def compare_policies(
-    requests: Sequence[Request],
+    requests: Iterable[Request],
     policy_factories: Dict[str, PolicyFactory],
     staleness_bound: float,
     costs: Optional[CostModel] = None,
@@ -58,6 +70,7 @@ def compare_policies(
     Returns:
         One :class:`PolicyRun` per entry of ``policy_factories``, in order.
     """
+    requests = _reusable(requests)
     runs: List[PolicyRun] = []
     for label, factory in policy_factories.items():
         simulation = Simulation(
@@ -75,7 +88,7 @@ def compare_policies(
 
 
 def sweep_staleness_bounds(
-    requests: Sequence[Request],
+    requests: Iterable[Request],
     policy_factory: PolicyFactory,
     bounds: Iterable[float],
     costs: Optional[CostModel] = None,
@@ -97,6 +110,7 @@ def sweep_staleness_bounds(
     Returns:
         One :class:`SimulationResult` per bound, in sweep order.
     """
+    requests = _reusable(requests)
     results: List[SimulationResult] = []
     for bound in bounds:
         simulation = Simulation(

@@ -27,7 +27,7 @@ proportional to the number of requests even for very small staleness bounds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.backend.buffer import WriteBuffer
 from repro.backend.channel import Channel
@@ -44,14 +44,23 @@ from repro.errors import ConfigurationError
 from repro.sim.clock import SimulationClock
 from repro.sim.events import PendingDelivery
 from repro.sim.results import SimulationResult
-from repro.workload.base import Request
+from repro.workload.base import Request, ensure_sorted
 
 
 class Simulation:
     """Replay a request stream under a freshness policy and account its costs.
 
+    The workload may be any iterable — a list, a lazily streaming generator
+    from :meth:`~repro.workload.base.Workload.iter_requests`, or a trace file
+    reader.  The stream is consumed incrementally and is **not** copied, so
+    replaying tens of millions of requests runs in constant memory.  The one
+    exception is a clairvoyant policy (``policy.needs_future``): it requires
+    the full future request index, so the stream is materialized up front.
+
     Args:
-        workload: Time-ordered request stream to replay.
+        workload: Time-ordered request stream to replay.  Ordering is
+            validated during replay; an out-of-order request raises
+            :class:`~repro.errors.WorkloadError`.
         policy: The freshness policy under test.
         staleness_bound: The bound ``T`` in seconds that cached data must
             satisfy (also the TTL duration and the write-batching interval).
@@ -77,7 +86,7 @@ class Simulation:
 
     def __init__(
         self,
-        workload: Sequence[Request],
+        workload: Iterable[Request],
         policy: FreshnessPolicy,
         staleness_bound: float,
         costs: Optional[CostModel] = None,
@@ -94,8 +103,15 @@ class Simulation:
             raise ConfigurationError(
                 f"staleness_bound must be positive, got {staleness_bound}"
             )
-        self.requests = list(workload)
         self.policy = policy
+        # Clairvoyant policies need the full future request index, so only
+        # they force materialization; everyone else replays the stream as-is.
+        if policy.needs_future:
+            self.requests: Optional[List[Request]] = list(workload)
+            self._stream: Iterable[Request] = self.requests
+        else:
+            self.requests = None
+            self._stream = workload
         self.staleness_bound = float(staleness_bound)
         self.costs = costs if costs is not None else CostModel()
         self.channel = channel
@@ -104,7 +120,12 @@ class Simulation:
         self.final_flush = final_flush
 
         if duration is None:
-            duration = self.requests[-1].time if self.requests else 0.0
+            # For a streaming workload the horizon is unknown up front; it is
+            # finalized from the clock (the last request time) after replay.
+            if self.requests is not None:
+                duration = self.requests[-1].time if self.requests else 0.0
+            else:
+                duration = 0.0
         self.duration = float(duration)
 
         self.datastore = DataStore()
@@ -131,7 +152,7 @@ class Simulation:
             raise ConfigurationError("a Simulation instance can only be run once")
         self._has_run = True
         self._bind_policy()
-        for request in self.requests:
+        for request in ensure_sorted(self._stream):
             self._advance_background_work(request.time)
             self.clock.advance_to(request.time)
             if request.is_write:
@@ -146,7 +167,9 @@ class Simulation:
     # ------------------------------------------------------------------ #
     def _bind_policy(self) -> None:
         future = (
-            FutureIndex.from_requests(self.requests) if self.policy.needs_future else None
+            FutureIndex.from_requests(self.requests)
+            if self.policy.needs_future and self.requests is not None
+            else None
         )
         context = PolicyContext(
             costs=self.costs,

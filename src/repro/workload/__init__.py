@@ -10,13 +10,20 @@ read/write mix, and per-key request interleaving).  See ``DESIGN.md`` for the
 substitution rationale.
 """
 
-from repro.workload.base import OpType, Request, Workload
+from repro.workload.base import (
+    OpType,
+    Request,
+    Workload,
+    check_sorted,
+    ensure_sorted,
+    merge_streams,
+)
 from repro.workload.zipf import ZipfSampler
 from repro.workload.poisson import PoissonZipfWorkload
 from repro.workload.mixed import PoissonMixWorkload
 from repro.workload.meta import MetaWorkload
 from repro.workload.twitter import TwitterWorkload
-from repro.workload.trace import TraceWorkload, read_trace, write_trace
+from repro.workload.trace import TraceWorkload, iter_trace, read_trace, write_trace
 from repro.workload.stats import WorkloadStats, characterize
 
 __all__ = [
@@ -31,6 +38,10 @@ __all__ = [
     "WorkloadStats",
     "ZipfSampler",
     "characterize",
+    "check_sorted",
+    "ensure_sorted",
+    "iter_trace",
+    "merge_streams",
     "read_trace",
     "write_trace",
 ]

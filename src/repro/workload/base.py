@@ -4,16 +4,31 @@ A workload is a finite, time-ordered stream of :class:`Request` objects.  The
 simulator (:mod:`repro.sim`) replays the stream against a cache-aside cache
 and a backend data store, so every generator in this package must produce
 requests sorted by ``time``.
+
+The streaming contract: :meth:`Workload.iter_requests` is the primitive every
+generator implements — it yields requests lazily, in time order, so a trace of
+tens of millions of requests can be replayed in constant memory.
+:meth:`Workload.generate` is a thin materializing wrapper kept for callers
+that genuinely need the whole stream at once (e.g. the clairvoyant optimal
+policy, or persisting a trace to disk).
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
+from operator import attrgetter
 from typing import Iterable, Iterator, List, Sequence
 
 from repro.errors import WorkloadError
+
+#: Number of requests generators draw per vectorised batch while streaming.
+#: Large enough to amortise numpy call overhead, small enough that a pipeline
+#: of several generators stays well under a megabyte of buffered requests.
+STREAM_CHUNK_SIZE = 16384
 
 
 class OpType(Enum):
@@ -61,29 +76,37 @@ class Workload(ABC):
 
     Concrete workloads are configured at construction time (rates, key
     population, read ratio, seed) and produce a request stream on demand via
-    :meth:`generate`.  Generators must be deterministic for a fixed seed.
+    :meth:`iter_requests` (lazy, the primitive) or :meth:`generate`
+    (materialized convenience).  Generators must be deterministic for a fixed
+    seed: two calls to :meth:`iter_requests` with the same duration must yield
+    identical streams, which means per-call RNG state — never RNG state shared
+    across calls.
     """
 
     #: Human-readable name used in experiment reports.
     name: str = "workload"
 
     @abstractmethod
-    def generate(self, duration: float) -> List[Request]:
-        """Generate all requests arriving within ``[0, duration)`` seconds.
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Lazily yield the requests arriving within ``[0, duration)`` seconds.
 
         Args:
             duration: Length of the generated trace in seconds.
 
-        Returns:
+        Yields:
             Requests sorted by arrival time.
 
         Raises:
-            WorkloadError: If ``duration`` is not positive.
+            WorkloadError: If ``duration`` is not positive and finite.
         """
 
-    def iter_requests(self, duration: float) -> Iterator[Request]:
-        """Iterate over the generated requests (convenience wrapper)."""
-        return iter(self.generate(duration))
+    def generate(self, duration: float) -> List[Request]:
+        """Materialize the full request stream (thin wrapper over the iterator).
+
+        Prefer feeding :meth:`iter_requests` straight into the simulator; use
+        this only when the whole stream is genuinely needed at once.
+        """
+        return list(self.iter_requests(duration))
 
 
 def validate_duration(duration: float) -> float:
@@ -94,28 +117,26 @@ def validate_duration(duration: float) -> float:
     """
     if not (duration > 0):
         raise WorkloadError(f"workload duration must be positive, got {duration!r}")
-    if duration != duration or duration == float("inf"):
+    if not math.isfinite(duration):
         raise WorkloadError(f"workload duration must be finite, got {duration!r}")
     return float(duration)
 
 
-def merge_streams(streams: Sequence[Iterable[Request]]) -> List[Request]:
-    """Merge several request streams into a single time-ordered stream.
+def merge_streams(streams: Sequence[Iterable[Request]]) -> Iterator[Request]:
+    """Lazily merge several time-ordered request streams into one.
 
-    The merge is stable: requests with identical timestamps keep the order of
-    their source streams.
+    Each input must already be sorted by time; the merge is performed with
+    :func:`heapq.merge`, so only one buffered request per input stream is held
+    at any moment.  The merge is stable: requests with identical timestamps
+    keep the order of their source streams.
 
     Args:
         streams: Request iterables, each already sorted by time.
 
     Returns:
-        A single list sorted by arrival time.
+        A lazy iterator over the merged, time-ordered stream.
     """
-    merged: List[Request] = []
-    for stream in streams:
-        merged.extend(stream)
-    merged.sort(key=lambda request: request.time)
-    return merged
+    return heapq.merge(*streams, key=attrgetter("time"))
 
 
 def check_sorted(requests: Sequence[Request]) -> None:
@@ -128,6 +149,26 @@ def check_sorted(requests: Sequence[Request]) -> None:
                 f"{request.time} < {previous}"
             )
         previous = request.time
+
+
+def ensure_sorted(requests: Iterable[Request]) -> Iterator[Request]:
+    """Yield ``requests`` unchanged, raising on the first ordering violation.
+
+    The streaming counterpart of :func:`check_sorted`: wrap a lazily produced
+    stream to validate time-ordering as it is consumed, without materializing.
+
+    Raises:
+        WorkloadError: As soon as a request arrives out of order.
+    """
+    previous = float("-inf")
+    for index, request in enumerate(requests):
+        if request.time < previous:
+            raise WorkloadError(
+                f"request stream is not sorted by time at index {index}: "
+                f"{request.time} < {previous}"
+            )
+        previous = request.time
+        yield request
 
 
 @dataclass(slots=True)

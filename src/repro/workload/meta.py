@@ -18,12 +18,18 @@ curves retain the published shape.  See DESIGN.md for the substitution note.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.workload.base import OpType, Request, Workload, validate_duration
+from repro.workload.base import (
+    STREAM_CHUNK_SIZE,
+    OpType,
+    Request,
+    Workload,
+    validate_duration,
+)
 from repro.workload.zipf import ZipfSampler
 
 
@@ -104,32 +110,40 @@ class MetaWorkload(Workload):
         )
         return gaps
 
-    def generate(self, duration: float) -> List[Request]:
-        """Generate a time-ordered request stream covering ``[0, duration)``."""
-        duration = validate_duration(duration)
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Lazily yield a time-ordered request stream covering ``[0, duration)``.
+
+        Inter-arrival gaps, key ranks, read/write coins, and value sizes are
+        drawn chunk by chunk from a per-call generator, so the stream is both
+        constant-memory and identical on every iteration.  The duration is
+        validated eagerly, so a bad value fails at the call site.
+        """
+        return self._iter_requests(validate_duration(duration))
+
+    def _iter_requests(self, duration: float) -> Iterator[Request]:
         rng = np.random.default_rng(self.seed)
-        expected = int(self.total_rate * duration * 1.2) + 16
-        gaps = self._interarrival_times(rng, expected)
-        times = np.cumsum(gaps)
-        while times.size and times[-1] < duration:
-            extra = self._interarrival_times(rng, expected // 2 + 16)
-            times = np.concatenate([times, times[-1] + np.cumsum(extra)])
-        times = times[times < duration]
-        count = times.size
-        if count == 0:
-            return []
-        ranks = self._sampler.sample(count)
-        is_read = rng.random(count) < self.read_ratio
-        value_sizes = np.maximum(
-            16, rng.lognormal(mean=np.log(self.value_size), sigma=0.5, size=count)
-        ).astype(np.int64)
-        return [
-            Request(
-                time=float(times[i]),
-                key=self.key_name(int(ranks[i])),
-                op=OpType.READ if is_read[i] else OpType.WRITE,
-                key_size=self.key_size,
-                value_size=int(value_sizes[i]),
-            )
-            for i in range(count)
-        ]
+        now = 0.0
+        while now < duration:
+            gaps = self._interarrival_times(rng, STREAM_CHUNK_SIZE)
+            times = now + np.cumsum(gaps)
+            now = float(times[-1])
+            ranks = self._sampler.sample_using(rng, STREAM_CHUNK_SIZE)
+            is_read = rng.random(STREAM_CHUNK_SIZE) < self.read_ratio
+            value_sizes = np.maximum(
+                16,
+                rng.lognormal(mean=np.log(self.value_size), sigma=0.5, size=STREAM_CHUNK_SIZE),
+            ).astype(np.int64)
+            if now >= duration:
+                inside = times < duration
+                times = times[inside]
+                ranks = ranks[inside]
+                is_read = is_read[inside]
+                value_sizes = value_sizes[inside]
+            for i in range(times.size):
+                yield Request(
+                    time=float(times[i]),
+                    key=self.key_name(int(ranks[i])),
+                    op=OpType.READ if is_read[i] else OpType.WRITE,
+                    key_size=self.key_size,
+                    value_size=int(value_sizes[i]),
+                )

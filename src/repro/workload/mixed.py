@@ -9,7 +9,7 @@ which is exactly the situation the adaptive policy is designed for.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 from repro.errors import ConfigurationError
 from repro.workload.base import Request, Workload, merge_streams, validate_duration
@@ -92,9 +92,13 @@ class PoissonMixWorkload(Workload):
         """Return per-key rate/read-ratio profiles across both components."""
         return self._read_heavy.key_profiles() + self._write_heavy.key_profiles()
 
-    def generate(self, duration: float) -> List[Request]:
-        """Generate the merged, time-ordered request stream."""
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Lazily yield the merged, time-ordered request stream.
+
+        Both components stream incrementally and are merged with a lazy
+        two-way heap merge, so the mixture never materializes either side.
+        """
         duration = validate_duration(duration)
         return merge_streams(
-            [self._read_heavy.generate(duration), self._write_heavy.generate(duration)]
+            [self._read_heavy.iter_requests(duration), self._write_heavy.iter_requests(duration)]
         )

@@ -5,17 +5,28 @@ This is the "Poisson" workload from the paper's evaluation (Figures 2, 3, and
 independently a read with probability ``r`` and a write otherwise, and the
 per-key arrival rates follow a Zipf distribution across the key population
 (``s = 1.3`` in the paper).
+
+Generation is incremental: arrivals are drawn as exponential inter-arrival
+gaps in vectorised chunks, so iterating a multi-hour trace holds only one
+chunk (:data:`~repro.workload.base.STREAM_CHUNK_SIZE` requests) in memory at
+a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.workload.base import OpType, Request, Workload, validate_duration
+from repro.workload.base import (
+    STREAM_CHUNK_SIZE,
+    OpType,
+    Request,
+    Workload,
+    validate_duration,
+)
 from repro.workload.zipf import ZipfSampler
 
 
@@ -94,26 +105,33 @@ class PoissonZipfWorkload(Workload):
             for rank, rate in enumerate(rates)
         ]
 
-    def generate(self, duration: float) -> List[Request]:
-        """Generate a time-ordered request stream covering ``[0, duration)``."""
-        duration = validate_duration(duration)
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Lazily yield a time-ordered request stream covering ``[0, duration)``.
+
+        All randomness comes from a generator seeded per call, so iterating
+        twice yields identical streams.  The duration is validated eagerly
+        (here, not at first ``next()``), so a bad value fails at the call site.
+        """
+        return self._iter_requests(validate_duration(duration))
+
+    def _iter_requests(self, duration: float) -> Iterator[Request]:
         rng = np.random.default_rng(self.seed)
-        total_rate = self.rate_per_key * self.num_keys
-        expected = total_rate * duration
-        count = int(rng.poisson(expected))
-        if count == 0:
-            return []
-        times = np.sort(rng.random(count) * duration)
-        ranks = self._sampler.sample(count)
-        is_read = rng.random(count) < self.read_ratio
-        requests = [
-            Request(
-                time=float(times[i]),
-                key=self.key_name(int(ranks[i])),
-                op=OpType.READ if is_read[i] else OpType.WRITE,
-                key_size=self.key_size,
-                value_size=self.value_size,
-            )
-            for i in range(count)
-        ]
-        return requests
+        mean_gap = 1.0 / (self.rate_per_key * self.num_keys)
+        now = 0.0
+        while now < duration:
+            gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+            times = now + np.cumsum(gaps)
+            now = float(times[-1])
+            ranks = self._sampler.sample_using(rng, STREAM_CHUNK_SIZE)
+            is_read = rng.random(STREAM_CHUNK_SIZE) < self.read_ratio
+            if now >= duration:
+                inside = times < duration
+                times, ranks, is_read = times[inside], ranks[inside], is_read[inside]
+            for i in range(times.size):
+                yield Request(
+                    time=float(times[i]),
+                    key=self.key_name(int(ranks[i])),
+                    op=OpType.READ if is_read[i] else OpType.WRITE,
+                    key_size=self.key_size,
+                    value_size=self.value_size,
+                )

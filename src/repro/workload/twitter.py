@@ -16,12 +16,18 @@ See DESIGN.md for the substitution rationale.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.workload.base import OpType, Request, Workload, validate_duration
+from repro.workload.base import (
+    STREAM_CHUNK_SIZE,
+    OpType,
+    Request,
+    Workload,
+    validate_duration,
+)
 from repro.workload.zipf import ZipfSampler
 
 
@@ -94,6 +100,13 @@ class TwitterWorkload(Workload):
         """Return the key name for a popularity rank (0 is the hottest key)."""
         return f"tw-{rank:06d}"
 
+    @property
+    def _write_heavy_stride(self) -> int | None:
+        """Rank stride of the write-heavy slice (``None`` when disabled)."""
+        if self.write_heavy_key_fraction <= 0.0:
+            return None
+        return max(1, round(1.0 / self.write_heavy_key_fraction))
+
     def is_write_heavy_key(self, rank: int) -> bool:
         """Return whether the key at ``rank`` belongs to the write-heavy slice.
 
@@ -101,53 +114,55 @@ class TwitterWorkload(Workload):
         ``1/fraction``-th rank) rather than clustered at the head or tail, so
         both hot and cold keys appear in each class.
         """
-        if self.write_heavy_key_fraction <= 0.0:
-            return False
-        stride = max(1, round(1.0 / self.write_heavy_key_fraction))
-        return rank % stride == 0
+        stride = self._write_heavy_stride
+        return stride is not None and rank % stride == 0
 
-    def _thinned_times(self, rng: np.random.Generator, duration: float) -> np.ndarray:
-        """Draw arrival times from a sinusoidally-modulated Poisson process."""
-        peak_rate = self.total_rate * (1.0 + self.diurnal_amplitude)
-        expected = int(peak_rate * duration) + 16
-        count = int(rng.poisson(expected))
-        if count == 0:
-            return np.empty(0)
-        candidate = np.sort(rng.random(count) * duration)
-        envelope = 1.0 + self.diurnal_amplitude * np.sin(
-            2.0 * np.pi * candidate / self.diurnal_period
-        )
-        accept = rng.random(count) < (self.total_rate * envelope) / peak_rate
-        return candidate[accept]
+    def _read_probabilities(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised per-request read probability (see :meth:`is_write_heavy_key`)."""
+        probabilities = np.full(ranks.shape, self.read_ratio)
+        stride = self._write_heavy_stride
+        if stride is not None:
+            probabilities[ranks % stride == 0] = self.write_heavy_read_ratio
+        return probabilities
 
-    def generate(self, duration: float) -> List[Request]:
-        """Generate a time-ordered request stream covering ``[0, duration)``."""
-        duration = validate_duration(duration)
+    def iter_requests(self, duration: float) -> Iterator[Request]:
+        """Lazily yield a time-ordered request stream covering ``[0, duration)``.
+
+        The diurnally-modulated process is generated by thinning: candidate
+        arrivals are drawn at the peak rate chunk by chunk and accepted with
+        probability proportional to the sinusoidal envelope.  All randomness
+        comes from a per-call generator, so iteration is repeatable.  The
+        duration is validated eagerly, so a bad value fails at the call site.
+        """
+        return self._iter_requests(validate_duration(duration))
+
+    def _iter_requests(self, duration: float) -> Iterator[Request]:
         rng = np.random.default_rng(self.seed)
-        times = self._thinned_times(rng, duration)
-        count = times.size
-        if count == 0:
-            return []
-        ranks = self._sampler.sample(count)
-        read_probabilities = np.array(
-            [
-                self.write_heavy_read_ratio
-                if self.is_write_heavy_key(int(rank))
-                else self.read_ratio
-                for rank in ranks
-            ]
-        )
-        is_read = rng.random(count) < read_probabilities
-        value_sizes = np.maximum(
-            8, rng.lognormal(mean=np.log(self.value_size), sigma=0.6, size=count)
-        ).astype(np.int64)
-        return [
-            Request(
-                time=float(times[i]),
-                key=self.key_name(int(ranks[i])),
-                op=OpType.READ if is_read[i] else OpType.WRITE,
-                key_size=self.key_size,
-                value_size=int(value_sizes[i]),
+        peak_rate = self.total_rate * (1.0 + self.diurnal_amplitude)
+        mean_gap = 1.0 / peak_rate
+        now = 0.0
+        while now < duration:
+            gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+            candidate = now + np.cumsum(gaps)
+            now = float(candidate[-1])
+            envelope = 1.0 + self.diurnal_amplitude * np.sin(
+                2.0 * np.pi * candidate / self.diurnal_period
             )
-            for i in range(count)
-        ]
+            accept = rng.random(STREAM_CHUNK_SIZE) < (self.total_rate * envelope) / peak_rate
+            if now >= duration:
+                accept &= candidate < duration
+            times = candidate[accept]
+            count = times.size
+            ranks = self._sampler.sample_using(rng, count)
+            is_read = rng.random(count) < self._read_probabilities(ranks)
+            value_sizes = np.maximum(
+                8, rng.lognormal(mean=np.log(self.value_size), sigma=0.6, size=count)
+            ).astype(np.int64)
+            for i in range(count):
+                yield Request(
+                    time=float(times[i]),
+                    key=self.key_name(int(ranks[i])),
+                    op=OpType.READ if is_read[i] else OpType.WRITE,
+                    key_size=self.key_size,
+                    value_size=int(value_sizes[i]),
+                )

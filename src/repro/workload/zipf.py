@@ -57,11 +57,21 @@ class ZipfSampler:
 
     def sample(self, count: int) -> np.ndarray:
         """Draw ``count`` key ranks (0-based) according to the distribution."""
+        return self.sample_using(self._rng, count)
+
+    def sample_using(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` key ranks (0-based) using a caller-supplied generator.
+
+        Streaming workloads draw from a per-call generator so that two
+        iterations over the same workload yield identical streams; the
+        sampler's own generator (used by :meth:`sample`) is stateful across
+        calls and cannot provide that guarantee.
+        """
         if count < 0:
             raise ConfigurationError(f"count must be >= 0, got {count}")
         if count == 0:
             return np.empty(0, dtype=np.int64)
-        uniform = self._rng.random(count)
+        uniform = rng.random(count)
         return np.searchsorted(self._cdf, uniform, side="left").astype(np.int64)
 
     def sample_one(self) -> int:

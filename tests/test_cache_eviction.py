@@ -1,0 +1,71 @@
+"""Eviction and capacity behaviour of the cache layer."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.eviction import FIFOEviction, LFUEviction, LRUEviction
+from repro.core.ttl import TTLExpiryPolicy
+from repro.errors import ConfigurationError
+from repro.sim.simulation import Simulation
+from repro.workload.poisson import PoissonZipfWorkload
+
+
+def fill(cache: Cache, key: str, time: float) -> None:
+    cache.fill(key, version=1, time=time)
+
+
+def test_capacity_is_enforced_with_lru_victim() -> None:
+    cache = Cache(capacity=2, eviction=LRUEviction())
+    fill(cache, "a", 0.0)
+    fill(cache, "b", 1.0)
+    cache.lookup("a", 2.0)  # refresh recency of "a"
+    fill(cache, "c", 3.0)
+    assert len(cache) == 2
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_fifo_ignores_recency() -> None:
+    cache = Cache(capacity=2, eviction=FIFOEviction())
+    fill(cache, "a", 0.0)
+    fill(cache, "b", 1.0)
+    cache.lookup("a", 2.0)  # does not save "a" under FIFO
+    fill(cache, "c", 3.0)
+    assert "a" not in cache and "b" in cache and "c" in cache
+
+
+def test_lfu_evicts_least_frequent() -> None:
+    cache = Cache(capacity=2, eviction=LFUEviction())
+    fill(cache, "a", 0.0)
+    fill(cache, "b", 1.0)
+    cache.lookup("a", 2.0)
+    cache.lookup("a", 2.5)
+    fill(cache, "c", 3.0)
+    assert "a" in cache and "b" not in cache
+
+
+def test_eviction_callback_fires_with_evicted_entry() -> None:
+    evicted = []
+    cache = Cache(capacity=1, on_evict=lambda entry, time: evicted.append((entry.key, time)))
+    fill(cache, "a", 0.0)
+    fill(cache, "b", 5.0)
+    assert evicted == [("a", 5.0)]
+
+
+def test_invalid_capacity_rejected() -> None:
+    with pytest.raises(ConfigurationError):
+        Cache(capacity=0)
+
+
+def test_capacity_bounded_simulation_evicts_and_completes() -> None:
+    workload = PoissonZipfWorkload(num_keys=100, rate_per_key=5.0, seed=9)
+    result = Simulation(
+        workload=workload.iter_requests(5.0),
+        policy=TTLExpiryPolicy(),
+        staleness_bound=1.0,
+        cache_capacity=10,
+    ).run()
+    assert result.cache_stats["evictions"] > 0
+    # Evicted keys re-enter as cold misses, never as stale misses.
+    assert result.cold_misses > 10
+    assert result.total_requests > 0

@@ -1,0 +1,66 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_run_prints_result_json(capsys) -> None:
+    exit_code = main(
+        [
+            "run",
+            "--workload", "poisson",
+            "--policy", "adaptive",
+            "--bound", "1.0",
+            "--duration", "2.0",
+            "--param", "num_keys=15",
+        ]
+    )
+    assert exit_code == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["policy"] == "adaptive"
+    assert row["reads"] + row["writes"] > 0
+
+
+def test_sweep_writes_csv_and_json(tmp_path, capsys) -> None:
+    csv_path = tmp_path / "sweep.csv"
+    json_path = tmp_path / "sweep.json"
+    exit_code = main(
+        [
+            "sweep",
+            "--policies", "invalidate,update",
+            "--workloads", "poisson",
+            "--bounds", "0.5,2.0",
+            "--duration", "2.0",
+            "--param", "num_keys=15",
+            "--processes", "1",
+            "--csv", str(csv_path),
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    assert csv_path.exists()
+    document = json.loads(json_path.read_text())
+    assert len(document["results"]) == 4
+
+
+def test_bench_emits_bench_json_for_three_plus_policies(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "ttl-expiry,invalidate,update,adaptive",
+            "--requests", "3000",
+            "--keys", "100",
+            "--output-dir", str(tmp_path),
+            "--label", "test",
+        ]
+    )
+    assert exit_code == 0
+    records = list(tmp_path.glob("BENCH_*.json"))
+    assert len(records) == 1
+    record = json.loads(records[0].read_text())
+    assert len(record["results"]) >= 3
+    for result in record["results"]:
+        assert result["requests_per_sec"] > 0
+        assert result["requests"] > 0
+    assert record["peak_rss_kib"] > 0

@@ -1,0 +1,114 @@
+"""Cost accounting per policy family, on hand-built traces.
+
+Fixed costs (c_m=1.0, c_i=0.1, c_u=0.6) make every expected total exact.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.ttl import TTLExpiryPolicy, TTLPollingPolicy
+from repro.core.write_reactive import AlwaysInvalidatePolicy, AlwaysUpdatePolicy
+from repro.sim.simulation import Simulation
+from repro.workload.base import OpType, Request
+
+C_M, C_I, C_U = 1.0, 0.1, 0.6
+
+
+def costs() -> CostModel:
+    return CostModel(miss=C_M, invalidate=C_I, update=C_U)
+
+
+def read(time: float, key: str = "k") -> Request:
+    return Request(time=time, key=key, op=OpType.READ)
+
+
+def write(time: float, key: str = "k") -> Request:
+    return Request(time=time, key=key, op=OpType.WRITE)
+
+
+def run(trace, policy, bound=1.0, **kwargs):
+    return Simulation(
+        workload=trace, policy=policy, staleness_bound=bound, costs=costs(), **kwargs
+    ).run()
+
+
+class TestTTLExpiry:
+    def test_expiry_miss_pays_one_refetch(self) -> None:
+        result = run([read(0.0), read(0.5), read(1.5)], TTLExpiryPolicy())
+        assert result.cold_misses == 1
+        assert result.hits == 1  # t=0.5, timer still running
+        assert result.stale_misses == 1  # t=1.5, expired at t=1.0
+        assert result.freshness_cost == pytest.approx(C_M)
+        assert result.staleness_cost == pytest.approx(1.0)
+
+    def test_no_expiry_within_ttl(self) -> None:
+        result = run([read(0.0), read(0.9)], TTLExpiryPolicy())
+        assert result.stale_misses == 0
+        assert result.freshness_cost == 0.0
+
+
+class TestTTLPollingLazySettlement:
+    def test_polls_settled_on_next_touch(self) -> None:
+        # Two whole TTL intervals elapse between the reads: exactly two polls
+        # must be charged, even though no event fired in between.
+        result = run([read(0.0), read(2.5)], TTLPollingPolicy())
+        assert result.polls == 2
+        assert result.freshness_cost == pytest.approx(2 * C_M)
+        assert result.hits == 1  # polling keeps the entry always valid
+        assert result.staleness_violations == 0
+
+    def test_polls_settled_on_eviction(self) -> None:
+        # Key "a" is never touched again; its polls are settled when "b"
+        # evicts it from the capacity-1 cache at t=2.2.
+        result = run([read(0.0, "a"), read(2.2, "b")], TTLPollingPolicy(), cache_capacity=1)
+        assert result.polls == 2
+        assert result.freshness_cost == pytest.approx(2 * C_M)
+
+    def test_polls_settled_at_end_of_run(self) -> None:
+        result = run([read(0.0)], TTLPollingPolicy(), duration=3.0)
+        assert result.polls == 3
+        assert result.freshness_cost == pytest.approx(3 * C_M)
+
+
+class TestInvalidatePath:
+    def test_invalidate_then_stale_miss(self) -> None:
+        # Write at t=0.5 -> invalidate at the t=1.0 flush (c_i), read at
+        # t=1.2 misses and re-fetches (c_m).
+        result = run([read(0.0), write(0.5), read(1.2)], AlwaysInvalidatePolicy())
+        assert result.invalidates_sent == 1
+        assert result.stale_misses == 1
+        assert result.freshness_cost == pytest.approx(C_I + C_M)
+
+    def test_redundant_invalidate_suppressed(self) -> None:
+        # Two writes in consecutive intervals with no read in between: the
+        # second invalidate is redundant (the entry is still invalidated).
+        result = run(
+            [read(0.0), write(0.5), write(1.5), read(2.8)], AlwaysInvalidatePolicy()
+        )
+        assert result.invalidates_sent == 1
+        assert result.suppressed_invalidates == 1
+        assert result.freshness_cost == pytest.approx(C_I + C_M)
+
+
+class TestUpdatePath:
+    def test_update_keeps_entry_fresh(self) -> None:
+        result = run([read(0.0), write(0.5), read(1.2)], AlwaysUpdatePolicy())
+        assert result.updates_sent == 1
+        assert result.hits == 1  # the update refreshed the cached copy
+        assert result.stale_misses == 0
+        assert result.freshness_cost == pytest.approx(C_U)
+        assert result.staleness_violations == 0
+
+    def test_final_flush_charges_trailing_write(self) -> None:
+        # A write with no later request still costs its update at the final
+        # flush (matching the closed-form model); with nothing cached the
+        # message is wasted.
+        result = run([write(0.5)], AlwaysUpdatePolicy())
+        assert result.updates_sent == 1
+        assert result.updates_wasted == 1
+        assert result.freshness_cost == pytest.approx(C_U)
+
+    def test_final_flush_can_be_disabled(self) -> None:
+        result = run([write(0.5)], AlwaysUpdatePolicy(), final_flush=False)
+        assert result.updates_sent == 0
+        assert result.freshness_cost == 0.0
