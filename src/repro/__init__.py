@@ -6,8 +6,10 @@ The package is organised around the pipeline the paper's evaluation uses:
 -> ``experiments``, the orchestration layer that expands declarative
 policy x workload x staleness-bound grids, runs them across worker processes,
 and exports the rows that regenerate the paper's figures and tables — with
-the closed-form counterpart in ``model`` and the ``E[W]`` sketches in
-``sketch``.
+the closed-form counterpart in ``model``, the ``E[W]`` sketches in
+``sketch``, online bottleneck detection in ``bottleneck``, and the sharded
+multi-node fleet simulation (consistent hashing, replicated invalidation,
+failure scenarios, hot-key detection) in ``cluster``.
 
 The pipeline streams end-to-end: workloads yield requests lazily via
 ``iter_requests`` and the simulator consumes the stream without copying it,
@@ -47,22 +49,46 @@ from repro.workload.mixed import PoissonMixWorkload
 from repro.workload.meta import MetaWorkload
 from repro.workload.twitter import TwitterWorkload
 from repro.sketch.exact import ExactEWTracker
-from repro.sketch.countmin import CountMinEWSketch
+from repro.sketch.countmin import CountMinEWSketch, CountMinSketch
 from repro.sketch.topk import TopKEWSketch
-from repro.experiments.spec import ChannelSpec, ExperimentSpec, WorkloadSpec
+from repro.sketch.memory import estimator_memory_bytes, storage_saving
+from repro.bottleneck.detector import Bottleneck, BottleneckDetector
+from repro.bottleneck.probes import ResourceProbe, UtilizationSnapshot
+from repro.bottleneck.procfs import SyntheticProcFS
+from repro.bottleneck.costs import cost_model_for_bottleneck
+from repro.cluster.cluster import ClusterSimulation
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.hotkey import HotKeyConfig, HotKeyDetector
+from repro.cluster.replication import ReplicationConfig
+from repro.cluster.results import ClusterResult
+from repro.cluster.scenarios import make_scenario
+from repro.experiments.spec import ChannelSpec, ExperimentSpec, ScenarioSpec, WorkloadSpec
 from repro.experiments.runner import run_experiment
 from repro.experiments.bench import run_bench
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Action",
     "AdaptivePolicy",
+    "Bottleneck",
+    "BottleneckDetector",
     "ChannelSpec",
+    "ClusterResult",
+    "ClusterSimulation",
+    "ConsistentHashRing",
     "ExperimentSpec",
+    "HotKeyConfig",
+    "HotKeyDetector",
+    "ReplicationConfig",
+    "ScenarioSpec",
     "WorkloadSpec",
+    "cost_model_for_bottleneck",
+    "estimator_memory_bytes",
+    "make_scenario",
     "run_bench",
     "run_experiment",
+    "storage_saving",
     "AlwaysInvalidatePolicy",
     "AlwaysUpdatePolicy",
     "Cache",
@@ -70,6 +96,7 @@ __all__ = [
     "CostBreakdown",
     "CostModel",
     "CountMinEWSketch",
+    "CountMinSketch",
     "DataStore",
     "ExactEWTracker",
     "FIFOEviction",
@@ -82,10 +109,13 @@ __all__ = [
     "PoissonMixWorkload",
     "PoissonZipfWorkload",
     "Request",
+    "ResourceProbe",
     "Simulation",
     "SimulationResult",
+    "SyntheticProcFS",
     "TTLExpiryPolicy",
     "TTLPollingPolicy",
     "TopKEWSketch",
     "TwitterWorkload",
+    "UtilizationSnapshot",
 ]

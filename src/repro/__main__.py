@@ -1,17 +1,23 @@
 """Command-line entry point: ``python -m repro``.
 
-Three subcommands drive the experiment layer:
+Four subcommands drive the experiment layer:
 
-* ``run``    — one streamed simulation (workload x policy x bound), JSON out.
-* ``sweep``  — a full experiment grid executed across worker processes.
-* ``bench``  — replay-throughput benchmark emitting a ``BENCH_*.json`` record.
+* ``run``     — one streamed simulation (workload x policy x bound), JSON out.
+* ``sweep``   — a full experiment grid executed across worker processes.
+* ``cluster`` — a sharded multi-node fleet sweep with replication, failure
+  scenarios, and optional hot-key policy switching.
+* ``bench``   — replay-throughput benchmark emitting a ``BENCH_*.json``
+  record (single-cache by default, cluster mode via ``--nodes``).
 
 Examples::
 
     python -m repro run --workload poisson --policy adaptive --bound 1.0
     python -m repro sweep --policies ttl-expiry,invalidate,update,adaptive \
         --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
+    python -m repro cluster --nodes 8 --replication 2 --scenario node-failure \
+        --policies invalidate,adaptive --bounds 0.5 --duration 20 --csv fleet.csv
     python -m repro bench --requests 500000 --output-dir .
+    python -m repro bench --requests 200000 --nodes 8 --replication 2
 """
 
 from __future__ import annotations
@@ -21,9 +27,12 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.cluster.replication import READ_POLICIES
+from repro.cluster.scenarios import SCENARIO_FACTORIES
 from repro.experiments import (
     DEFAULT_BENCH_POLICIES,
     ExperimentSpec,
+    ScenarioSpec,
     WorkloadSpec,
     run_bench,
     run_experiment,
@@ -32,7 +41,7 @@ from repro.experiments import (
 )
 from repro.experiments.registry import POLICY_FACTORIES, WORKLOAD_FACTORIES
 from repro.experiments.runner import run_cell
-from repro.experiments.spec import RunCell, stable_cell_seed
+from repro.experiments.spec import ChannelSpec, RunCell, stable_cell_seed
 
 
 def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
@@ -112,6 +121,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.hot_fraction is not None and args.hot_policy is None:
+        raise SystemExit(
+            "--hot-fraction only takes effect together with --hot-policy "
+            "(hot-key detection feeds the per-shard policy switch)"
+        )
+    params = _parse_params(args.param)
+    workloads = [WorkloadSpec.of(name, params) for name in _csv_list(args.workloads)]
+    scenario_params = _parse_params(args.scenario_param)
+    scenario_names = _csv_list(args.scenarios)
+    real_scenarios = [name for name in scenario_names if name not in ("none", "")]
+    if scenario_params and len(real_scenarios) > 1:
+        raise SystemExit(
+            "--scenario-param applies to every scenario; with several scenarios "
+            "on the axis their constructors differ — sweep one scenario at a time"
+        )
+    scenarios: List[Optional[ScenarioSpec]] = [
+        None if name in ("none", "") else ScenarioSpec.of(name, scenario_params)
+        for name in scenario_names
+    ]
+    channel = None
+    if args.channel_loss > 0 or args.channel_delay > 0 or args.channel_jitter > 0:
+        channel = ChannelSpec(
+            loss_probability=args.channel_loss,
+            delay=args.channel_delay,
+            jitter=args.channel_jitter,
+        )
+    spec = ExperimentSpec(
+        name=args.name,
+        policies=_csv_list(args.policies),
+        workloads=workloads,
+        staleness_bounds=[float(bound) for bound in _csv_list(args.bounds)],
+        cache_capacities=[_capacity(cap) for cap in _csv_list(args.capacities)],
+        channels=[channel],
+        num_nodes=[int(nodes) for nodes in _csv_list(args.nodes)],
+        replications=[int(factor) for factor in _csv_list(args.replication)],
+        scenarios=scenarios,
+        read_policy=args.read_policy,
+        hot_policy=args.hot_policy,
+        hot_fraction=args.hot_fraction if args.hot_fraction is not None else 0.02,
+        vnodes=args.vnodes,
+        duration=args.duration,
+        base_seed=args.seed,
+        cost_preset=args.cost_preset,
+    )
+    print(f"cluster sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
+    rows = run_experiment(spec, processes=args.processes)
+    wrote = False
+    if args.json:
+        write_results_json(rows, args.json, metadata={"spec": spec.name, "cells": len(rows)})
+        print(f"wrote {args.json}")
+        wrote = True
+    if args.csv:
+        write_results_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+        wrote = True
+    if not wrote:
+        print(json.dumps(rows, indent=2))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     record = run_bench(
         policies=_csv_list(args.policies),
@@ -121,6 +191,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         output_dir=args.output_dir,
         label=args.label,
+        num_nodes=args.nodes if args.nodes > 0 else None,
+        replication=args.replication,
     )
     for result in record["results"]:
         print(
@@ -170,12 +242,58 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", help="write results CSV here")
     sweep.set_defaults(func=_cmd_sweep)
 
+    cluster = subparsers.add_parser(
+        "cluster", help="run a sharded multi-node fleet sweep"
+    )
+    cluster.add_argument("--name", default="cluster")
+    cluster.add_argument("--nodes", default="8",
+                         help="fleet-size axis, comma separated (e.g. 4,8,16)")
+    cluster.add_argument("--replication", default="1",
+                         help="replication-factor axis, comma separated")
+    cluster.add_argument("--scenario", dest="scenarios", default="none",
+                         help="scenario axis, comma separated: none, "
+                              + ", ".join(sorted(SCENARIO_FACTORIES)))
+    cluster.add_argument("--scenario-param", action="append", metavar="KEY=VALUE",
+                         help="scenario constructor parameter (repeatable)")
+    cluster.add_argument("--read-policy", default="primary", choices=READ_POLICIES)
+    cluster.add_argument("--hot-policy", default=None,
+                         choices=[name for name in sorted(POLICY_FACTORIES)
+                                  if not getattr(POLICY_FACTORIES[name], "needs_future", False)],
+                         help="freshness policy applied to detected hot keys per shard")
+    cluster.add_argument("--hot-fraction", type=float, default=None,
+                         help="traffic share a key needs to be flagged hot on a shard "
+                              "(requires --hot-policy; default 0.02)")
+    cluster.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per physical node on the hash ring")
+    cluster.add_argument("--policies", default="invalidate,update,adaptive")
+    cluster.add_argument("--workloads", default="poisson")
+    cluster.add_argument("--bounds", default="1.0")
+    cluster.add_argument("--capacities", default="none")
+    cluster.add_argument("--duration", type=float, default=10.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--cost-preset", default="fixed",
+                         choices=["fixed", "cpu", "network", "latency"])
+    cluster.add_argument("--channel-loss", type=float, default=0.0)
+    cluster.add_argument("--channel-delay", type=float, default=0.0)
+    cluster.add_argument("--channel-jitter", type=float, default=0.0)
+    cluster.add_argument("--processes", type=int, default=None,
+                         help="worker processes (default: one per CPU, 1 = serial)")
+    cluster.add_argument("--param", action="append", metavar="KEY=VALUE",
+                         help="workload constructor parameter applied to every workload")
+    cluster.add_argument("--json", help="write results JSON here")
+    cluster.add_argument("--csv", help="write results CSV here")
+    cluster.set_defaults(func=_cmd_cluster)
+
     bench = subparsers.add_parser("bench", help="measure streaming replay throughput")
     bench.add_argument("--policies", default=",".join(DEFAULT_BENCH_POLICIES))
     bench.add_argument("--requests", type=int, default=200_000)
     bench.add_argument("--keys", type=int, default=1000)
     bench.add_argument("--bound", type=float, default=1.0)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--nodes", type=int, default=0,
+                       help="bench the cluster replay path with this many nodes (0 = single cache)")
+    bench.add_argument("--replication", type=int, default=1,
+                       help="replication factor for --nodes mode")
     bench.add_argument("--output-dir", default=".")
     bench.add_argument("--label", default=None, help="suffix for the BENCH_<label>.json record")
     bench.set_defaults(func=_cmd_bench)

@@ -59,6 +59,11 @@ class Channel:
         self.sent = 0
         self.dropped = 0
         self.delivered = 0
+        #: While ``True`` every message is dropped, regardless of
+        #: ``loss_probability``.  Cluster scenarios toggle this to model a
+        #: node that is partitioned from the backend (total outage) without
+        #: disturbing the channel's random state.
+        self.outage = False
 
     @property
     def is_ideal(self) -> bool:
@@ -68,6 +73,9 @@ class Channel:
     def send(self, message: Message) -> DeliveryRecord:
         """Send one message, returning whether and when it is delivered."""
         self.sent += 1
+        if self.outage:
+            self.dropped += 1
+            return DeliveryRecord(message=message, delivered=False, deliver_at=float("inf"))
         if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
             self.dropped += 1
             return DeliveryRecord(message=message, delivered=False, deliver_at=float("inf"))

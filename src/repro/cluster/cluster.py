@@ -1,0 +1,342 @@
+"""The sharded multi-node cluster simulation.
+
+:class:`ClusterSimulation` routes one time-ordered request stream across a
+fleet of :class:`~repro.cluster.node.CacheNode` shards in front of the shared
+versioned datastore:
+
+* keys are placed with consistent hashing
+  (:class:`~repro.cluster.hashring.ConsistentHashRing`); every key lives on
+  ``replication.factor`` nodes (primary + ring successors),
+* reads go to one replica chosen by the
+  :class:`~repro.cluster.replication.ReplicaRouter`,
+* writes commit to the shared datastore and dirty **every** replica, so the
+  interval flush fans one freshness message per replica out over that
+  node's own channel — replicated invalidation, the paper's §5 open problem
+  multiplied by the replication factor,
+* a :class:`~repro.cluster.scenarios.Scenario` script injects node failures,
+  ring rebalances, flash crowds, and partitions at deterministic times, and
+* per-shard :class:`~repro.cluster.hotkey.HotKeyDetector` instances can
+  switch hot keys to a different freshness policy on their shard.
+
+Everything is driven by the request clock with no hidden randomness beyond
+the seeded per-node channels, so a cluster cell replays byte-identically for
+a fixed seed no matter how many worker processes executed the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.backend.channel import Channel
+from repro.backend.datastore import DataStore
+from repro.cache.eviction import EvictionPolicy
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.hotkey import HotKeyConfig, HotKeyDetector
+from repro.cluster.node import CacheNode
+from repro.cluster.replication import ReplicaRouter, ReplicationConfig
+from repro.cluster.results import ClusterResult
+from repro.cluster.scenarios import Scenario, ScenarioEvent
+from repro.core.cost_model import CostModel
+from repro.core.policy import FreshnessPolicy
+from repro.errors import ClusterError, ConfigurationError
+from repro.sim.clock import SimulationClock
+from repro.workload.base import Request, ensure_sorted
+
+PolicyLike = Union[str, Callable[[], FreshnessPolicy]]
+
+#: Multiplier decorrelating per-node channel/detector seeds from the cell seed.
+_NODE_SEED_STRIDE = 0x9E3779B1
+
+
+def _resolve_policy_factory(policy: PolicyLike) -> Callable[[], FreshnessPolicy]:
+    """Turn a registry name or zero-arg factory into a factory."""
+    if isinstance(policy, str):
+        # Runtime import: the registry lives in the experiments layer, which
+        # itself imports this module for cluster cells.
+        from repro.experiments.registry import make_policy
+
+        return lambda: make_policy(policy)
+    if isinstance(policy, FreshnessPolicy):
+        raise ClusterError(
+            "pass a policy name or factory, not an instance — every node "
+            "needs its own policy state"
+        )
+    return policy
+
+
+class ClusterSimulation:
+    """Replay a request stream across a sharded, replicated cache fleet.
+
+    Args:
+        workload: Time-ordered request stream (consumed lazily, like the
+            single-cache :class:`~repro.sim.simulation.Simulation`).
+        policy: Freshness policy per shard: a registry name or a zero-arg
+            factory (each node gets its own instance).  Clairvoyant policies
+            (``needs_future``) are not supported in cluster mode.
+        num_nodes: Fleet size.
+        staleness_bound: The bound ``T`` in seconds, fleet-wide.
+        costs: Cost model shared by every node.
+        replication: Replication factor (int) or a full
+            :class:`~repro.cluster.replication.ReplicationConfig`.
+        cache_capacity: Per-node cache capacity (``None`` = unbounded).
+        eviction_factory: Zero-arg factory for per-node eviction policies.
+        channel: ``None`` for ideal per-node channels, or any object with
+            ``loss_probability`` / ``delay`` / ``jitter`` attributes (e.g.
+            :class:`~repro.experiments.spec.ChannelSpec`); each node's
+            channel is seeded deterministically from ``seed`` and its index.
+        tracker_capacity: Per-node invalidated-key tracker capacity.
+        scenario: Scenario script (``None`` = steady state).
+        hotkey: Hot-key detection config (``None`` disables detection).
+        duration: Simulated horizon; defaults to the last request time.
+        workload_name: Label recorded in the result.
+        vnodes: Virtual nodes per physical node on the hash ring.
+        seed: Root seed for per-node channels and detectors.
+        discard_buffer_on_miss_fill / final_flush: Same semantics as the
+            single-cache simulator, applied per node.
+    """
+
+    def __init__(
+        self,
+        workload: Iterable[Request],
+        policy: PolicyLike,
+        num_nodes: int,
+        staleness_bound: float,
+        costs: Optional[CostModel] = None,
+        replication: Union[int, ReplicationConfig, None] = None,
+        cache_capacity: Optional[int] = None,
+        eviction_factory: Optional[Callable[[], EvictionPolicy]] = None,
+        channel: Optional[object] = None,
+        tracker_capacity: Optional[int] = None,
+        scenario: Optional[Scenario] = None,
+        hotkey: Optional[HotKeyConfig] = None,
+        duration: Optional[float] = None,
+        workload_name: str = "",
+        vnodes: int = 64,
+        seed: int = 0,
+        discard_buffer_on_miss_fill: bool = True,
+        final_flush: bool = True,
+    ) -> None:
+        if num_nodes < 1:
+            raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
+        if staleness_bound <= 0:
+            raise ConfigurationError(
+                f"staleness_bound must be positive, got {staleness_bound}"
+            )
+        if replication is None:
+            replication = ReplicationConfig()
+        elif isinstance(replication, int):
+            replication = ReplicationConfig(factor=replication)
+        if replication.factor > num_nodes:
+            raise ClusterError(
+                f"replication factor {replication.factor} exceeds fleet size {num_nodes}"
+            )
+
+        self.staleness_bound = float(staleness_bound)
+        self.costs = costs if costs is not None else CostModel()
+        self.replication = replication
+        self.workload_name = workload_name
+        self.final_flush = final_flush
+        self.duration = float(duration) if duration is not None else 0.0
+        self._explicit_duration = duration is not None
+        self._stream: Iterable[Request] = workload
+        self.seed = int(seed)
+
+        policy_factory = _resolve_policy_factory(policy)
+        probe = policy_factory()
+        if probe.needs_future:
+            raise ClusterError(
+                f"clairvoyant policy {probe.name!r} is not supported in cluster mode"
+            )
+        self.policy_name = probe.name
+
+        hot_factory: Optional[Callable[[], FreshnessPolicy]] = None
+        if hotkey is not None and hotkey.hot_policy is not None:
+            hot_factory = _resolve_policy_factory(hotkey.hot_policy)
+            hot_probe = hot_factory()
+            if hot_probe.needs_future:
+                raise ClusterError(
+                    f"clairvoyant policy {hot_probe.name!r} cannot be the hot-key "
+                    "policy: it needs the future request index, which cluster "
+                    "mode does not build"
+                )
+
+        self.datastore = DataStore()
+        self.clock = SimulationClock()
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.router = ReplicaRouter(replication)
+        self.scenario = scenario if scenario is not None else Scenario()
+
+        self._nodes: dict[str, CacheNode] = {}
+        self._node_list: List[CacheNode] = []
+        #: Node ids with freshness messages in flight; empty with ideal
+        #: channels, which lets the per-request delivery sweep short-circuit.
+        self._pending_nodes: set[str] = set()
+        for index in range(num_nodes):
+            node_id = f"node-{index:03d}"
+            node_seed = (self.seed + _NODE_SEED_STRIDE * (index + 1)) % 2**32
+            node_channel = Channel(seed=node_seed) if channel is None else Channel(
+                loss_probability=channel.loss_probability,
+                delay=channel.delay,
+                jitter=channel.jitter,
+                seed=node_seed,
+            )
+            detector = (
+                HotKeyDetector(hotkey, seed=node_seed ^ 0x5BF03635)
+                if hotkey is not None
+                else None
+            )
+            # The probe instance seeds node 0 so its construction is not
+            # wasted; every other node gets a fresh instance.
+            node_policy = probe if index == 0 else policy_factory()
+            node = CacheNode(
+                node_id=node_id,
+                policy=node_policy,
+                staleness_bound=self.staleness_bound,
+                costs=self.costs,
+                datastore=self.datastore,
+                cache_capacity=cache_capacity,
+                eviction=eviction_factory() if eviction_factory is not None else None,
+                channel=node_channel,
+                tracker_capacity=tracker_capacity,
+                hot_policy=hot_factory() if hot_factory is not None else None,
+                detector=detector,
+                discard_buffer_on_miss_fill=discard_buffer_on_miss_fill,
+                pending_registry=self._pending_nodes,
+            )
+            node.result.workload_name = workload_name
+            node.result.staleness_bound = self.staleness_bound
+            self._nodes[node_id] = node
+            self._node_list.append(node)
+            self.ring.add_node(node_id)
+
+        self._next_flush = self.staleness_bound
+        self._has_run = False
+        self._rebalances = 0
+        self.event_log: List[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Scenario control surface
+    # ------------------------------------------------------------------ #
+    def node_at(self, index: int) -> CacheNode:
+        """Return the node created at ``index`` (scenario addressing)."""
+        try:
+            return self._node_list[index]
+        except IndexError as exc:
+            raise ClusterError(f"no node at index {index}") from exc
+
+    def fail_node(self, index: int) -> None:
+        """Fail a node silently (unreachable, still serving, still on ring)."""
+        self.node_at(index).fail()
+
+    def remove_node(self, index: int, time: float) -> None:
+        """Detect a failure: take the node off the ring and purge its state."""
+        node = self.node_at(index)
+        if node.node_id in self.ring:
+            if len(self.ring) == 1:
+                raise ClusterError("cannot remove the last node from the ring")
+            self.ring.remove_node(node.node_id)
+            self._rebalances += 1
+        node.depart(time)
+
+    def rejoin_node(self, index: int) -> None:
+        """Bring a previously removed node back, cold."""
+        node = self.node_at(index)
+        if node.node_id not in self.ring:
+            self.ring.add_node(node.node_id)
+            self._rebalances += 1
+        node.rejoin()
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def run(self) -> ClusterResult:
+        """Replay the whole request stream and return the aggregated result."""
+        if self._has_run:
+            raise ClusterError("a ClusterSimulation instance can only be run once")
+        self._has_run = True
+
+        # Scenarios need a concrete horizon for their relative defaults.
+        if not self._explicit_duration and type(self.scenario) is not Scenario:
+            raise ClusterError(
+                "scenarios need an explicit duration to resolve their timelines"
+            )
+        self.scenario.bind(
+            duration=self.duration,
+            staleness_bound=self.staleness_bound,
+            num_nodes=len(self._node_list),
+        )
+        events = sorted(self.scenario.events(), key=lambda event: event.time)
+        event_index = 0
+
+        for request in ensure_sorted(self._stream):
+            while event_index < len(events) and events[event_index].time <= request.time:
+                event_index = self._apply_event(events, event_index)
+            request = self.scenario.transform_request(request)
+            self._advance_background(request.time)
+            self.clock.advance_to(request.time)
+            if request.is_write:
+                self._process_write(request)
+            else:
+                self._process_read(request)
+
+        return self._finalize(events, event_index)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _apply_event(self, events: List[ScenarioEvent], index: int) -> int:
+        event = events[index]
+        self._advance_background(event.time)
+        self.clock.advance_to(event.time)
+        event.apply(self, event.time)
+        self.event_log.append((event.time, event.label))
+        return index + 1
+
+    def _advance_background(self, until: float) -> None:
+        """Run interval flushes and per-node deliveries due before ``until``."""
+        while self._next_flush <= until:
+            flush_time = self._next_flush
+            for node in self._node_list:
+                node.deliver_until(flush_time)
+                node.flush(flush_time)
+            self._next_flush += self.staleness_bound
+        # Per-request sweep: with ideal channels nothing is ever in flight,
+        # so this stays O(1) instead of O(num_nodes) per request.
+        if self._pending_nodes:
+            for node_id in sorted(self._pending_nodes):
+                self._nodes[node_id].deliver_until(until)
+
+    def _process_write(self, request: Request) -> None:
+        self.datastore.write(request.key, request.time, request.value_size)
+        replicas = self.ring.nodes_for(request.key, self.replication.factor)
+        for position, node_id in enumerate(replicas):
+            self._nodes[node_id].observe_write(request, owner=position == 0)
+
+    def _process_read(self, request: Request) -> None:
+        replicas = self.ring.nodes_for(request.key, self.replication.factor)
+        node_id = self.router.choose_read_node(request.key, replicas)
+        self._nodes[node_id].handle_read(request)
+
+    def _finalize(self, events: List[ScenarioEvent], event_index: int) -> ClusterResult:
+        end_time = max(self.duration, self.clock.now)
+        while event_index < len(events) and events[event_index].time <= end_time:
+            event_index = self._apply_event(events, event_index)
+        self.clock.advance_to(end_time)
+        self._advance_background(end_time)
+        for node in self._node_list:
+            node.finalize(end_time, self.final_flush)
+
+        result = ClusterResult(
+            policy_name=self.policy_name,
+            workload_name=self.workload_name,
+            staleness_bound=self.staleness_bound,
+            duration=end_time,
+            num_nodes=len(self._node_list),
+            replication=self.replication.factor,
+            read_policy=self.replication.read_policy,
+            scenario=self.scenario.name,
+        )
+        result.nodes = [node.result for node in self._node_list]
+        result.rebalances = self._rebalances
+        result.finalize()
+        return result

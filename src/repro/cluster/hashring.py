@@ -1,0 +1,116 @@
+"""Consistent-hash ring with virtual nodes.
+
+The fleet shards the key space across cache nodes with consistent hashing:
+every node is hashed onto a 64-bit ring at ``vnodes`` points, and a key is
+owned by the first node clockwise from the key's own hash.  Replicas are the
+next distinct nodes along the ring.  Virtual nodes smooth the load split, and
+consistent hashing keeps rebalances minimal — when a node leaves, only the
+keys it owned move, which is what makes the node-failure scenarios meaningful
+(a naive ``hash % n`` would reshuffle the entire key space on every change).
+
+Hashing uses the same stable BLAKE2 fingerprint as the sketches
+(:func:`repro.sketch.hashing.stable_fingerprint`), so ring placement is
+deterministic across processes and Python invocations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, List, Tuple
+
+from repro.errors import ClusterError
+from repro.sketch.hashing import stable_fingerprint
+
+
+class ConsistentHashRing:
+    """Maps keys to nodes via consistent hashing with virtual nodes.
+
+    Args:
+        vnodes: Number of ring points per node.  More vnodes means a more
+            even key split at the cost of a larger ring (lookup stays
+            ``O(log(nodes * vnodes))``).
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        # Sorted list of (point, node_id) pairs; parallel structures keep
+        # lookup allocation-free.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[str]:
+        """Node ids currently on the ring, in insertion-independent order."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def add_node(self, node_id: str) -> None:
+        """Place ``node_id`` on the ring at its ``vnodes`` points."""
+        if node_id in self._nodes:
+            raise ClusterError(f"node {node_id!r} is already on the ring")
+        points = []
+        for vnode in range(self.vnodes):
+            point = stable_fingerprint(f"{node_id}#{vnode}")
+            insort(self._points, (point, node_id))
+            points.append(point)
+        self._nodes[node_id] = points
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove ``node_id`` and all its ring points."""
+        points = self._nodes.pop(node_id, None)
+        if points is None:
+            raise ClusterError(f"node {node_id!r} is not on the ring")
+        self._points = [pair for pair in self._points if pair[1] != node_id]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def primary(self, key: str) -> str:
+        """Return the node owning ``key``."""
+        return self.nodes_for(key, 1)[0]
+
+    def nodes_for(self, key: str, count: int) -> List[str]:
+        """Return up to ``count`` distinct nodes for ``key``, primary first.
+
+        Walks the ring clockwise from the key's hash, skipping duplicate
+        nodes, so the result is the primary followed by the replicas in ring
+        order.  Returns fewer than ``count`` nodes when the ring holds fewer
+        distinct nodes.
+
+        Raises:
+            ClusterError: If the ring is empty.
+        """
+        if not self._points:
+            raise ClusterError("hash ring is empty; no node can own any key")
+        if count < 1:
+            raise ClusterError(f"count must be >= 1, got {count}")
+        start = bisect_right(self._points, (stable_fingerprint(key), ""))
+        chosen: List[str] = []
+        seen = set()
+        total = len(self._points)
+        for offset in range(total):
+            _, node_id = self._points[(start + offset) % total]
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            chosen.append(node_id)
+            if len(chosen) == count:
+                break
+        return chosen
+
+    def ownership_counts(self, keys: List[str]) -> Dict[str, int]:
+        """Count how many of ``keys`` each node owns (for balance reporting)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.primary(key)] += 1
+        return counts

@@ -1,0 +1,106 @@
+"""Sketch-driven online hot-key detection (per shard).
+
+Each cache node watches its own slice of the request stream through a
+Count-min sketch with periodic decay and flags keys whose (approximate)
+access frequency exceeds ``hot_fraction`` of the node's recent traffic.  The
+cluster uses the flag to switch hot keys to a different freshness policy on
+that shard — e.g. push updates for flash-crowd keys while the long tail stays
+on cheap invalidates — which is the per-shard freshness decision the paper's
+single-cache model cannot express.
+
+Detection is frequency-based rather than E[W]-based on purpose: a key is
+"hot" when it dominates a shard's traffic, regardless of its read/write mix;
+what to *do* about it is then delegated to the configured hot policy, whose
+E[W] estimators (:mod:`repro.sketch`) see the same per-shard stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.errors import ClusterError
+from repro.sketch.countmin import CountMinSketch
+
+
+@dataclass(frozen=True, slots=True)
+class HotKeyConfig:
+    """Configuration of the per-shard hot-key detector.
+
+    Args:
+        hot_policy: Registry name of the freshness policy applied to hot keys.
+            ``None`` disables switching; hotness is then still checked (and
+            reported via ``hot_keys_flagged``) at every flush decision of a
+            write-reactive base policy.
+        hot_fraction: Minimum share of a shard's recent traffic a key must
+            hold to be flagged hot.
+        min_observations: Number of sketch observations before any key can be
+            flagged (avoids flagging on noise right after start or decay).
+        decay_every: Halve the sketch counters every this many interval
+            flushes, so "recent traffic" forgets old skew.
+        sketch_width: Width of the Count-min sketch.
+        sketch_depth: Depth of the Count-min sketch.
+    """
+
+    hot_policy: Optional[str] = "update"
+    hot_fraction: float = 0.02
+    min_observations: int = 200
+    decay_every: int = 8
+    sketch_width: int = 512
+    sketch_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ClusterError(
+                f"hot_fraction must be in (0, 1], got {self.hot_fraction}"
+            )
+        if self.min_observations < 1:
+            raise ClusterError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        if self.decay_every < 1:
+            raise ClusterError(f"decay_every must be >= 1, got {self.decay_every}")
+
+
+class HotKeyDetector:
+    """Online hot-key detection over one shard's request stream.
+
+    Args:
+        config: Detector thresholds and sketch dimensions.
+        seed: Seed for the sketch hash family (per-node, for independence).
+    """
+
+    def __init__(self, config: HotKeyConfig, seed: int = 0) -> None:
+        self.config = config
+        self._sketch = CountMinSketch(
+            width=config.sketch_width, depth=config.sketch_depth, seed=seed
+        )
+        self._intervals_since_decay = 0
+        #: Keys ever flagged hot on this shard (reporting only; the sketch
+        #: stays the single source of truth for *current* hotness).
+        self.flagged: Set[str] = set()
+
+    def observe(self, key: str) -> None:
+        """Record one access (read or write) to ``key`` on this shard."""
+        self._sketch.add(key)
+
+    def is_hot(self, key: str) -> bool:
+        """Whether ``key`` currently dominates this shard's recent traffic."""
+        total = self._sketch.total
+        if total < self.config.min_observations:
+            return False
+        if self._sketch.query(key) < self.config.hot_fraction * total:
+            return False
+        self.flagged.add(key)
+        return True
+
+    def end_interval(self) -> None:
+        """Advance the decay clock (called by the cluster at every flush)."""
+        self._intervals_since_decay += 1
+        if self._intervals_since_decay >= self.config.decay_every:
+            self._sketch.halve()
+            self._intervals_since_decay = 0
+
+    def memory_bytes(self) -> int:
+        """Memory of the detection sketch in bytes."""
+        return self._sketch.memory_bytes()

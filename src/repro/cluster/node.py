@@ -1,0 +1,400 @@
+"""A single cache node in the fleet.
+
+A :class:`CacheNode` owns one shard's worth of the system: its own cache and
+eviction state, its own freshness-policy instance (so per-shard ``E[W]``
+estimators see only the shard's traffic), its own backend-side write buffer
+and invalidation tracker, and its own :class:`~repro.backend.channel.Channel`
+to the shared versioned datastore.  The read path, lazy TTL accounting, and
+flush-time message accounting deliberately mirror
+:class:`repro.sim.simulation.Simulation` operation-for-operation: a one-node
+cluster with replication 1 produces byte-identical aggregate counters to the
+single-cache simulator, which is the equivalence the tests pin down.
+
+On top of the single-cache behaviour a node adds the cluster concerns:
+reachability (a failed-but-undetected node keeps serving its cache but can
+neither re-fetch nor receive freshness messages), purge-on-departure, and the
+per-shard hot-key detector that can route flush decisions to a different
+policy for hot keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.backend.buffer import WriteBuffer
+from repro.backend.channel import Channel
+from repro.backend.datastore import DataStore
+from repro.backend.invalidation_tracker import InvalidationTracker
+from repro.backend.messages import InvalidateMessage, Message, UpdateMessage
+from repro.cache.cache import Cache
+from repro.cache.entry import CacheEntry
+from repro.cache.eviction import EvictionPolicy
+from repro.cluster.hotkey import HotKeyDetector
+from repro.cluster.results import NodeResult
+from repro.core.cost_model import CostModel
+from repro.core.policy import Action, FreshnessPolicy, PolicyContext
+from repro.core.ttl import TTLPollingPolicy
+from repro.sim.events import PendingDelivery
+from repro.workload.base import Request
+
+
+class CacheNode:
+    """One shard: cache + policy + backend-side buffer/tracker + channel.
+
+    Args:
+        node_id: Stable identifier (also the node's hash-ring identity).
+        policy: This shard's freshness-policy instance (not shared).
+        staleness_bound: The bound ``T`` shared by the whole fleet.
+        costs: The fleet's cost model.
+        datastore: The shared versioned backend store.
+        cache_capacity: Per-node object capacity (``None`` = unbounded).
+        eviction: Per-node eviction policy instance.
+        channel: Backend-to-node message channel (never ``None`` in a
+            cluster, so scenarios can impose outages; an ideal channel is
+            instantaneous and lossless).
+        tracker_capacity: Capacity of this node's invalidated-key tracker.
+        hot_policy: Optional policy instance applied to keys the detector
+            currently flags hot on this shard.
+        detector: Optional per-shard hot-key detector.
+        discard_buffer_on_miss_fill: Same semantics as the single-cache
+            simulator, applied to this node's buffer.
+        pending_registry: Optional cluster-owned set of node ids with
+            messages in flight; lets the cluster skip the per-request
+            delivery sweep when nothing is pending anywhere in the fleet.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        policy: FreshnessPolicy,
+        staleness_bound: float,
+        costs: CostModel,
+        datastore: DataStore,
+        cache_capacity: Optional[int] = None,
+        eviction: Optional[EvictionPolicy] = None,
+        channel: Optional[Channel] = None,
+        tracker_capacity: Optional[int] = None,
+        hot_policy: Optional[FreshnessPolicy] = None,
+        detector: Optional[HotKeyDetector] = None,
+        discard_buffer_on_miss_fill: bool = True,
+        pending_registry: Optional[set] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.policy = policy
+        self.hot_policy = hot_policy
+        self.detector = detector
+        self.staleness_bound = float(staleness_bound)
+        self.costs = costs
+        self.datastore = datastore
+        self.channel = channel if channel is not None else Channel()
+        self.discard_buffer_on_miss_fill = discard_buffer_on_miss_fill
+
+        self.cache = Cache(capacity=cache_capacity, eviction=eviction, on_evict=self._on_evict)
+        self.buffer = WriteBuffer()
+        self.tracker = InvalidationTracker(capacity=tracker_capacity)
+        self.result = NodeResult(node_id=node_id, policy_name=policy.name)
+        self._pending: List[PendingDelivery] = []
+        self._pending_registry = pending_registry
+
+        #: Whether the node can talk to the backend (fetches and freshness
+        #: messages).  A failed-but-undetected node is unreachable yet still
+        #: serves reads from its cache.
+        self.reachable = True
+        #: Whether the node is currently on the hash ring.
+        self.in_ring = True
+
+        self._bind_policies()
+
+    # ------------------------------------------------------------------ #
+    # Policy plumbing
+    # ------------------------------------------------------------------ #
+    def _bind_policies(self) -> None:
+        context = PolicyContext(
+            costs=self.costs,
+            staleness_bound=self.staleness_bound,
+            cache=self.cache,
+            datastore=self.datastore,
+            tracker=self.tracker,
+            future=None,
+        )
+        self.policy.bind(context)
+        if self.hot_policy is not None:
+            self.hot_policy.bind(context)
+
+    @property
+    def reacts_to_writes(self) -> bool:
+        """Whether this node buffers writes for flush-time decisions."""
+        if self.policy.reacts_to_writes:
+            return True
+        return self.hot_policy is not None and self.hot_policy.reacts_to_writes
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def observe_write(self, request: Request, owner: bool) -> None:
+        """Record a backend write for which this node holds a replica.
+
+        Only the primary (``owner``) counts the write in its result so that
+        fleet totals count each workload request exactly once; every replica
+        observes it (estimators, detector) and dirties its buffer.
+        """
+        if owner:
+            self.result.writes += 1
+        if self.detector is not None:
+            self.detector.observe(request.key)
+        self.policy.observe_write(request.key, request.time)
+        if self.hot_policy is not None:
+            self.hot_policy.observe_write(request.key, request.time)
+        if self.reacts_to_writes:
+            self.buffer.record_write(
+                request.key,
+                request.time,
+                key_size=request.key_size,
+                value_size=request.value_size,
+            )
+
+    def handle_read(self, request: Request) -> None:
+        """Serve one read routed to this node (mirrors the single-cache path)."""
+        result = self.result
+        result.reads += 1
+        if self.detector is not None:
+            self.detector.observe(request.key)
+        self.policy.observe_read(request.key, request.time)
+        if self.hot_policy is not None:
+            self.hot_policy.observe_read(request.key, request.time)
+        value_size = self.datastore.value_size(request.key)
+        result.useful_work += self.costs.serve_cost(request.key_size, value_size)
+
+        self._settle_ttl_state(request.key, request.time)
+        entry, outcome = self.cache.lookup(request.key, request.time)
+        if outcome == "hit":
+            result.hits += 1
+            if not self.datastore.is_fresh(
+                request.key, entry.as_of, request.time, self.staleness_bound
+            ):
+                result.staleness_violations += 1
+            return
+
+        if not self.reachable:
+            # The node cannot reach the backend: the miss cannot be served.
+            # No cost is charged (no message was exchanged) and the cache is
+            # not filled; the miss still counts against the hit ratio.
+            result.failed_fetches += 1
+            if outcome == "stale_miss":
+                result.stale_misses += 1
+            else:
+                result.cold_misses += 1
+            return
+
+        version, backend_value_size = self.datastore.read(request.key, request.time)
+        if outcome == "stale_miss":
+            result.stale_misses += 1
+            result.stale_refetches += 1
+            result.freshness_cost += self.costs.miss_cost(
+                request.key_size, backend_value_size
+            )
+        else:
+            result.cold_misses += 1
+            result.cold_miss_cost += self.costs.miss_cost(
+                request.key_size, backend_value_size
+            )
+        self.cache.fill(
+            request.key,
+            version=version,
+            time=request.time,
+            key_size=request.key_size,
+            value_size=backend_value_size,
+        )
+        self.tracker.mark_refetched(request.key)
+        if self.discard_buffer_on_miss_fill and self.reacts_to_writes:
+            self.buffer.discard(request.key)
+
+    # ------------------------------------------------------------------ #
+    # Interval flush and message delivery
+    # ------------------------------------------------------------------ #
+    def flush(self, flush_time: float) -> None:
+        """Decide and send one freshness message per dirty key on this shard."""
+        for buffered in self.buffer.drain():
+            action = self._decide(buffered.key, flush_time)
+            if action is Action.NOTHING:
+                self.result.decisions_nothing += 1
+            elif action is Action.INVALIDATE:
+                self._send_invalidate(buffered.key, buffered.key_size, flush_time)
+            elif action is Action.UPDATE:
+                self._send_update(buffered.key, buffered.key_size, flush_time)
+        if self.detector is not None:
+            self.detector.end_interval()
+
+    def _decide(self, key: str, time: float) -> Action:
+        """Route the flush decision to the hot policy for hot keys.
+
+        Hotness is checked whenever a detector is present — even without a
+        hot policy — so detection-only runs still report flagged keys.
+        """
+        if self.detector is not None and self.detector.is_hot(key):
+            if self.hot_policy is not None:
+                self.result.hot_decisions += 1
+                return self.hot_policy.decide(key, time)
+        if not self.policy.reacts_to_writes:
+            # The base policy is TTL-driven; without a hot-policy hit there
+            # is no flush-time decision to make for this key.
+            return Action.NOTHING
+        return self.policy.decide(key, time)
+
+    def _send_invalidate(self, key: str, key_size: int, time: float) -> None:
+        if self.tracker.is_invalidated(key):
+            self.result.suppressed_invalidates += 1
+            return
+        self.result.invalidates_sent += 1
+        self.result.freshness_cost += self.costs.invalidate_cost(key_size)
+        self.tracker.mark_invalidated(key, time)
+        message = InvalidateMessage(
+            key=key,
+            sent_at=time,
+            key_size=key_size,
+            version=self.datastore.latest_version(key),
+        )
+        self._transmit(message)
+
+    def _send_update(self, key: str, key_size: int, time: float) -> None:
+        value_size = self.datastore.value_size(key)
+        self.result.updates_sent += 1
+        self.result.freshness_cost += self.costs.update_cost(key_size, value_size)
+        self.tracker.mark_refetched(key)
+        message = UpdateMessage(
+            key=key,
+            sent_at=time,
+            key_size=key_size,
+            value_size=value_size,
+            version=self.datastore.latest_version(key),
+        )
+        self._transmit(message)
+
+    def _transmit(self, message: Message) -> None:
+        record = self.channel.send(message)
+        if not record.delivered:
+            self.result.messages_dropped += 1
+            return
+        if record.deliver_at <= message.sent_at:
+            self._apply_message(message, message.sent_at)
+        else:
+            self._pending.append(PendingDelivery(message=message, deliver_at=record.deliver_at))
+            if self._pending_registry is not None:
+                self._pending_registry.add(self.node_id)
+
+    def deliver_until(self, until: float) -> None:
+        """Apply in-flight messages whose delivery time has arrived."""
+        if not self._pending:
+            return
+        remaining: List[PendingDelivery] = []
+        for pending in self._pending:
+            if pending.deliver_at <= until:
+                self._apply_message(pending.message, pending.deliver_at)
+            else:
+                remaining.append(pending)
+        self._pending = remaining
+        if not remaining and self._pending_registry is not None:
+            self._pending_registry.discard(self.node_id)
+
+    def _apply_message(self, message: Message, time: float) -> None:
+        if isinstance(message, UpdateMessage):
+            applied = self.cache.apply_update(
+                message.key, version=message.version, time=time, value_size=message.value_size
+            )
+            if not applied:
+                self.result.updates_wasted += 1
+        else:
+            self.cache.apply_invalidate(message.key, time)
+
+    # ------------------------------------------------------------------ #
+    # Lazy TTL accounting (same scheme as the single-cache simulator)
+    # ------------------------------------------------------------------ #
+    def _settle_ttl_state(self, key: str, now: float) -> None:
+        mode = self.policy.ttl_mode
+        if mode is None:
+            return
+        entry = self.cache.peek(key)
+        if entry is None:
+            return
+        if mode == "expiry":
+            if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
+                self.cache.expire(key)
+        elif mode == "polling":
+            self.account_polls(entry, now)
+
+    def account_polls(self, entry: CacheEntry, now: float) -> None:
+        """Charge the polls an entry performed since the last accounting point."""
+        policy = self.policy
+        if not isinstance(policy, TTLPollingPolicy):
+            return
+        polls = policy.polls_between(entry.fetched_at, entry.last_poll_accounted, now)
+        if polls <= 0:
+            return
+        self.result.polls += polls
+        self.result.freshness_cost += polls * self.costs.miss_cost(
+            entry.key_size, entry.value_size
+        )
+        last_poll = policy.last_poll_at_or_before(entry.fetched_at, now)
+        entry.last_poll_accounted = last_poll
+        entry.as_of = max(entry.as_of, last_poll)
+        entry.version = max(entry.version, self.datastore.version_at(entry.key, last_poll))
+
+    def _on_evict(self, entry: CacheEntry, time: float) -> None:
+        if self.policy.ttl_mode == "polling":
+            self.account_polls(entry, time)
+
+    # ------------------------------------------------------------------ #
+    # Scenario hooks: failure, departure, rejoin
+    # ------------------------------------------------------------------ #
+    def fail(self) -> None:
+        """Cut the node off from the backend (fail-silent, still serving).
+
+        Freshness messages already in flight are lost, new sends are dropped
+        at the channel, and misses can no longer re-fetch — but reads routed
+        here keep being served from the (increasingly stale) local cache
+        until the failure is detected and the ring rebalanced.
+        """
+        self.reachable = False
+        self.channel.outage = True
+        self.result.messages_dropped += len(self._pending)
+        self._drop_pending()
+
+    def depart(self, time: float) -> None:
+        """Leave the ring: the cache, buffer, and tracker state is lost."""
+        self.in_ring = False
+        self.result.departures += 1
+        if self.policy.ttl_mode == "polling":
+            for entry in list(self.cache.entries()):
+                self.account_polls(entry, time)
+        self.cache.clear()
+        self.buffer.drain()
+        self.tracker.clear()
+        self._drop_pending()
+
+    def _drop_pending(self) -> None:
+        self._pending.clear()
+        if self._pending_registry is not None:
+            self._pending_registry.discard(self.node_id)
+
+    def rejoin(self) -> None:
+        """Return to the ring cold (empty cache), reachable again."""
+        self.in_ring = True
+        self.reachable = True
+        self.channel.outage = False
+        self.result.joins += 1
+
+    # ------------------------------------------------------------------ #
+    # End of run
+    # ------------------------------------------------------------------ #
+    def finalize(self, end_time: float, final_flush: bool) -> None:
+        """Settle trailing deliveries, flushes, and lazy polling costs."""
+        if self.reacts_to_writes and final_flush and len(self.buffer):
+            self.flush(end_time)
+        self.deliver_until(end_time)
+        if self.policy.ttl_mode == "polling":
+            for entry in list(self.cache.entries()):
+                self.account_polls(entry, end_time)
+        self.result.duration = end_time
+        if self.detector is not None:
+            self.result.hot_keys_flagged = len(self.detector.flagged)
+        self.result.cache_stats = self.cache.stats.as_dict()

@@ -1,0 +1,70 @@
+"""Replication configuration and replica-read routing.
+
+Every key lives on ``factor`` distinct nodes: the ring primary plus the next
+``factor - 1`` nodes clockwise.  Writes dirty every replica (each replica's
+backend buffer records the key, and the fan-out at the interval flush sends
+one freshness message per replica).  Reads go to a single replica chosen by
+the read policy:
+
+* ``primary`` — always the ring primary (classic primary-copy caching),
+* ``round-robin`` — rotate across replicas per key, spreading hot-key load,
+* ``hash`` — a stable per-key choice among replicas (sticky but spread).
+
+All three are deterministic, which is what keeps cluster results reproducible
+regardless of how many worker processes ran the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ClusterError
+from repro.sketch.hashing import stable_fingerprint
+
+READ_POLICIES = ("primary", "round-robin", "hash")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationConfig:
+    """How many replicas each key has and how reads pick among them.
+
+    Args:
+        factor: Number of replicas per key (1 = no replication).
+        read_policy: One of :data:`READ_POLICIES`.
+    """
+
+    factor: int = 1
+    read_policy: str = "primary"
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ClusterError(f"replication factor must be >= 1, got {self.factor}")
+        if self.read_policy not in READ_POLICIES:
+            raise ClusterError(
+                f"read_policy must be one of {READ_POLICIES}, got {self.read_policy!r}"
+            )
+
+
+class ReplicaRouter:
+    """Stateful read routing across a key's replica set."""
+
+    def __init__(self, config: ReplicationConfig) -> None:
+        self.config = config
+        self._round_robin: Dict[str, int] = {}
+
+    def choose_read_node(self, key: str, replicas: List[str]) -> str:
+        """Pick the replica that serves the next read of ``key``.
+
+        ``replicas`` is the primary-first list from the hash ring; it may be
+        shorter than the configured factor when nodes have failed.
+        """
+        if not replicas:
+            raise ClusterError(f"no replica available for key {key!r}")
+        if len(replicas) == 1 or self.config.read_policy == "primary":
+            return replicas[0]
+        if self.config.read_policy == "hash":
+            return replicas[stable_fingerprint(key + "#read") % len(replicas)]
+        sequence = self._round_robin.get(key, 0)
+        self._round_robin[key] = sequence + 1
+        return replicas[sequence % len(replicas)]

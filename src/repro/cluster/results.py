@@ -1,0 +1,149 @@
+"""Per-node and fleet-level cluster results.
+
+Each :class:`~repro.cluster.node.CacheNode` accumulates a :class:`NodeResult`
+— the standard single-cache counters plus the cluster-only ones (failed
+fetches while unreachable, hot-key policy switches, membership churn).  At the
+end of a run :class:`ClusterResult` aggregates them into fleet totals using
+the same counter semantics as a single-cache run, so cluster rows and
+single-cache rows share a schema and can be compared column-for-column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass(slots=True)
+class NodeResult(SimulationResult):
+    """One cache node's counters for a cluster run."""
+
+    node_id: str = ""
+    #: Reads that could not re-fetch from the backend because the node was
+    #: unreachable (failed but not yet detected); they count as misses too.
+    failed_fetches: int = 0
+    #: Flush decisions delegated to the hot-key policy instead of the base
+    #: policy.
+    hot_decisions: int = 0
+    #: Distinct keys this shard's detector ever flagged hot.
+    hot_keys_flagged: int = 0
+    #: Ring membership churn observed by this node.
+    departures: int = 0
+    joins: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten, extending the single-cache schema with cluster counters."""
+        # Explicit parent call: ``dataclass(slots=True)`` rebuilds the class,
+        # which breaks zero-argument ``super()`` inside method bodies.
+        row = SimulationResult.as_dict(self)
+        row.update(
+            node_id=self.node_id,
+            failed_fetches=self.failed_fetches,
+            hot_decisions=self.hot_decisions,
+            hot_keys_flagged=self.hot_keys_flagged,
+            departures=self.departures,
+            joins=self.joins,
+        )
+        return row
+
+
+@dataclass(slots=True)
+class ClusterResult:
+    """Aggregated outcome of one cluster simulation."""
+
+    policy_name: str = ""
+    workload_name: str = ""
+    staleness_bound: float = 0.0
+    duration: float = 0.0
+    num_nodes: int = 0
+    replication: int = 1
+    read_policy: str = "primary"
+    scenario: str = "none"
+
+    #: Fleet totals with single-cache counter semantics (each workload
+    #: request counted exactly once across the fleet).
+    totals: SimulationResult = field(default_factory=SimulationResult)
+    #: Per-node results, in stable node-id order.
+    nodes: List[NodeResult] = field(default_factory=list)
+
+    # Fleet-only counters.
+    failed_fetches: int = 0
+    rebalances: int = 0
+    hot_decisions: int = 0
+    hot_keys_flagged: int = 0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean of per-node request load (1.0 = perfectly even).
+
+        Load counts the requests a node actually served or owned (reads
+        routed to it plus writes it was primary for); nodes that spent part
+        of the run out of the ring naturally weigh less.
+        """
+        loads = [node.reads + node.writes for node in self.nodes]
+        if not loads or sum(loads) == 0:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 0.0
+
+    def finalize(self) -> None:
+        """Recompute fleet totals and counters from the per-node results."""
+        self.totals = SimulationResult(
+            policy_name=self.policy_name,
+            workload_name=self.workload_name,
+            staleness_bound=self.staleness_bound,
+            duration=self.duration,
+        )
+        self.failed_fetches = 0
+        self.hot_decisions = 0
+        self.hot_keys_flagged = 0
+        for node in self.nodes:
+            self.totals.accumulate(node)
+            self.failed_fetches += node.failed_fetches
+            self.hot_decisions += node.hot_decisions
+            self.hot_keys_flagged += node.hot_keys_flagged
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten fleet totals plus cluster metadata for result rows.
+
+        The aggregate columns match :meth:`SimulationResult.as_dict`, so
+        cluster rows and single-cache rows are directly comparable; the
+        cluster-only columns and the compact per-node breakdown ride along.
+        """
+        row = self.totals.as_dict()
+        row.update(
+            num_nodes=self.num_nodes,
+            replication=self.replication,
+            read_policy=self.read_policy,
+            scenario=self.scenario,
+            failed_fetches=self.failed_fetches,
+            rebalances=self.rebalances,
+            hot_decisions=self.hot_decisions,
+            hot_keys_flagged=self.hot_keys_flagged,
+            load_imbalance=self.load_imbalance,
+            nodes=self.node_rows(),
+        )
+        return row
+
+    def node_rows(self) -> List[Dict[str, Any]]:
+        """Compact per-node breakdown (one dict per node, stable order)."""
+        return [
+            {
+                "node_id": node.node_id,
+                "reads": node.reads,
+                "writes": node.writes,
+                "hits": node.hits,
+                "stale_misses": node.stale_misses,
+                "cold_misses": node.cold_misses,
+                "staleness_violations": node.staleness_violations,
+                "failed_fetches": node.failed_fetches,
+                "messages_dropped": node.messages_dropped,
+                "invalidates_sent": node.invalidates_sent,
+                "updates_sent": node.updates_sent,
+                "hot_decisions": node.hot_decisions,
+                "freshness_cost": node.freshness_cost,
+            }
+            for node in self.nodes
+        ]

@@ -1,0 +1,352 @@
+"""Cluster failure and load scenarios.
+
+A scenario is a deterministic script of timed control-plane events (node
+failures, ring rebalances, partitions) plus an optional request transform
+(key-skew shifts).  The cluster applies events as simulated time passes, so a
+scenario cell replays identically for a fixed seed regardless of the worker
+schedule.
+
+Three scenarios ship, matching the fleet-scale questions the paper's single
+cache cannot ask:
+
+* ``node-failure`` — a node fails silently: it stops receiving freshness
+  messages and can no longer re-fetch, but keeps serving its local cache
+  until the failure detector fires and the ring rebalances around it; later
+  it rejoins cold.  The detection window is where stale serves spike — the
+  §5 lost-invalidate problem compounded by replication.
+* ``flash-crowd`` — at a shift point, a slice of the traffic stampedes onto
+  a handful of brand-new event keys (think a breaking-news object), moving
+  the hot set onto shards that have never seen those keys.
+* ``partition`` — the freshness channel to a subset of nodes turns lossy (or
+  fully drops) for a window; fetches still work, so the nodes serve and fill
+  normally while silently missing invalidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+from repro.sketch.hashing import stable_fingerprint
+from repro.workload.base import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import ClusterSimulation
+
+
+@dataclass(slots=True)
+class ScenarioEvent:
+    """One timed control-plane action applied to the cluster."""
+
+    time: float
+    label: str
+    apply: Callable[["ClusterSimulation", float], None] = field(repr=False)
+
+
+class Scenario:
+    """Base class: no events, identity transform."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.duration = 0.0
+        self.staleness_bound = 0.0
+        self.num_nodes = 0
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        """Resolve time defaults against the run's horizon and bound."""
+        self.duration = float(duration)
+        self.staleness_bound = float(staleness_bound)
+        self.num_nodes = int(num_nodes)
+
+    def events(self) -> List[ScenarioEvent]:
+        """Return the timed events, sorted by time."""
+        return []
+
+    def transform_request(self, request: Request) -> Request:
+        """Optionally rewrite a request before routing (default: identity)."""
+        return request
+
+    def describe(self) -> Dict[str, Any]:
+        """Scenario coordinates recorded next to the results."""
+        return {"name": self.name}
+
+
+class NodeFailureScenario(Scenario):
+    """Fail-silent node loss with delayed detection, rebalance, and rejoin.
+
+    Timeline (defaults as fractions of the run):
+
+    * ``fail_at`` (default ``0.4 * duration``) — the node loses its backend
+      connection: in-flight freshness messages are dropped, new ones bounce,
+      misses cannot re-fetch, but reads routed to it are still served from
+      its cache.
+    * ``detect_at`` (default ``fail_at + max(4 * T, 0.05 * duration)``) — the
+      failure detector fires: the node leaves the ring (its cache is purged)
+      and its keys move to the surviving nodes.
+    * ``recover_at`` (default ``0.75 * duration``; ``None`` disables) — the
+      node rejoins the ring with a cold cache.
+
+    Args:
+        node_index: Index of the node to fail (default 0).
+        fail_at / detect_at / recover_at: Absolute times overriding the
+            defaults above (``recover_at=None`` keeps the node out for good).
+    """
+
+    name = "node-failure"
+
+    _AUTO = "auto"
+
+    def __init__(
+        self,
+        node_index: int = 0,
+        fail_at: Optional[float] = None,
+        detect_at: Optional[float] = None,
+        recover_at: Optional[float] | str = _AUTO,
+    ) -> None:
+        super().__init__()
+        if node_index < 0:
+            raise ClusterError(f"node_index must be >= 0, got {node_index}")
+        self.node_index = int(node_index)
+        # Constructor arguments stay untouched; bind() resolves them into the
+        # ``fail_at``/``detect_at``/``recover_at`` timeline, so the same
+        # scenario instance can be re-bound to a different run.
+        self._fail_at_arg = fail_at
+        self._detect_at_arg = detect_at
+        self._recover_at_arg = recover_at
+        self.fail_at: float = 0.0
+        self.detect_at: float = 0.0
+        self.recover_at: Optional[float] = None
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        if self.node_index >= num_nodes:
+            raise ClusterError(
+                f"node_index {self.node_index} out of range for {num_nodes} nodes"
+            )
+        self.fail_at = 0.4 * duration if self._fail_at_arg is None else self._fail_at_arg
+        self.detect_at = (
+            self.fail_at + max(4.0 * staleness_bound, 0.05 * duration)
+            if self._detect_at_arg is None
+            else self._detect_at_arg
+        )
+        if self._recover_at_arg == self._AUTO:
+            self.recover_at = max(0.75 * duration, self.detect_at + staleness_bound)
+        else:
+            self.recover_at = self._recover_at_arg
+        if self.recover_at is not None and self.recover_at <= self.detect_at:
+            raise ClusterError("recover_at must be after detect_at")
+        if not self.fail_at < self.detect_at:
+            raise ClusterError("detect_at must be after fail_at")
+
+    def events(self) -> List[ScenarioEvent]:
+        index = self.node_index
+
+        def fail(cluster: "ClusterSimulation", time: float) -> None:
+            cluster.fail_node(index)
+
+        def detect(cluster: "ClusterSimulation", time: float) -> None:
+            cluster.remove_node(index, time)
+
+        def recover(cluster: "ClusterSimulation", time: float) -> None:
+            cluster.rejoin_node(index)
+
+        events = [
+            ScenarioEvent(time=self.fail_at, label="fail", apply=fail),
+            ScenarioEvent(time=self.detect_at, label="detect", apply=detect),
+        ]
+        if self.recover_at is not None:
+            events.append(ScenarioEvent(time=self.recover_at, label="recover", apply=recover))
+        return events
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "node_index": self.node_index,
+            "fail_at": self.fail_at,
+            "detect_at": self.detect_at,
+            "recover_at": self.recover_at,
+        }
+
+
+class FlashCrowdScenario(Scenario):
+    """Sudden traffic concentration onto a few brand-new keys.
+
+    After ``shift_at`` (default ``0.5 * duration``), each request is
+    redirected with probability ``fraction`` onto one of ``hot_keys`` event
+    keys.  Redirection is decided by a stable hash of the original key, so
+    the same trace shifts the same way in every run.  The event keys are new
+    to every shard: the crowd lands cold, concentrates load on the owning
+    shards, and — because redirected writes come with the crowd — gives the
+    per-shard hot-key detectors something real to catch.
+
+    Args:
+        shift_at: Absolute shift time (default half the run).
+        fraction: Share of post-shift traffic redirected, in (0, 1].
+        hot_keys: Number of event keys the crowd concentrates on.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        shift_at: Optional[float] = None,
+        fraction: float = 0.3,
+        hot_keys: int = 4,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < fraction <= 1.0:
+            raise ClusterError(f"fraction must be in (0, 1], got {fraction}")
+        if hot_keys < 1:
+            raise ClusterError(f"hot_keys must be >= 1, got {hot_keys}")
+        self._shift_at_arg = shift_at
+        self.shift_at: float = 0.0
+        self.fraction = float(fraction)
+        self.hot_keys = int(hot_keys)
+        self._threshold = int(self.fraction * 2**32)
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        self.shift_at = 0.5 * duration if self._shift_at_arg is None else self._shift_at_arg
+
+    def events(self) -> List[ScenarioEvent]:
+        def note(cluster: "ClusterSimulation", time: float) -> None:
+            # The transform does the work; the event only marks the shift in
+            # the event log for debuggability.
+            pass
+
+        return [ScenarioEvent(time=self.shift_at, label="shift", apply=note)]
+
+    def transform_request(self, request: Request) -> Request:
+        if request.time < self.shift_at:
+            return request
+        fingerprint = stable_fingerprint(request.key + "#crowd")
+        if (fingerprint & 0xFFFFFFFF) >= self._threshold:
+            return request
+        return replace(request, key=f"flash-{fingerprint % self.hot_keys}")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "shift_at": self.shift_at,
+            "fraction": self.fraction,
+            "hot_keys": self.hot_keys,
+        }
+
+
+class PartitionScenario(Scenario):
+    """Lossy freshness channel to a subset of nodes for a time window.
+
+    Between ``start_at`` and ``end_at`` the channel from the backend to each
+    affected node drops messages with probability ``loss`` (1.0 = total
+    outage).  Unlike ``node-failure``, fetches keep working: the nodes serve
+    and fill normally while silently missing invalidates and updates — the
+    paper's §5 guaranteed-delivery problem, scoped to part of the fleet.
+
+    Args:
+        node_indices: Indices of the affected nodes (default: node 0).
+        start_at: Window start (default ``0.3 * duration``).
+        end_at: Window end (default ``0.7 * duration``).
+        loss: Message loss probability inside the window.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        node_indices: Sequence[int] = (0,),
+        start_at: Optional[float] = None,
+        end_at: Optional[float] = None,
+        loss: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if not node_indices:
+            raise ClusterError("partition needs at least one node index")
+        if not 0.0 < loss <= 1.0:
+            raise ClusterError(f"loss must be in (0, 1], got {loss}")
+        self.node_indices = tuple(int(index) for index in node_indices)
+        self._start_at_arg = start_at
+        self._end_at_arg = end_at
+        self.start_at: float = 0.0
+        self.end_at: float = 0.0
+        self.loss = float(loss)
+        self._saved_loss: Dict[int, float] = {}
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        for index in self.node_indices:
+            if not 0 <= index < num_nodes:
+                raise ClusterError(f"node index {index} out of range for {num_nodes} nodes")
+        self.start_at = 0.3 * duration if self._start_at_arg is None else self._start_at_arg
+        self.end_at = 0.7 * duration if self._end_at_arg is None else self._end_at_arg
+        if not self.start_at < self.end_at:
+            raise ClusterError("partition end_at must be after start_at")
+        self._saved_loss.clear()
+
+    def events(self) -> List[ScenarioEvent]:
+        indices = self.node_indices
+
+        def start(cluster: "ClusterSimulation", time: float) -> None:
+            for index in indices:
+                channel = cluster.node_at(index).channel
+                if self.loss >= 1.0:
+                    channel.outage = True
+                else:
+                    self._saved_loss[index] = channel.loss_probability
+                    channel.loss_probability = self.loss
+
+        def end(cluster: "ClusterSimulation", time: float) -> None:
+            for index in indices:
+                channel = cluster.node_at(index).channel
+                if self.loss >= 1.0:
+                    channel.outage = False
+                else:
+                    channel.loss_probability = self._saved_loss.pop(index, 0.0)
+
+        return [
+            ScenarioEvent(time=self.start_at, label="partition-start", apply=start),
+            ScenarioEvent(time=self.end_at, label="partition-end", apply=end),
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "node_indices": list(self.node_indices),
+            "start_at": self.start_at,
+            "end_at": self.end_at,
+            "loss": self.loss,
+        }
+
+
+SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
+    "node-failure": NodeFailureScenario,
+    "flash-crowd": FlashCrowdScenario,
+    "partition": PartitionScenario,
+}
+
+
+def make_scenario(
+    name: str, params: Optional[Dict[str, Any] | Sequence[Tuple[str, Any]]] = None
+) -> Scenario:
+    """Build a scenario by registry name with keyword parameters.
+
+    Raises:
+        ClusterError: If the name is not registered.
+    """
+    if name in ("none", ""):
+        return Scenario()
+    try:
+        factory = SCENARIO_FACTORIES[name]
+    except KeyError as exc:
+        raise ClusterError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIO_FACTORIES)}"
+        ) from exc
+    kwargs = dict(params or {})
+    # Scenario parameters arriving from JSON/CLI use lists for sequences.
+    if "node_indices" in kwargs and isinstance(kwargs["node_indices"], list):
+        kwargs["node_indices"] = tuple(kwargs["node_indices"])
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ClusterError(f"invalid parameters for scenario {name!r}: {exc}") from exc

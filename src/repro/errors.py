@@ -29,3 +29,7 @@ class SketchError(ReproError):
 
 class BottleneckError(ReproError):
     """Raised when bottleneck probes cannot produce a measurement."""
+
+
+class ClusterError(ReproError):
+    """Raised when a cluster simulation is misconfigured or driven badly."""

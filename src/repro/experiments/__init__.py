@@ -38,6 +38,7 @@ from repro.experiments.spec import (
     ChannelSpec,
     ExperimentSpec,
     RunCell,
+    ScenarioSpec,
     WorkloadSpec,
     stable_cell_seed,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ExperimentSpec",
     "POLICY_FACTORIES",
     "RunCell",
+    "ScenarioSpec",
     "WORKLOAD_FACTORIES",
     "WorkloadSpec",
     "bench_policy",

@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from repro.cluster import ClusterSimulation, ReplicationConfig
 from repro.experiments.registry import make_policy
 from repro.sim.simulation import Simulation
 from repro.workload.poisson import PoissonZipfWorkload
@@ -43,28 +44,49 @@ def bench_policy(
     staleness_bound: float = 1.0,
     read_ratio: float = 0.9,
     seed: int = 0,
+    num_nodes: Optional[int] = None,
+    replication: int = 1,
 ) -> Dict[str, Any]:
-    """Replay a streamed trace of roughly ``num_requests`` under one policy."""
+    """Replay a streamed trace of roughly ``num_requests`` under one policy.
+
+    With ``num_nodes`` set the trace replays through a sharded
+    :class:`~repro.cluster.cluster.ClusterSimulation` instead of the
+    single-cache simulator, measuring the routing + fan-out overhead of the
+    fleet path (cluster replay throughput).
+    """
     rate_per_key = 100.0
     duration = num_requests / (rate_per_key * num_keys)
     workload = PoissonZipfWorkload(
         num_keys=num_keys, rate_per_key=rate_per_key, read_ratio=read_ratio, seed=seed
     )
-    simulation = Simulation(
-        workload=workload.iter_requests(duration),
-        policy=make_policy(policy_name),
-        staleness_bound=staleness_bound,
-        duration=duration,
-        workload_name=workload.name,
-    )
+    if num_nodes is None:
+        simulation = Simulation(
+            workload=workload.iter_requests(duration),
+            policy=make_policy(policy_name),
+            staleness_bound=staleness_bound,
+            duration=duration,
+            workload_name=workload.name,
+        )
+    else:
+        simulation = ClusterSimulation(
+            workload=workload.iter_requests(duration),
+            policy=policy_name,
+            num_nodes=num_nodes,
+            staleness_bound=staleness_bound,
+            replication=ReplicationConfig(factor=replication),
+            duration=duration,
+            workload_name=workload.name,
+            seed=seed,
+        )
     started = time.perf_counter()
-    result = simulation.run()
+    raw = simulation.run()
     elapsed = time.perf_counter() - started
+    result = raw.totals if num_nodes is not None else raw
     replayed = result.total_requests
     # Peak RSS is reported once per bench run, not per policy: ru_maxrss is a
     # process-wide monotone maximum, so a per-policy value would silently
     # include every earlier policy's footprint.
-    return {
+    row = {
         "policy": policy_name,
         "requests": replayed,
         "wall_seconds": elapsed,
@@ -73,6 +95,11 @@ def bench_policy(
         "normalized_staleness_cost": result.normalized_staleness_cost,
         "hit_ratio": result.hit_ratio,
     }
+    if num_nodes is not None:
+        row["num_nodes"] = num_nodes
+        row["replication"] = replication
+        row["load_imbalance"] = raw.load_imbalance
+    return row
 
 
 def run_bench(
@@ -83,11 +110,15 @@ def run_bench(
     seed: int = 0,
     output_dir: str | Path = ".",
     label: Optional[str] = None,
+    num_nodes: Optional[int] = None,
+    replication: int = 1,
 ) -> Dict[str, Any]:
     """Benchmark the streaming pipeline under several policies.
 
-    Writes a ``BENCH_<label>.json`` record into ``output_dir`` and returns its
-    contents (including the output path under ``"path"``).
+    With ``num_nodes`` set, benchmarks the cluster replay path instead of the
+    single-cache path.  Writes a ``BENCH_<label>.json`` record into
+    ``output_dir`` and returns its contents (including the output path under
+    ``"path"``).
     """
     results = [
         bench_policy(
@@ -96,6 +127,8 @@ def run_bench(
             num_keys=num_keys,
             staleness_bound=staleness_bound,
             seed=seed,
+            num_nodes=num_nodes,
+            replication=replication,
         )
         for policy in policies
     ]
@@ -110,6 +143,8 @@ def run_bench(
             "staleness_bound": staleness_bound,
             "seed": seed,
             "policies": list(policies),
+            "num_nodes": num_nodes,
+            "replication": replication,
         },
         "peak_rss_kib": peak_rss_kib(),
         "results": results,

@@ -18,6 +18,7 @@ import os
 from typing import Any, Dict, List, Optional
 
 from repro.backend.channel import Channel
+from repro.cluster import ClusterSimulation, HotKeyConfig, ReplicationConfig, make_scenario
 from repro.experiments.registry import make_cost_model, make_policy, make_workload
 from repro.experiments.spec import ExperimentSpec, RunCell
 from repro.sim.simulation import Simulation
@@ -26,10 +27,13 @@ from repro.sim.simulation import Simulation
 def run_cell(cell: RunCell) -> Dict[str, Any]:
     """Execute one grid cell and return its flattened result row.
 
-    The workload streams straight from its generator into the simulator; the
-    channel (when present) is seeded from the cell seed so loss and jitter are
-    reproducible as well.
+    Cells with ``num_nodes`` set run a :class:`ClusterSimulation`; the rest
+    run the single-cache :class:`Simulation`.  The workload streams straight
+    from its generator into the simulator; channels are seeded from the cell
+    seed so loss and jitter are reproducible as well.
     """
+    if cell.num_nodes is not None:
+        return _run_cluster_cell(cell)
     workload = make_workload(cell.workload, seed=cell.seed, params=dict(cell.workload_params))
     policy = make_policy(cell.policy)
     costs = make_cost_model(cell.cost_preset, dict(cell.cost_params))
@@ -53,6 +57,41 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
     )
     row = dict(cell.describe())
     row.update(simulation.run().as_dict())
+    return row
+
+
+def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
+    """Execute one cluster grid cell (sharded fleet simulation)."""
+    workload = make_workload(cell.workload, seed=cell.seed, params=dict(cell.workload_params))
+    costs = make_cost_model(cell.cost_preset, dict(cell.cost_params))
+    scenario = (
+        make_scenario(cell.scenario.name, cell.scenario.params_dict())
+        if cell.scenario is not None
+        else None
+    )
+    hotkey = (
+        HotKeyConfig(hot_policy=cell.hot_policy, hot_fraction=cell.hot_fraction)
+        if cell.hot_policy is not None
+        else None
+    )
+    cluster = ClusterSimulation(
+        workload=workload.iter_requests(cell.duration),
+        policy=cell.policy,
+        num_nodes=cell.num_nodes,
+        staleness_bound=cell.staleness_bound,
+        costs=costs,
+        replication=ReplicationConfig(factor=cell.replication, read_policy=cell.read_policy),
+        cache_capacity=cell.cache_capacity,
+        channel=cell.channel,
+        scenario=scenario,
+        hotkey=hotkey,
+        duration=cell.duration,
+        workload_name=workload.name,
+        vnodes=cell.vnodes,
+        seed=cell.seed,
+    )
+    row = dict(cell.describe())
+    row.update(cluster.run().as_dict())
     return row
 
 

@@ -39,6 +39,34 @@ class ChannelSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A cluster-scenario axis entry: registry name plus parameters.
+
+    Kept declarative (a name and primitive parameters) so cells stay
+    picklable and serialisable; the runner materialises the actual
+    :class:`~repro.cluster.scenarios.Scenario` via
+    :func:`repro.cluster.scenarios.make_scenario`.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, params: Optional[Mapping[str, Any]] = None) -> "ScenarioSpec":
+        """Build a spec from a name and a parameter mapping."""
+        items = tuple(sorted((params or {}).items()))
+        return cls(name=name, params=items)
+
+    def params_dict(self) -> Dict[str, Any]:
+        """Return the parameters as a plain dict."""
+        return dict(self.params)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to primitives for serialisation."""
+        return {"name": self.name, "params": dict(self.params)}
+
+
+@dataclass(frozen=True, slots=True)
 class WorkloadSpec:
     """A workload axis entry: registry name plus constructor parameters."""
 
@@ -80,6 +108,16 @@ class RunCell:
     seed: int
     cost_preset: str = "fixed"
     cost_params: Tuple[Tuple[str, Any], ...] = ()
+    # Cluster coordinates.  ``num_nodes=None`` means a single-cache cell
+    # executed by the plain Simulation; any integer switches the cell to a
+    # ClusterSimulation with that fleet size.
+    num_nodes: Optional[int] = None
+    replication: int = 1
+    read_policy: str = "primary"
+    scenario: Optional[ScenarioSpec] = None
+    hot_policy: Optional[str] = None
+    hot_fraction: float = 0.02
+    vnodes: int = 64
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -95,6 +133,12 @@ class RunCell:
             "duration": self.duration,
             "seed": self.seed,
             "cost_preset": self.cost_preset,
+            "num_nodes": self.num_nodes,
+            "replication": self.replication,
+            "read_policy": self.read_policy,
+            "scenario": self.scenario.name if self.scenario is not None else "none",
+            "scenario_params": dict(self.scenario.params) if self.scenario is not None else {},
+            "hot_policy": self.hot_policy,
         }
 
 
@@ -135,6 +179,16 @@ class ExperimentSpec:
         staleness_bounds: Staleness bounds ``T`` in seconds.
         cache_capacities: Cache capacity axis (``None`` = unbounded).
         channels: Channel axis (``None`` = ideal channel).
+        num_nodes: Fleet-size axis; ``None`` entries are single-cache cells,
+            integers are cluster cells (default: single-cache only).
+        replications: Replication-factor axis for cluster cells.
+        scenarios: Cluster-scenario axis; entries are ``None`` (steady
+            state), registry names, or :class:`ScenarioSpec` instances.
+        read_policy: Replica-read routing for cluster cells (not an axis).
+        hot_policy: Hot-key policy name for cluster cells (``None`` disables
+            hot-key switching; not an axis).
+        hot_fraction: Hot-key detection threshold for cluster cells.
+        vnodes: Virtual nodes per cluster node on the hash ring.
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -147,6 +201,13 @@ class ExperimentSpec:
     staleness_bounds: Sequence[float]
     cache_capacities: Sequence[Optional[int]] = (None,)
     channels: Sequence[Optional[ChannelSpec]] = (None,)
+    num_nodes: Sequence[Optional[int]] = (None,)
+    replications: Sequence[int] = (1,)
+    scenarios: Sequence[Union[None, str, ScenarioSpec]] = (None,)
+    read_policy: str = "primary"
+    hot_policy: Optional[str] = None
+    hot_fraction: float = 0.02
+    vnodes: int = 64
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -161,6 +222,44 @@ class ExperimentSpec:
             raise ConfigurationError("an experiment needs at least one staleness bound")
         if self.duration <= 0:
             raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        for nodes in self.num_nodes:
+            if nodes is not None and nodes < 1:
+                raise ConfigurationError(f"num_nodes entries must be >= 1, got {nodes}")
+        for factor in self.replications:
+            if factor < 1:
+                raise ConfigurationError(f"replication factors must be >= 1, got {factor}")
+        # Cross-check the cluster axes up front: a bad combination would
+        # otherwise only surface inside a worker mid-sweep, losing every
+        # already-computed row.
+        cluster_sizes = [nodes for nodes in self.num_nodes if nodes is not None]
+        if cluster_sizes:
+            smallest, largest_factor = min(cluster_sizes), max(self.replications)
+            if largest_factor > smallest:
+                raise ConfigurationError(
+                    f"replication factor {largest_factor} exceeds the smallest "
+                    f"fleet size {smallest} on the num_nodes axis"
+                )
+            # Clairvoyant policies cannot run in cluster mode (no future
+            # index is built); reject them before the sweep starts.
+            from repro.experiments.registry import make_policy
+
+            hot_policies = [self.hot_policy] if self.hot_policy is not None else []
+            for policy in list(self.policies) + hot_policies:
+                if make_policy(policy).needs_future:
+                    raise ConfigurationError(
+                        f"clairvoyant policy {policy!r} is not supported in "
+                        "cluster cells (num_nodes axis)"
+                    )
+        wants_cluster_features = self.hot_policy is not None or any(
+            scenario not in (None, "none", "") for scenario in self.scenarios
+        )
+        if wants_cluster_features and len(cluster_sizes) != len(self.num_nodes):
+            raise ConfigurationError(
+                "scenarios and hot_policy only apply to cluster cells; every "
+                "num_nodes entry must be an integer fleet size (got "
+                f"{list(self.num_nodes)}) or the single-cache rows would be "
+                "labeled with a scenario that never ran"
+            )
 
     def normalized_workloads(self) -> List[WorkloadSpec]:
         """Return the workload axis with bare names promoted to specs."""
@@ -168,6 +267,18 @@ class ExperimentSpec:
             workload if isinstance(workload, WorkloadSpec) else WorkloadSpec.of(workload)
             for workload in self.workloads
         ]
+
+    def normalized_scenarios(self) -> List[Optional[ScenarioSpec]]:
+        """Return the scenario axis with bare names promoted to specs."""
+        normalized: List[Optional[ScenarioSpec]] = []
+        for scenario in self.scenarios:
+            if scenario is None or isinstance(scenario, ScenarioSpec):
+                normalized.append(scenario)
+            elif scenario in ("none", ""):
+                normalized.append(None)
+            else:
+                normalized.append(ScenarioSpec.of(scenario))
+        return normalized
 
     @property
     def num_cells(self) -> int:
@@ -178,6 +289,9 @@ class ExperimentSpec:
             * len(self.staleness_bounds)
             * len(self.cache_capacities)
             * len(self.channels)
+            * len(self.num_nodes)
+            * len(self.replications)
+            * len(self.scenarios)
         )
 
     def expand(self) -> List[RunCell]:
@@ -189,9 +303,21 @@ class ExperimentSpec:
             self.staleness_bounds,
             self.cache_capacities,
             self.channels,
+            self.num_nodes,
+            self.replications,
+            self.normalized_scenarios(),
             self.policies,
         )
-        for cell_id, (workload, bound, capacity, channel, policy) in enumerate(grid):
+        for cell_id, (
+            workload,
+            bound,
+            capacity,
+            channel,
+            nodes,
+            replication,
+            scenario,
+            policy,
+        ) in enumerate(grid):
             seed = stable_cell_seed(self.base_seed, workload.name, workload.params, self.duration)
             cells.append(
                 RunCell(
@@ -207,6 +333,13 @@ class ExperimentSpec:
                     seed=seed,
                     cost_preset=self.cost_preset,
                     cost_params=cost_params,
+                    num_nodes=nodes,
+                    replication=int(replication),
+                    read_policy=self.read_policy,
+                    scenario=scenario,
+                    hot_policy=self.hot_policy,
+                    hot_fraction=self.hot_fraction,
+                    vnodes=self.vnodes,
                 )
             )
         return cells

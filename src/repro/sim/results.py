@@ -54,6 +54,50 @@ class SimulationResult:
     # Cache-level statistics snapshot (filled at the end of the run).
     cache_stats: Dict[str, float] = field(default_factory=dict)
 
+    #: Counter fields summed when accumulating results across shards.
+    ACCUMULATED_FIELDS = (
+        "reads",
+        "writes",
+        "hits",
+        "stale_misses",
+        "cold_misses",
+        "freshness_cost",
+        "cold_miss_cost",
+        "useful_work",
+        "invalidates_sent",
+        "updates_sent",
+        "updates_wasted",
+        "suppressed_invalidates",
+        "decisions_nothing",
+        "polls",
+        "stale_refetches",
+        "messages_dropped",
+        "staleness_violations",
+    )
+
+    def accumulate(self, other: "SimulationResult") -> None:
+        """Add another result's counters into this one (fleet aggregation).
+
+        Identity fields (policy, workload, bound, duration) are left
+        untouched.  ``cache_stats`` counters are summed key-wise; the derived
+        per-cache ratios are recomputed from the summed counters (summing
+        ratios across shards would be meaningless).
+        """
+        for name in self.ACCUMULATED_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        stats = self.cache_stats
+        for key, value in other.cache_stats.items():
+            if key.endswith("_ratio"):
+                continue
+            stats[key] = stats.get(key, 0) + value
+        lookups = stats.get("lookups", 0)
+        hits = stats.get("hits", 0)
+        stale = stats.get("stale_misses", 0)
+        cold = stats.get("cold_misses", 0)
+        stats["hit_ratio"] = hits / lookups if lookups else 0.0
+        stats["miss_ratio"] = (stale + cold) / lookups if lookups else 0.0
+        stats["stale_miss_ratio"] = stale / (hits + stale) if hits + stale else 0.0
+
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #

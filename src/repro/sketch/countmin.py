@@ -61,6 +61,19 @@ class CountMinSketch:
         """Memory of the counter table in bytes."""
         return int(self._table.nbytes)
 
+    def halve(self) -> None:
+        """Halve every counter (and the total), rounding down.
+
+        Periodic halving turns the sketch into an exponentially-decayed
+        frequency estimate, which is what lets an online hot-key detector
+        track *current* popularity instead of all-time popularity — a key
+        whose traffic evaporates stops looking hot after a few decay rounds.
+        The halved ``total`` is approximate (floor division loses at most one
+        unit per key per round), which is acceptable for thresholding.
+        """
+        np.floor_divide(self._table, 2, out=self._table)
+        self.total //= 2
+
     def reset(self) -> None:
         """Zero every counter."""
         self._table.fill(0)

@@ -40,8 +40,11 @@ class HashFamily:
         self.depth = int(depth)
         self.width = int(width)
         rng = np.random.default_rng(seed)
-        self._multipliers = [int(rng.integers(1, _MASK64)) | 1 for _ in range(depth)]
-        self._offsets = [int(rng.integers(0, _MASK64)) for _ in range(depth)]
+        # dtype=uint64: the 64-bit bounds overflow numpy's default int64.
+        self._multipliers = [
+            int(rng.integers(1, _MASK64, dtype=np.uint64)) | 1 for _ in range(depth)
+        ]
+        self._offsets = [int(rng.integers(0, _MASK64, dtype=np.uint64)) for _ in range(depth)]
 
     def indices(self, key: str) -> List[int]:
         """Return the column index of ``key`` in each row."""

@@ -1,0 +1,172 @@
+"""Bottleneck detection: thresholding, fallback, and procfs parsing."""
+
+import pytest
+
+from repro.bottleneck import (
+    Bottleneck,
+    BottleneckDetector,
+    ResourceProbe,
+    SyntheticProcFS,
+    UtilizationSnapshot,
+)
+from repro.bottleneck.procfs import ProcFS
+from repro.errors import BottleneckError, ConfigurationError
+
+
+# --------------------------------------------------------------------- #
+# Detector
+# --------------------------------------------------------------------- #
+def snapshot(cpu: float = 0.0, network: float = 0.0, disk: float = 0.0) -> UtilizationSnapshot:
+    return UtilizationSnapshot(cpu=cpu, network=network, disk=disk)
+
+
+def test_detector_picks_the_most_loaded_resource_above_threshold() -> None:
+    detector = BottleneckDetector(threshold=0.7)
+    assert detector.detect(snapshot(cpu=0.9, network=0.3)) is Bottleneck.CPU
+    assert detector.detect(snapshot(network=0.95, disk=0.8)) is Bottleneck.NETWORK
+    assert detector.detect(snapshot(disk=0.75)) is Bottleneck.DISK
+
+
+def test_detector_tie_break_prefers_cpu_then_network_then_disk() -> None:
+    detector = BottleneckDetector(threshold=0.5)
+    # Exact ties resolve in candidate order (CPU, NETWORK, DISK), which
+    # matches the paper's prototype checking CPU first.
+    assert detector.detect(snapshot(cpu=0.8, network=0.8, disk=0.8)) is Bottleneck.CPU
+    assert detector.detect(snapshot(network=0.8, disk=0.8)) is Bottleneck.NETWORK
+
+
+def test_unconstrained_system_reports_none_without_label() -> None:
+    detector = BottleneckDetector(threshold=0.7)
+    assert detector.detect(snapshot(cpu=0.5, network=0.5, disk=0.5)) is Bottleneck.NONE
+
+
+def test_unconstrained_system_falls_back_to_offline_label() -> None:
+    detector = BottleneckDetector(threshold=0.7, manual_label=Bottleneck.NETWORK)
+    assert detector.detect(snapshot(cpu=0.2)) is Bottleneck.NETWORK
+    # The live measurement still wins when something is actually loaded.
+    assert detector.detect(snapshot(disk=0.9)) is Bottleneck.DISK
+
+
+def test_detector_threshold_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        BottleneckDetector(threshold=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Probe parsing against canned real-format snapshots
+# --------------------------------------------------------------------- #
+class CannedProcFS(ProcFS):
+    """Literal file contents copied from real /proc formats."""
+
+    def __init__(self, files: dict) -> None:
+        self.files = files
+
+    def read(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError as exc:
+            raise BottleneckError(f"no canned file {path}") from exc
+
+
+CANNED_STAT = (
+    "cpu  300 20 180 900 50 10 40 0 0 0\n"
+    "cpu0 150 10 90 450 25 5 20 0 0 0\n"
+    "intr 123456 0 0\n"
+    "ctxt 987654\n"
+)
+
+CANNED_NET_DEV = (
+    "Inter-|   Receive                                                |  Transmit\n"
+    " face |bytes    packets errs drop fifo frame compressed multicast|bytes"
+    "    packets errs drop fifo colls carrier compressed\n"
+    "    lo: 5000000  1000    0    0    0     0          0         0  5000000"
+    "  1000    0    0    0     0       0          0\n"
+    "  eth0: 1000000  8000    0    0    0     0          0         0   250000"
+    "  4000    0    0    0     0       0          0\n"
+    "  eth1:  500000  2000    0    0    0     0          0         0   250000"
+    "  1000    0    0    0     0       0          0\n"
+)
+
+CANNED_DISKSTATS = (
+    "   8       0 sda 5000 100 80000 3000 2000 50 40000 1500 0 2500 4500\n"
+    "   8       1 sda1 4000 90 60000 2500 1800 40 35000 1300 0 2000 3800\n"
+    " 259       0 nvme0n1 9000 10 120000 1000 4000 5 64000 900 0 1500 1900\n"
+)
+
+
+def canned_probe(**kwargs) -> ResourceProbe:
+    return ResourceProbe(
+        procfs=CannedProcFS(
+            {
+                "/proc/stat": CANNED_STAT,
+                "/proc/net/dev": CANNED_NET_DEV,
+                "/proc/diskstats": CANNED_DISKSTATS,
+            }
+        ),
+        **kwargs,
+    )
+
+
+def test_cpu_sample_sums_busy_fields_from_the_aggregate_line() -> None:
+    sample = canned_probe().sample_cpu()
+    # busy = user + nice + system + irq + softirq from the "cpu " line only.
+    assert sample.busy == 300 + 20 + 180 + 10 + 40
+    assert sample.idle == 900
+    assert sample.iowait == 50
+
+
+def test_network_sample_sums_interfaces_and_skips_loopback() -> None:
+    sample = canned_probe().sample_network()
+    assert sample.rx_bytes == 1000000 + 500000
+    assert sample.tx_bytes == 250000 + 250000
+
+
+def test_disk_sample_skips_partitions_but_keeps_nvme_whole_devices() -> None:
+    sample = canned_probe().sample_disk()
+    # sda counts, sda1 is a partition (skipped), nvme0n1 is a whole device.
+    assert sample.sectors_read == 80000 + 120000
+    assert sample.sectors_written == 40000 + 64000
+
+
+def test_malformed_cpu_line_raises() -> None:
+    probe = ResourceProbe(procfs=CannedProcFS({"/proc/stat": "cpu  1 2\n"}))
+    with pytest.raises(BottleneckError):
+        probe.sample_cpu()
+
+
+def test_missing_aggregate_cpu_line_raises() -> None:
+    probe = ResourceProbe(procfs=CannedProcFS({"/proc/stat": "cpu0 1 2 3 4 5\n"}))
+    with pytest.raises(BottleneckError):
+        probe.sample_cpu()
+
+
+# --------------------------------------------------------------------- #
+# Utilisation between samples (synthetic procfs end-to-end)
+# --------------------------------------------------------------------- #
+def test_utilization_between_synthetic_samples() -> None:
+    procfs = SyntheticProcFS()
+    probe = ResourceProbe(
+        procfs=procfs,
+        network_capacity_bytes_per_sec=1e6,
+        disk_capacity_bytes_per_sec=1e6,
+    )
+    cpu0, net0, disk0 = probe.sample_cpu(), probe.sample_network(), probe.sample_disk()
+    procfs.set_cpu(busy_jiffies=80, idle_jiffies=20)
+    procfs.set_network("eth0", rx_bytes=300_000, tx_bytes=200_000)
+    procfs.set_disk("sda", sectors_read=400, sectors_written=600)
+    cpu1, net1, disk1 = probe.sample_cpu(), probe.sample_network(), probe.sample_disk()
+
+    snap = probe.utilization_between(cpu0, cpu1, net0, net1, disk0, disk1, elapsed_seconds=1.0)
+    assert snap.cpu == pytest.approx(0.8)
+    assert snap.network == pytest.approx(0.5)
+    assert snap.disk == pytest.approx(512 * 1000 / 1e6)
+    assert BottleneckDetector(threshold=0.7).detect(snap) is Bottleneck.CPU
+
+
+def test_utilization_requires_positive_elapsed_time() -> None:
+    probe = canned_probe()
+    sample = probe.sample_cpu()
+    net = probe.sample_network()
+    disk = probe.sample_disk()
+    with pytest.raises(BottleneckError):
+        probe.utilization_between(sample, sample, net, net, disk, disk, elapsed_seconds=0.0)

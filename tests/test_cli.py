@@ -44,6 +44,55 @@ def test_sweep_writes_csv_and_json(tmp_path, capsys) -> None:
     assert len(document["results"]) == 4
 
 
+def test_cluster_sweep_runs_scenarios_and_exports(tmp_path, capsys) -> None:
+    json_path = tmp_path / "fleet.json"
+    exit_code = main(
+        [
+            "cluster",
+            "--nodes", "8",
+            "--replication", "2",
+            "--scenario", "node-failure",
+            "--policies", "invalidate",
+            "--bounds", "0.5",
+            "--duration", "6.0",
+            "--param", "num_keys=100",
+            "--hot-policy", "update",
+            "--processes", "1",
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    document = json.loads(json_path.read_text())
+    (row,) = document["results"]
+    assert row["num_nodes"] == 8
+    assert row["replication"] == 2
+    assert row["scenario"] == "node-failure"
+    assert row["rebalances"] == 2
+    assert len(row["nodes"]) == 8
+    assert row["reads"] + row["writes"] > 0
+
+
+def test_cluster_bench_mode_writes_record(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "invalidate,adaptive",
+            "--requests", "3000",
+            "--keys", "100",
+            "--nodes", "4",
+            "--replication", "2",
+            "--output-dir", str(tmp_path),
+            "--label", "cluster",
+        ]
+    )
+    assert exit_code == 0
+    record = json.loads((tmp_path / "BENCH_cluster.json").read_text())
+    assert record["config"]["num_nodes"] == 4
+    for result in record["results"]:
+        assert result["num_nodes"] == 4
+        assert result["requests_per_sec"] > 0
+
+
 def test_bench_emits_bench_json_for_three_plus_policies(tmp_path, capsys) -> None:
     exit_code = main(
         [

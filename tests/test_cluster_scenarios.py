@@ -1,0 +1,190 @@
+"""Scenario engine: node failure, partition, flash crowd, and the grid axes."""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterSimulation, ReplicationConfig, make_scenario
+from repro.errors import ClusterError
+from repro.experiments import ExperimentSpec, ScenarioSpec, run_experiment
+from repro.workload.poisson import PoissonZipfWorkload
+
+DURATION = 12.0
+BOUND = 0.5
+
+
+def run_scenario(scenario_name, policy: str = "invalidate", **scenario_params):
+    workload = PoissonZipfWorkload(num_keys=300, rate_per_key=20.0, seed=7)
+    scenario = (
+        make_scenario(scenario_name, scenario_params) if scenario_name else None
+    )
+    cluster = ClusterSimulation(
+        workload=workload.iter_requests(DURATION),
+        policy=policy,
+        num_nodes=8,
+        staleness_bound=BOUND,
+        replication=ReplicationConfig(factor=2, read_policy="round-robin"),
+        scenario=scenario,
+        duration=DURATION,
+        workload_name="poisson",
+        seed=7,
+    )
+    return cluster.run()
+
+
+def test_node_failure_produces_stale_serve_spike_vs_ideal_baseline() -> None:
+    """The acceptance check: failed-but-undetected nodes serve stale data."""
+    baseline = run_scenario(None)
+    failure = run_scenario("node-failure")
+    # Ideal channels + write-reactive invalidation keep the baseline clean.
+    assert baseline.totals.staleness_violations == 0
+    assert failure.totals.staleness_violations > 0
+    # The spike is attributable to the failure machinery: dropped freshness
+    # messages, fetches that could not reach the backend, and a rebalance
+    # when the detector fired plus one when the node rejoined.
+    assert failure.totals.messages_dropped > 0
+    assert failure.failed_fetches > 0
+    assert failure.rebalances == 2
+
+
+def test_node_failure_concentrates_staleness_on_the_failed_node() -> None:
+    failure = run_scenario("node-failure", node_index=2)
+    failed_node = failure.nodes[2]
+    others = [node for index, node in enumerate(failure.nodes) if index != 2]
+    assert failed_node.staleness_violations > max(
+        node.staleness_violations for node in others
+    )
+    assert failed_node.departures == 1
+    assert failed_node.joins == 1
+
+
+def test_partition_loses_invalidates_but_keeps_serving() -> None:
+    baseline = run_scenario(None)
+    partition = run_scenario("partition", node_indices=(0, 1))
+    assert partition.totals.messages_dropped > 0
+    assert partition.totals.staleness_violations > baseline.totals.staleness_violations
+    # Unlike node-failure, fetches keep working: no failed fetches, no churn.
+    assert partition.failed_fetches == 0
+    assert partition.rebalances == 0
+
+
+def test_flash_crowd_moves_traffic_onto_event_keys() -> None:
+    baseline = run_scenario(None)
+    crowd = run_scenario("flash-crowd", fraction=0.4, hot_keys=2)
+    # The event keys are new to every shard: the crowd lands cold.
+    assert crowd.totals.cold_misses > baseline.totals.cold_misses
+    # Redirected requests are conserved, just re-keyed.
+    assert crowd.totals.reads == baseline.totals.reads
+    assert crowd.totals.writes == baseline.totals.writes
+
+
+def test_scenario_instances_can_be_rebound_to_a_different_run() -> None:
+    scenario = make_scenario("node-failure")
+    scenario.bind(duration=20.0, staleness_bound=0.5, num_nodes=4)
+    first = scenario.describe()
+    scenario.bind(duration=5.0, staleness_bound=0.5, num_nodes=4)
+    second = scenario.describe()
+    # Relative defaults are recomputed from the new horizon, not baked in.
+    assert first["fail_at"] == pytest.approx(8.0)
+    assert second["fail_at"] == pytest.approx(2.0)
+    assert second["detect_at"] < 5.0
+
+
+def test_fleet_cache_stats_ratios_are_recomputed_not_summed() -> None:
+    result = run_scenario(None)
+    stats = result.totals.cache_stats
+    assert 0.0 <= stats["hit_ratio"] <= 1.0
+    assert 0.0 <= stats["miss_ratio"] <= 1.0
+    assert stats["hit_ratio"] == pytest.approx(stats["hits"] / stats["lookups"])
+
+
+def test_scenarios_validate_their_timelines() -> None:
+    with pytest.raises(ClusterError):
+        make_scenario("no-such-scenario")
+    with pytest.raises(ClusterError):
+        # Wrong parameter for this scenario: a clean error, not a TypeError.
+        make_scenario("node-failure", {"loss": 0.5})
+    with pytest.raises(ClusterError):
+        run_scenario("node-failure", fail_at=5.0, detect_at=4.0)
+    with pytest.raises(ClusterError):
+        run_scenario("partition", start_at=8.0, end_at=2.0)
+    with pytest.raises(ClusterError):
+        run_scenario("node-failure", node_index=99)
+
+
+def test_cluster_grid_axes_expand_and_run_identically_across_processes() -> None:
+    spec = ExperimentSpec(
+        name="fleet",
+        policies=["invalidate"],
+        workloads=["poisson"],
+        staleness_bounds=[BOUND],
+        num_nodes=[4, 8],
+        replications=[2],
+        scenarios=[None, ScenarioSpec.of("node-failure")],
+        duration=6.0,
+        base_seed=7,
+    )
+    assert spec.num_cells == 4
+    serial = run_experiment(spec, processes=1)
+    parallel = run_experiment(spec, processes=2)
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+    by_coords = {(row["num_nodes"], row["scenario"]): row for row in serial}
+    assert set(by_coords) == {(4, "none"), (4, "node-failure"), (8, "none"), (8, "node-failure")}
+    for nodes in (4, 8):
+        assert (
+            by_coords[(nodes, "node-failure")]["staleness_violations"]
+            > by_coords[(nodes, "none")]["staleness_violations"]
+        )
+
+
+def test_spec_rejects_replication_exceeding_the_smallest_fleet() -> None:
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(
+            name="bad",
+            policies=["invalidate"],
+            workloads=["poisson"],
+            staleness_bounds=[1.0],
+            num_nodes=[4, 8],
+            replications=[2, 8],
+        )
+
+
+def test_spec_rejects_cluster_features_on_single_cache_cells() -> None:
+    from repro.errors import ConfigurationError
+
+    base = dict(
+        name="bad",
+        policies=["invalidate"],
+        workloads=["poisson"],
+        staleness_bounds=[1.0],
+    )
+    # A scenario without a cluster axis would produce rows labeled with a
+    # scenario that never ran.
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(**base, scenarios=["node-failure"])
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(**base, num_nodes=[None, 4], scenarios=["node-failure"])
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(**base, hot_policy="update")
+    # Clairvoyant policies are rejected before the sweep, not mid-run.
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(**{**base, "policies": ["optimal"]}, num_nodes=[4])
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(**base, num_nodes=[4], hot_policy="optimal")
+
+
+def test_single_cache_cells_are_unchanged_by_the_new_axes() -> None:
+    spec = ExperimentSpec(
+        name="single",
+        policies=["invalidate"],
+        workloads=["poisson"],
+        staleness_bounds=[1.0],
+        duration=2.0,
+        base_seed=1,
+    )
+    (row,) = run_experiment(spec, processes=1)
+    assert row["num_nodes"] is None
+    assert row["scenario"] == "none"
+    assert "nodes" not in row  # no per-node breakdown on single-cache rows

@@ -1,0 +1,74 @@
+"""Consistent-hash ring: determinism, balance, and minimal disruption."""
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.errors import ClusterError
+
+
+def build_ring(num_nodes: int = 8, vnodes: int = 64) -> ConsistentHashRing:
+    ring = ConsistentHashRing(vnodes=vnodes)
+    for index in range(num_nodes):
+        ring.add_node(f"node-{index:03d}")
+    return ring
+
+
+KEYS = [f"key-{i:06d}" for i in range(2000)]
+
+
+def test_placement_is_deterministic_across_instances() -> None:
+    first = build_ring()
+    second = build_ring()
+    assert [first.primary(key) for key in KEYS] == [second.primary(key) for key in KEYS]
+
+
+def test_replicas_are_distinct_and_primary_first() -> None:
+    ring = build_ring()
+    for key in KEYS[:200]:
+        replicas = ring.nodes_for(key, 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[0] == ring.primary(key)
+
+
+def test_replica_count_capped_by_fleet_size() -> None:
+    ring = build_ring(num_nodes=2)
+    assert len(ring.nodes_for("key", 5)) == 2
+
+
+def test_virtual_nodes_keep_the_split_roughly_even() -> None:
+    counts = build_ring().ownership_counts(KEYS)
+    assert len(counts) == 8
+    mean = len(KEYS) / len(counts)
+    # With 64 vnodes the heaviest node should stay within ~3x of the mean —
+    # loose on purpose, the point is that no node owns almost everything.
+    assert max(counts.values()) < 3 * mean
+    assert min(counts.values()) > 0
+
+
+def test_removal_moves_only_the_removed_nodes_keys() -> None:
+    ring = build_ring()
+    before = {key: ring.primary(key) for key in KEYS}
+    ring.remove_node("node-003")
+    moved = [key for key in KEYS if ring.primary(key) != before[key]]
+    # Exactly the keys owned by the removed node move, nothing else.
+    assert set(moved) == {key for key, node in before.items() if node == "node-003"}
+
+
+def test_rejoin_restores_prior_placement() -> None:
+    ring = build_ring()
+    before = {key: ring.primary(key) for key in KEYS}
+    ring.remove_node("node-003")
+    ring.add_node("node-003")
+    assert {key: ring.primary(key) for key in KEYS} == before
+
+
+def test_errors_on_empty_ring_and_duplicate_membership() -> None:
+    ring = ConsistentHashRing()
+    with pytest.raises(ClusterError):
+        ring.nodes_for("key", 1)
+    ring.add_node("a")
+    with pytest.raises(ClusterError):
+        ring.add_node("a")
+    with pytest.raises(ClusterError):
+        ring.remove_node("b")
