@@ -7,9 +7,11 @@ The package is organised around the pipeline the paper's evaluation uses:
 policy x workload x staleness-bound grids, runs them across worker processes,
 and exports the rows that regenerate the paper's figures and tables — with
 the closed-form counterpart in ``model``, the ``E[W]`` sketches in
-``sketch``, online bottleneck detection in ``bottleneck``, and the sharded
+``sketch``, online bottleneck detection in ``bottleneck``, the sharded
 multi-node fleet simulation (consistent hashing, replicated invalidation,
-failure scenarios, hot-key detection) in ``cluster``.
+failure scenarios, hot-key detection) in ``cluster``, and the durable
+persistence layer (write-ahead log, snapshots, crash recovery, warm node
+rejoin) in ``store``.
 
 The pipeline streams end-to-end: workloads yield requests lazily via
 ``iter_requests`` and the simulator consumes the stream without copying it,
@@ -65,8 +67,12 @@ from repro.cluster.scenarios import make_scenario
 from repro.experiments.spec import ChannelSpec, ExperimentSpec, ScenarioSpec, WorkloadSpec
 from repro.experiments.runner import run_experiment
 from repro.experiments.bench import run_bench
+from repro.store.wal import Journal, WriteAheadLog
+from repro.store.snapshot import Snapshot, SnapshotManager, StoreConfig
+from repro.store.recovery import RecoveryReport, recover_datastore, warm_state
+from repro.store.runtime import StoreRuntime
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Action",
@@ -80,15 +86,24 @@ __all__ = [
     "ExperimentSpec",
     "HotKeyConfig",
     "HotKeyDetector",
+    "Journal",
+    "RecoveryReport",
     "ReplicationConfig",
     "ScenarioSpec",
+    "Snapshot",
+    "SnapshotManager",
+    "StoreConfig",
+    "StoreRuntime",
     "WorkloadSpec",
+    "WriteAheadLog",
     "cost_model_for_bottleneck",
     "estimator_memory_bytes",
     "make_scenario",
+    "recover_datastore",
     "run_bench",
     "run_experiment",
     "storage_saving",
+    "warm_state",
     "AlwaysInvalidatePolicy",
     "AlwaysUpdatePolicy",
     "Cache",

@@ -1,13 +1,18 @@
 """Command-line entry point: ``python -m repro``.
 
-Four subcommands drive the experiment layer:
+Five subcommands drive the experiment layer:
 
 * ``run``     — one streamed simulation (workload x policy x bound), JSON out.
 * ``sweep``   — a full experiment grid executed across worker processes.
 * ``cluster`` — a sharded multi-node fleet sweep with replication, failure
   scenarios, and optional hot-key policy switching.
 * ``bench``   — replay-throughput benchmark emitting a ``BENCH_*.json``
-  record (single-cache by default, cluster mode via ``--nodes``).
+  record (single-cache by default, cluster mode via ``--nodes``, WAL
+  append/replay throughput via ``--store``).
+* ``store``   — the persistence layer: ``snapshot`` runs a journaled
+  simulation (optionally killing it mid-run), ``recover`` rebuilds — and can
+  resume and verify — from the durable state, ``inspect`` summarises a store
+  directory.
 
 Examples::
 
@@ -16,19 +21,28 @@ Examples::
         --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
     python -m repro cluster --nodes 8 --replication 2 --scenario node-failure \
         --policies invalidate,adaptive --bounds 0.5 --duration 20 --csv fleet.csv
-    python -m repro bench --requests 500000 --output-dir .
-    python -m repro bench --requests 200000 --nodes 8 --replication 2
+    python -m repro bench --requests 500000 --store --output-dir .
+    python -m repro store snapshot --dir run-store --duration 12 \
+        --snapshot-interval 2 --kill-at 6
+    python -m repro store recover --dir run-store --resume --verify
+    python -m repro store inspect --dir run-store
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+import tempfile
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import __version__
+from repro.cluster import ClusterSimulation, ReplicationConfig
 from repro.cluster.replication import READ_POLICIES
 from repro.cluster.scenarios import SCENARIO_FACTORIES
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
     DEFAULT_BENCH_POLICIES,
     ExperimentSpec,
@@ -39,9 +53,17 @@ from repro.experiments import (
     write_results_csv,
     write_results_json,
 )
-from repro.experiments.registry import POLICY_FACTORIES, WORKLOAD_FACTORIES
+from repro.experiments.registry import POLICY_FACTORIES, WORKLOAD_FACTORIES, make_workload
 from repro.experiments.runner import run_cell
 from repro.experiments.spec import ChannelSpec, RunCell, stable_cell_seed
+from repro.store import (
+    StoreConfig,
+    WalScan,
+    list_snapshots,
+    load_snapshot,
+    recover_datastore,
+    scan_wal,
+)
 
 
 def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
@@ -64,6 +86,19 @@ def _csv_list(text: str) -> List[str]:
 
 def _capacity(text: str) -> Optional[int]:
     return None if text.lower() in ("none", "inf", "unbounded") else int(text)
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for durations/bounds that must be positive and finite."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from exc
+    if not (math.isfinite(value) and value > 0):
+        raise argparse.ArgumentTypeError(
+            f"expected a positive finite number, got {text!r}"
+        )
+    return value
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -92,15 +127,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_spec(**kwargs: Any) -> ExperimentSpec:
+    """Construct an experiment spec, turning validation errors into clean
+    CLI messages instead of tracebacks out of a worker mid-sweep."""
+    try:
+        return ExperimentSpec(**kwargs)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.snapshot_interval is not None and not args.persist:
+        raise SystemExit("--snapshot-interval only takes effect together with --persist")
     params = _parse_params(args.param)
     workloads = [WorkloadSpec.of(name, params) for name in _csv_list(args.workloads)]
-    spec = ExperimentSpec(
+    spec = _build_spec(
         name=args.name,
         policies=_csv_list(args.policies),
         workloads=workloads,
         staleness_bounds=[float(bound) for bound in _csv_list(args.bounds)],
         cache_capacities=[_capacity(cap) for cap in _csv_list(args.capacities)],
+        persistence=[args.persist],
+        snapshot_intervals=[args.snapshot_interval] if args.persist else [None],
         duration=args.duration,
         base_seed=args.seed,
         cost_preset=args.cost_preset,
@@ -122,6 +170,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.snapshot_interval is not None and not args.persist:
+        raise SystemExit("--snapshot-interval only takes effect together with --persist")
     if args.hot_fraction is not None and args.hot_policy is None:
         raise SystemExit(
             "--hot-fraction only takes effect together with --hot-policy "
@@ -148,7 +198,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             delay=args.channel_delay,
             jitter=args.channel_jitter,
         )
-    spec = ExperimentSpec(
+    spec = _build_spec(
         name=args.name,
         policies=_csv_list(args.policies),
         workloads=workloads,
@@ -162,6 +212,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         hot_policy=args.hot_policy,
         hot_fraction=args.hot_fraction if args.hot_fraction is not None else 0.02,
         vnodes=args.vnodes,
+        persistence=[args.persist],
+        snapshot_intervals=[args.snapshot_interval] if args.persist else [None],
         duration=args.duration,
         base_seed=args.seed,
         cost_preset=args.cost_preset,
@@ -193,14 +245,196 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         label=args.label,
         num_nodes=args.nodes if args.nodes > 0 else None,
         replication=args.replication,
+        store=args.store,
     )
     for result in record["results"]:
         print(
             f"{result['policy']:>12}: {result['requests_per_sec']:>12,.0f} req/s "
             f"({result['requests']} requests in {result['wall_seconds']:.2f}s)"
         )
+    if "store" in record:
+        store = record["store"]
+        print(
+            f"{'wal':>12}: {store['append_per_sec']:>12,.0f} appends/s, "
+            f"{store['replay_per_sec']:>12,.0f} replays/s "
+            f"({store['bytes_written']} bytes, {store['flushes']} flushes)"
+        )
     print(f"peak RSS: {record['peak_rss_kib']} KiB")
     print(f"wrote {record['path']}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# ``store`` subcommands: snapshot / recover / inspect
+# --------------------------------------------------------------------- #
+
+#: Row keys that describe persistence bookkeeping rather than simulation
+#: state.  A crash checkpoint off the snapshot grid adds exactly one extra
+#: snapshot + flush, so ``recover --verify`` compares everything else.
+_STORE_BOOKKEEPING_KEYS = frozenset(
+    {"store", "persistence_cost", "wal_appends", "wal_flushes", "snapshots_taken",
+     "interrupted"}
+)
+
+_RUN_CONFIG_NAME = "RUN.json"
+
+
+def _store_cluster(config: Dict[str, Any], store: StoreConfig) -> ClusterSimulation:
+    """Build the journaled cluster a ``store`` run config describes."""
+    workload = make_workload(
+        config["workload"], seed=config["cell_seed"], params=config["workload_params"]
+    )
+    return ClusterSimulation(
+        workload=workload.iter_requests(config["duration"]),
+        policy=config["policy"],
+        num_nodes=config["nodes"],
+        staleness_bound=config["bound"],
+        replication=ReplicationConfig(factor=config["replication"]),
+        duration=config["duration"],
+        workload_name=workload.name,
+        seed=config["cell_seed"],
+        store=store,
+    )
+
+
+def _cmd_store_snapshot(args: argparse.Namespace) -> int:
+    root = Path(args.dir)
+    if root.exists() and not root.is_dir():
+        raise SystemExit(f"{root} exists and is not a directory")
+    if root.is_dir() and any(root.iterdir()):
+        raise SystemExit(f"store dir {root} is not empty; pick a fresh directory")
+    if args.kill_at is not None and not 0 < args.kill_at < args.duration:
+        raise SystemExit(
+            f"--kill-at must fall inside the run (0, {args.duration}), got {args.kill_at}"
+        )
+    params = _parse_params(args.param)
+    config = {
+        "workload": args.workload,
+        "workload_params": params,
+        "policy": args.policy,
+        "bound": args.bound,
+        "duration": args.duration,
+        "nodes": args.nodes,
+        "replication": args.replication,
+        "snapshot_interval": args.snapshot_interval,
+        "kill_at": args.kill_at,
+        "cell_seed": stable_cell_seed(args.seed, args.workload, params, args.duration),
+    }
+    store = StoreConfig(str(root), snapshot_interval=args.snapshot_interval)
+    cluster = _store_cluster(config, store)
+    # The run config is written before the run so a "crashed" store is still
+    # self-describing for ``recover --resume``.
+    root.mkdir(parents=True, exist_ok=True)
+    (root / _RUN_CONFIG_NAME).write_text(json.dumps(config, indent=2) + "\n")
+    result = cluster.run(stop_at=args.kill_at)
+    row = result.as_dict()
+    row.pop("nodes", None)
+    print(json.dumps(row, indent=2))
+    status = "interrupted at t={}".format(args.kill_at) if result.interrupted else "completed"
+    print(f"store {status}: {root}", file=sys.stderr)
+    return 0
+
+
+def _load_run_config(root: Path) -> Dict[str, Any]:
+    path = root / _RUN_CONFIG_NAME
+    if not path.exists():
+        raise SystemExit(
+            f"{path} not found: this store was not created by 'store snapshot', "
+            "so the run cannot be reconstructed (datastore-only recovery still "
+            "works via 'store recover' without --resume)"
+        )
+    return json.loads(path.read_text())
+
+
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise SystemExit(f"no store directory at {root}")
+    output: Dict[str, Any] = {}
+    exit_code = 0
+    if args.resume:
+        config = _load_run_config(root)
+        resumed = _store_cluster(
+            config, StoreConfig(str(root), snapshot_interval=config["snapshot_interval"])
+        )
+        # The resume's own recovery pass doubles as the report: no second
+        # snapshot parse + WAL replay just for the summary.
+        output["recovery"] = resumed.restore_from_store().as_dict()
+        row = resumed.run().as_dict()
+        row.pop("nodes", None)
+        output["result"] = row
+        if args.verify:
+            with tempfile.TemporaryDirectory(prefix="repro-verify-") as scratch:
+                reference = _store_cluster(
+                    config,
+                    StoreConfig(scratch, snapshot_interval=config["snapshot_interval"]),
+                )
+                reference_row = reference.run().as_dict()
+            reference_row.pop("nodes", None)
+            mismatches = {
+                key: {"uninterrupted": reference_row.get(key), "recovered": row.get(key)}
+                for key in set(reference_row) | set(row)
+                if key not in _STORE_BOOKKEEPING_KEYS
+                and reference_row.get(key) != row.get(key)
+            }
+            output["verify"] = {
+                "matches": not mismatches,
+                "mismatches": mismatches,
+            }
+            if mismatches:
+                exit_code = 1
+    elif args.verify:
+        raise SystemExit("--verify needs --resume (it compares the finished runs)")
+    else:
+        _datastore, report = recover_datastore(root)
+        output["recovery"] = report.as_dict()
+    print(json.dumps(output, indent=2))
+    if args.resume and args.verify:
+        verdict = "identical" if exit_code == 0 else "DIVERGED"
+        print(f"recovered run vs uninterrupted run: {verdict}", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise SystemExit(f"no store directory at {root}")
+    scan = WalScan()
+    kinds: Dict[str, int] = {}
+    first_lsn = 0
+    for record in scan_wal(StoreConfig(str(root)).wal_path, scan):
+        kinds[record["k"]] = kinds.get(record["k"], 0) + 1
+        if first_lsn == 0:
+            first_lsn = int(record["lsn"])
+    snapshots = []
+    for path in list_snapshots(root):
+        snapshot = load_snapshot(path)
+        snapshots.append(
+            {
+                "seq": snapshot.seq,
+                "time": snapshot.time,
+                "wal_lsn": snapshot.wal_lsn,
+                "nodes": sorted(snapshot.nodes),
+                "keys": len(snapshot.datastore.get("histories", {})),
+            }
+        )
+    print(
+        json.dumps(
+            {
+                "wal": {
+                    "records": scan.records,
+                    "first_lsn": first_lsn,
+                    "last_lsn": scan.last_lsn,
+                    "torn_bytes": scan.torn_bytes,
+                    "writes": kinds.get("w", 0),
+                    "read_deltas": kinds.get("r", 0),
+                    "messages": kinds.get("m", 0),
+                },
+                "snapshots": snapshots,
+            },
+            indent=2,
+        )
+    )
     return 0
 
 
@@ -210,13 +444,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Cache-freshness simulation pipeline and experiment runner.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run one streamed simulation")
     run.add_argument("--workload", default="poisson", choices=sorted(WORKLOAD_FACTORIES))
     run.add_argument("--policy", default="adaptive", choices=sorted(POLICY_FACTORIES))
-    run.add_argument("--bound", type=float, default=1.0, help="staleness bound T (seconds)")
-    run.add_argument("--duration", type=float, default=10.0, help="trace duration (seconds)")
+    run.add_argument("--bound", type=_positive_float, default=1.0,
+                     help="staleness bound T (seconds)")
+    run.add_argument("--duration", type=_positive_float, default=10.0,
+                     help="trace duration (seconds)")
     run.add_argument("--capacity", type=_capacity, default=None, help="cache capacity (objects)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--param", action="append", metavar="KEY=VALUE",
@@ -230,7 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workloads", default="poisson")
     sweep.add_argument("--bounds", default="0.1,1.0,10.0")
     sweep.add_argument("--capacities", default="none")
-    sweep.add_argument("--duration", type=float, default=10.0)
+    sweep.add_argument("--duration", type=_positive_float, default=10.0)
+    sweep.add_argument("--persist", action="store_true",
+                       help="run every cell with a write-ahead log + snapshots "
+                            "(store counters join the rows)")
+    sweep.add_argument("--snapshot-interval", type=_positive_float, default=None,
+                       help="snapshot cadence for --persist cells (default: final only)")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--cost-preset", default="fixed",
                        choices=["fixed", "cpu", "network", "latency"])
@@ -269,7 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--workloads", default="poisson")
     cluster.add_argument("--bounds", default="1.0")
     cluster.add_argument("--capacities", default="none")
-    cluster.add_argument("--duration", type=float, default=10.0)
+    cluster.add_argument("--duration", type=_positive_float, default=10.0)
+    cluster.add_argument("--persist", action="store_true",
+                         help="run every cell with a write-ahead log + snapshots")
+    cluster.add_argument("--snapshot-interval", type=_positive_float, default=None,
+                         help="snapshot cadence for --persist cells (default: final only)")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--cost-preset", default="fixed",
                          choices=["fixed", "cpu", "network", "latency"])
@@ -294,9 +542,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench the cluster replay path with this many nodes (0 = single cache)")
     bench.add_argument("--replication", type=int, default=1,
                        help="replication factor for --nodes mode")
+    bench.add_argument("--store", action="store_true",
+                       help="also measure WAL append + replay throughput")
     bench.add_argument("--output-dir", default=".")
     bench.add_argument("--label", default=None, help="suffix for the BENCH_<label>.json record")
     bench.set_defaults(func=_cmd_bench)
+
+    store = subparsers.add_parser(
+        "store", help="durable persistence: snapshot / recover / inspect"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    snapshot = store_sub.add_parser(
+        "snapshot",
+        help="run a journaled simulation into a store dir (optionally killing it mid-run)",
+    )
+    snapshot.add_argument("--dir", required=True, help="store directory (must be empty)")
+    snapshot.add_argument("--workload", default="poisson", choices=sorted(WORKLOAD_FACTORIES))
+    snapshot.add_argument("--policy", default="invalidate",
+                          choices=[name for name in sorted(POLICY_FACTORIES)
+                                   if not getattr(POLICY_FACTORIES[name], "needs_future", False)])
+    snapshot.add_argument("--bound", type=_positive_float, default=1.0)
+    snapshot.add_argument("--duration", type=_positive_float, default=10.0)
+    snapshot.add_argument("--nodes", type=int, default=1,
+                          help="fleet size (1 = single-cache-equivalent node)")
+    snapshot.add_argument("--replication", type=int, default=1)
+    snapshot.add_argument("--snapshot-interval", type=_positive_float, default=None,
+                          help="snapshot cadence (default: checkpoint only at the end/kill)")
+    snapshot.add_argument("--kill-at", type=_positive_float, default=None,
+                          help="crash the run at this simulated time after a durable checkpoint")
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--param", action="append", metavar="KEY=VALUE",
+                          help="workload constructor parameter (repeatable)")
+    snapshot.set_defaults(func=_cmd_store_snapshot)
+
+    recover = store_sub.add_parser(
+        "recover", help="rebuild the datastore from snapshot + WAL replay"
+    )
+    recover.add_argument("--dir", required=True, help="store directory")
+    recover.add_argument("--resume", action="store_true",
+                         help="also resume the interrupted run to completion")
+    recover.add_argument("--verify", action="store_true",
+                         help="with --resume: compare against a fresh uninterrupted "
+                              "run and exit non-zero on divergence")
+    recover.set_defaults(func=_cmd_store_recover)
+
+    inspect = store_sub.add_parser("inspect", help="summarise a store directory")
+    inspect.add_argument("--dir", required=True, help="store directory")
+    inspect.set_defaults(func=_cmd_store_inspect)
 
     return parser
 
@@ -304,7 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Library-level misuse (unresumable store, bad scenario wiring, ...)
+        # becomes a clean CLI error, matching the argparse paths.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -186,6 +186,21 @@ class Cache:
         self.stats.expirations += 1
         return True
 
+    def restore_entry(self, entry: CacheEntry, time: float) -> CacheEntry:
+        """Re-insert a previously serialized entry (recovery / warm rejoin).
+
+        The entry is inserted as-is — state, version, and timestamps are the
+        caller's to decide — evicting a victim when at capacity, exactly as a
+        fill would.
+        """
+        existing = self._entries.get(entry.key)
+        if existing is None:
+            self._make_room(time)
+        self._entries[entry.key] = entry
+        self.eviction.on_insert(entry.key)
+        self.stats.insertions += 1
+        return entry
+
     def delete(self, key: str) -> bool:
         """Remove ``key`` from the cache entirely (no eviction callback)."""
         entry = self._entries.pop(key, None)

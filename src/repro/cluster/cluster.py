@@ -25,7 +25,8 @@ a fixed seed no matter how many worker processes executed the grid.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Union
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.backend.channel import Channel
 from repro.backend.datastore import DataStore
@@ -38,8 +39,23 @@ from repro.cluster.results import ClusterResult
 from repro.cluster.scenarios import Scenario, ScenarioEvent
 from repro.core.cost_model import CostModel
 from repro.core.policy import FreshnessPolicy
-from repro.errors import ClusterError, ConfigurationError
+from repro.errors import ClusterError, ConfigurationError, StoreError
 from repro.sim.clock import SimulationClock
+from repro.store.recovery import (
+    RecoveryReport,
+    load_checkpoint,
+    recover_datastore,
+    replay_wal,
+    warm_state,
+)
+from repro.store.runtime import StoreRuntime
+from repro.store.snapshot import (
+    StoreConfig,
+    restore_datastore,
+    restore_node,
+    serialize_node,
+    serialize_node_stub,
+)
 from repro.workload.base import Request, ensure_sorted
 
 PolicyLike = Union[str, Callable[[], FreshnessPolicy]]
@@ -93,6 +109,14 @@ class ClusterSimulation:
         seed: Root seed for per-node channels and detectors.
         discard_buffer_on_miss_fill / final_flush: Same semantics as the
             single-cache simulator, applied per node.
+        store: Optional persistence config (:class:`~repro.store.StoreConfig`).
+            When given, backend writes are journaled to a write-ahead log and
+            the datastore plus every reachable node's volatile state are
+            snapshotted at ``snapshot_interval`` — enabling ``run(stop_at=…)``
+            crash points, :meth:`restore_from_store` resume, warm node
+            rejoin, and the ``kill-at-t`` scenario's warm restart.
+        history_retention: Optional retention window for the datastore's
+            per-key write history.
     """
 
     def __init__(
@@ -115,6 +139,8 @@ class ClusterSimulation:
         seed: int = 0,
         discard_buffer_on_miss_fill: bool = True,
         final_flush: bool = True,
+        store: Optional[StoreConfig] = None,
+        history_retention: Optional[float] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -160,7 +186,11 @@ class ClusterSimulation:
                     "mode does not build"
                 )
 
-        self.datastore = DataStore()
+        self.datastore = DataStore(retention=history_retention)
+        self._store: Optional[StoreRuntime] = None
+        if store is not None:
+            self._store = StoreRuntime(store, self.costs)
+            self._store.attach(self.datastore)
         self.clock = SimulationClock()
         self.ring = ConsistentHashRing(vnodes=vnodes)
         self.router = ReplicaRouter(replication)
@@ -212,6 +242,7 @@ class ClusterSimulation:
         self._next_flush = self.staleness_bound
         self._has_run = False
         self._rebalances = 0
+        self._resume_from: Optional[float] = None
         self.event_log: List[tuple[float, str]] = []
 
     # ------------------------------------------------------------------ #
@@ -238,28 +269,102 @@ class ClusterSimulation:
             self._rebalances += 1
         node.depart(time)
 
-    def rejoin_node(self, index: int) -> None:
-        """Bring a previously removed node back, cold."""
+    def rejoin_node(self, index: int, warm: bool = False, time: Optional[float] = None) -> None:
+        """Bring a previously removed node back — cold, or warm from its store.
+
+        A warm rejoin restores the node's cache from its last completed
+        snapshot and replays the recovered write history over it: entries
+        whose key was written while the node was down come back invalidated
+        (the node missed those invalidates), the rest come back valid.
+        """
         node = self.node_at(index)
         if node.node_id not in self.ring:
             self.ring.add_node(node.node_id)
             self._rebalances += 1
         node.rejoin()
+        if warm:
+            self._warm_restore(node, time if time is not None else self.clock.now)
+
+    def crash_restart(self, time: float, warm: bool) -> None:
+        """Kill-at-t: every node loses its volatile state and restarts.
+
+        The backend datastore is authoritative and survives; with ``warm``
+        (requires a configured store) each node rebuilds its cache from its
+        last snapshot plus WAL-replayed validation, otherwise the whole fleet
+        restarts cold.
+        """
+        replayed: Optional[DataStore] = None
+        if warm:
+            # One recovery pass for the whole fleet: every node validates
+            # against the same durable write history.
+            self._store_or_raise().journal.sync()
+            replayed, _ = recover_datastore(self._store.config.root)
+        for node in self._node_list:
+            node.crash(time)
+            if warm:
+                self._warm_restore(node, time, replayed)
+
+    def _store_or_raise(self) -> StoreRuntime:
+        if self._store is None:
+            raise ClusterError(
+                "warm restore needs a configured store (pass store=StoreConfig(...))"
+            )
+        return self._store
+
+    def _warm_restore(
+        self, node: CacheNode, time: float, replayed: Optional[DataStore] = None
+    ) -> None:
+        store = self._store_or_raise()
+        if replayed is None:
+            # The node restores from *durable* state: sync first so the WAL
+            # tail covering the outage window is on disk for replay.
+            store.journal.sync()
+        state = warm_state(store.config.root, node.node_id, time, replayed)
+        if state is None:
+            # No snapshot ever captured this node (it failed before the first
+            # interval): nothing to restore, the rejoin stays cold.
+            return
+        node.restore_warm(state.entries, time, state.invalidated)
 
     # ------------------------------------------------------------------ #
     # Replay
     # ------------------------------------------------------------------ #
-    def run(self) -> ClusterResult:
-        """Replay the whole request stream and return the aggregated result."""
+    def run(self, stop_at: Optional[float] = None) -> ClusterResult:
+        """Replay the request stream and return the aggregated result.
+
+        Args:
+            stop_at: Optional kill point.  Every request with ``time <=
+                stop_at`` is processed, a durable checkpoint is written
+                (requires a configured store), and a partial result marked
+                ``interrupted`` is returned — the state a crashed process
+                would leave on disk.  A later :meth:`restore_from_store` on a
+                freshly constructed, identically configured cluster resumes
+                the run with identical counters.
+        """
         if self._has_run:
             raise ClusterError("a ClusterSimulation instance can only be run once")
         self._has_run = True
+        if stop_at is not None and self._store is None:
+            raise ClusterError("run(stop_at=...) needs a configured store to crash into")
 
         # Scenarios need a concrete horizon for their relative defaults.
         if not self._explicit_duration and type(self.scenario) is not Scenario:
             raise ClusterError(
                 "scenarios need an explicit duration to resolve their timelines"
             )
+        if self.scenario.requires_persistence:
+            if self._store is None:
+                raise ClusterError(
+                    f"scenario {self.scenario.name!r} needs a configured store "
+                    "(pass store=StoreConfig(...))"
+                )
+            if self._store.config.snapshot_interval is None:
+                # A warm restore can only use snapshots that exist before the
+                # failure; with no cadence the scenario would silently run cold.
+                raise ClusterError(
+                    f"scenario {self.scenario.name!r} restores nodes from "
+                    "periodic snapshots: set StoreConfig.snapshot_interval"
+                )
         self.scenario.bind(
             duration=self.duration,
             staleness_bound=self.staleness_bound,
@@ -267,8 +372,17 @@ class ClusterSimulation:
         )
         events = sorted(self.scenario.events(), key=lambda event: event.time)
         event_index = 0
+        if self._resume_from is not None:
+            # Events up to the checkpoint were applied before the crash and
+            # their effects live in the restored state; skip, don't re-apply.
+            while event_index < len(events) and events[event_index].time <= self._resume_from:
+                event_index += 1
 
         for request in ensure_sorted(self._stream):
+            if self._resume_from is not None and request.time <= self._resume_from:
+                continue
+            if stop_at is not None and request.time > stop_at:
+                return self._interrupt(stop_at, events, event_index)
             while event_index < len(events) and events[event_index].time <= request.time:
                 event_index = self._apply_event(events, event_index)
             request = self.scenario.transform_request(request)
@@ -279,6 +393,9 @@ class ClusterSimulation:
             else:
                 self._process_read(request)
 
+        if stop_at is not None:
+            # The stream ran dry before the kill point: checkpoint there.
+            return self._interrupt(stop_at, events, event_index)
         return self._finalize(events, event_index)
 
     # ------------------------------------------------------------------ #
@@ -293,18 +410,165 @@ class ClusterSimulation:
         return index + 1
 
     def _advance_background(self, until: float) -> None:
-        """Run interval flushes and per-node deliveries due before ``until``."""
-        while self._next_flush <= until:
-            flush_time = self._next_flush
-            for node in self._node_list:
-                node.deliver_until(flush_time)
-                node.flush(flush_time)
-            self._next_flush += self.staleness_bound
+        """Run flushes, snapshots, and deliveries due before ``until``.
+
+        Flushes and snapshots interleave in time order, flush first on a tie
+        so a snapshot observes the flushed state of its instant.
+        """
+        while True:
+            next_flush = self._next_flush
+            next_snapshot = self._store.next_snapshot if self._store else math.inf
+            if min(next_flush, next_snapshot) > until:
+                break
+            if next_flush <= next_snapshot:
+                for node in self._node_list:
+                    node.deliver_until(next_flush)
+                    node.flush(next_flush)
+                self._next_flush += self.staleness_bound
+            else:
+                self._checkpoint(next_snapshot)
         # Per-request sweep: with ideal channels nothing is ever in flight,
         # so this stays O(1) instead of O(num_nodes) per request.
         if self._pending_nodes:
             for node_id in sorted(self._pending_nodes):
                 self._nodes[node_id].deliver_until(until)
+
+    # ------------------------------------------------------------------ #
+    # Persistence: checkpoint, crash, resume
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self, time: float) -> None:
+        """Write one durable snapshot of the datastore and the fleet.
+
+        Live (reachable, in-ring) nodes are captured in full; failed or
+        departed nodes get a stub — their local disk stopped at their last
+        completed snapshot, which is exactly what a warm rejoin later
+        restores, but their run counters and membership flags still belong
+        to the checkpoint.
+        """
+        self._store.checkpoint(
+            time,
+            self.datastore,
+            nodes={
+                node.node_id: (
+                    serialize_node(node)
+                    if node.reachable and node.in_ring
+                    else serialize_node_stub(node)
+                )
+                for node in self._node_list
+            },
+            extra_fn=lambda: {
+                "time": time,
+                "next_flush": self._next_flush,
+                "rebalances": self._rebalances,
+                "event_log": [[when, label] for when, label in self.event_log],
+                # Round-robin read routing is per-key volatile state too.
+                "router": dict(self.router._round_robin),
+            },
+        )
+
+    def _interrupt(
+        self, stop_at: float, events: List[ScenarioEvent], event_index: int
+    ) -> ClusterResult:
+        """Stop at the kill point: apply due events, checkpoint, report."""
+        while event_index < len(events) and events[event_index].time <= stop_at:
+            event_index = self._apply_event(events, event_index)
+        self._advance_background(stop_at)
+        self.clock.advance_to(stop_at)
+        self._checkpoint(stop_at)
+        self._store.close()
+        result = ClusterResult(
+            policy_name=self.policy_name,
+            workload_name=self.workload_name,
+            staleness_bound=self.staleness_bound,
+            duration=stop_at,
+            num_nodes=len(self._node_list),
+            replication=self.replication.factor,
+            read_policy=self.replication.read_policy,
+            scenario=self.scenario.name,
+        )
+        result.nodes = [node.result for node in self._node_list]
+        result.rebalances = self._rebalances
+        result.interrupted = True
+        stats = self._store.stats()
+        result.store = stats
+        result.finalize()
+        # Same flat-row persistence counters a finished run reports.
+        result.totals.persistence_cost = stats["persistence_cost"]
+        result.totals.wal_appends = stats["wal_appends"]
+        result.totals.wal_flushes = stats["wal_flushes"]
+        result.totals.snapshots_taken = stats["snapshots"]
+        return result
+
+    def restore_from_store(self) -> "RecoveryReport":
+        """Resume from the last durable checkpoint in the configured store.
+
+        Rebuilds the shared datastore (snapshot + WAL tail replay), every
+        node's volatile state, the ring membership, the flush/snapshot
+        schedules, and the persistence counters, then arms the run loop to
+        skip everything already processed before the crash.  Call on a
+        freshly constructed cluster with the same configuration and workload,
+        then :meth:`run`.  Returns the recovery report.
+
+        Exact-resume limits: policies whose flush decisions depend on
+        accumulated estimator state (``adaptive``) restart their estimators
+        cold; hot-key detectors are not snapshotted; and a node that was
+        fail-silent at the checkpoint (unreachable but still serving its
+        cache) is restored empty — its cache was volatile memory with no
+        durable claim, so it died with the crash, whereas an uninterrupted
+        run would have kept serving it.  Identical-counter resume therefore
+        holds for checkpoints taken outside fail-silent windows, which is
+        what the tests pin.
+        """
+        if self._store is None:
+            raise ClusterError("restore_from_store needs a configured store")
+        if self._has_run:
+            raise ClusterError("restore must happen before run()")
+        if any(node.detector is not None for node in self._node_list):
+            raise ClusterError("resume with hot-key detection is not supported")
+        checkpoint = load_checkpoint(self._store.config.root)
+        restore_datastore(self.datastore, checkpoint.datastore)
+        report = replay_wal(
+            self.datastore, self._store.config.wal_path, checkpoint.wal_lsn
+        )
+        if report.wal_records:
+            # Any tail past the watermark — writes, read deltas, or even
+            # message audit records — means the run advanced beyond the last
+            # checkpoint before dying.  run(stop_at=...) always checkpoints
+            # at the kill point, so a tail only appears on an out-of-band
+            # crash; refuse rather than resume from a rewound state.
+            raise StoreError(
+                "WAL records found past the checkpoint watermark: the crash "
+                "was not taken at a durable checkpoint, resume would diverge"
+            )
+        for node_id, node_data in checkpoint.nodes.items():
+            node = self._nodes.get(node_id)
+            if node is None:
+                raise StoreError(f"checkpoint references unknown node {node_id!r}")
+            restore_node(node, node_data, checkpoint.time)
+        # Ring membership follows the restored in_ring flags.
+        for node in self._node_list:
+            on_ring = node.node_id in self.ring
+            if node.in_ring and not on_ring:
+                self.ring.add_node(node.node_id)  # pragma: no cover - defensive
+            elif not node.in_ring and on_ring:
+                self.ring.remove_node(node.node_id)
+        extra = checkpoint.extra
+        self._next_flush = float(extra["next_flush"])
+        self._rebalances = int(extra["rebalances"])
+        self.event_log = [(when, label) for when, label in extra["event_log"]]
+        self.router._round_robin = {
+            key: int(count) for key, count in extra.get("router", {}).items()
+        }
+        self.clock.advance_to(checkpoint.time)
+        self._resume_from = checkpoint.time
+        self._store.restore(
+            checkpoint.journal, extra.get("next_snapshot"), checkpoint.wal_lsn
+        )
+        report.snapshot_seq = checkpoint.seq
+        report.snapshot_time = checkpoint.time
+        report.recovered_keys = len(self.datastore.known_keys())
+        report.recovered_versions = self.datastore.total_writes
+        return report
 
     def _process_write(self, request: Request) -> None:
         self.datastore.write(request.key, request.time, request.value_size)
@@ -338,5 +602,19 @@ class ClusterSimulation:
         )
         result.nodes = [node.result for node in self._node_list]
         result.rebalances = self._rebalances
+        if self._store is not None:
+            self._checkpoint(end_time)
+            self._store.close()
+            stats = self._store.stats()
+            result.store = stats
         result.finalize()
+        if self._store is not None:
+            result.totals.persistence_cost = stats["persistence_cost"]
+            result.totals.wal_appends = stats["wal_appends"]
+            result.totals.wal_flushes = stats["wal_flushes"]
+            result.totals.snapshots_taken = stats["snapshots"]
         return result
+
+    def store_stats(self) -> Optional[Dict[str, Any]]:
+        """Deterministic persistence counters (``None`` without a store)."""
+        return self._store.stats() if self._store is not None else None

@@ -254,6 +254,8 @@ class CacheNode:
             key_size=key_size,
             version=self.datastore.latest_version(key),
         )
+        if self.datastore.journal is not None:
+            self.datastore.journal.log_message("invalidate", key, time, message.version)
         self._transmit(message)
 
     def _send_update(self, key: str, key_size: int, time: float) -> None:
@@ -268,6 +270,8 @@ class CacheNode:
             value_size=value_size,
             version=self.datastore.latest_version(key),
         )
+        if self.datastore.journal is not None:
+            self.datastore.journal.log_message("update", key, time, message.version)
         self._transmit(message)
 
     def _transmit(self, message: Message) -> None:
@@ -363,6 +367,25 @@ class CacheNode:
         """Leave the ring: the cache, buffer, and tracker state is lost."""
         self.in_ring = False
         self.result.departures += 1
+        self.lose_volatile_state(time)
+
+    def crash(self, time: float) -> None:
+        """Lose all volatile state without leaving the ring (kill-at-t).
+
+        The node immediately restarts: it stays addressable and reachable but
+        its cache, buffer, tracker, and in-flight deliveries are gone.  A
+        warm restart (:meth:`restore_warm`) can then rebuild the cache from
+        the node's last durable snapshot.
+        """
+        self.result.crashes += 1
+        self.lose_volatile_state(time)
+
+    def lose_volatile_state(self, time: float) -> None:
+        """Drop cache/buffer/tracker/in-flight state (settling lazy polls first).
+
+        Polls the cached entries already performed are real costs incurred
+        before the loss, so they are accounted before the state disappears.
+        """
         if self.policy.ttl_mode == "polling":
             for entry in list(self.cache.entries()):
                 self.account_polls(entry, time)
@@ -382,6 +405,21 @@ class CacheNode:
         self.reachable = True
         self.channel.outage = False
         self.result.joins += 1
+
+    def restore_warm(self, entries: List[CacheEntry], time: float, invalidated: int) -> None:
+        """Refill the cache from durable state (warm rejoin / warm restart).
+
+        Args:
+            entries: Recovered entries, already validated against the
+                replayed write history (stale ones arrive pre-invalidated).
+            time: The restore instant (anchors eviction bookkeeping).
+            invalidated: How many of ``entries`` were invalidated by replay.
+        """
+        for entry in entries:
+            entry.last_poll_accounted = time
+            self.cache.restore_entry(entry, time)
+        self.result.warm_restored += len(entries)
+        self.result.warm_invalidated += invalidated
 
     # ------------------------------------------------------------------ #
     # End of run

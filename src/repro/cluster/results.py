@@ -32,6 +32,13 @@ class NodeResult(SimulationResult):
     #: Ring membership churn observed by this node.
     departures: int = 0
     joins: int = 0
+    #: Volatile-state losses (mid-run crash-restart events).
+    crashes: int = 0
+    #: Entries restored from durable state on a warm rejoin/restart, and how
+    #: many of them came back invalidated because their key was written while
+    #: the node was down.
+    warm_restored: int = 0
+    warm_invalidated: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Flatten, extending the single-cache schema with cluster counters."""
@@ -45,6 +52,9 @@ class NodeResult(SimulationResult):
             hot_keys_flagged=self.hot_keys_flagged,
             departures=self.departures,
             joins=self.joins,
+            crashes=self.crashes,
+            warm_restored=self.warm_restored,
+            warm_invalidated=self.warm_invalidated,
         )
         return row
 
@@ -73,6 +83,15 @@ class ClusterResult:
     rebalances: int = 0
     hot_decisions: int = 0
     hot_keys_flagged: int = 0
+    crashes: int = 0
+    warm_restored: int = 0
+    warm_invalidated: int = 0
+
+    #: True when the run stopped early at ``run(stop_at=...)`` — the
+    #: kill-at-t crash point — instead of draining the whole stream.
+    interrupted: bool = False
+    #: Persistence-layer counters (``None`` when no store is configured).
+    store: Dict[str, Any] | None = None
 
     @property
     def load_imbalance(self) -> float:
@@ -99,11 +118,17 @@ class ClusterResult:
         self.failed_fetches = 0
         self.hot_decisions = 0
         self.hot_keys_flagged = 0
+        self.crashes = 0
+        self.warm_restored = 0
+        self.warm_invalidated = 0
         for node in self.nodes:
             self.totals.accumulate(node)
             self.failed_fetches += node.failed_fetches
             self.hot_decisions += node.hot_decisions
             self.hot_keys_flagged += node.hot_keys_flagged
+            self.crashes += node.crashes
+            self.warm_restored += node.warm_restored
+            self.warm_invalidated += node.warm_invalidated
 
     def as_dict(self) -> Dict[str, Any]:
         """Flatten fleet totals plus cluster metadata for result rows.
@@ -122,9 +147,16 @@ class ClusterResult:
             rebalances=self.rebalances,
             hot_decisions=self.hot_decisions,
             hot_keys_flagged=self.hot_keys_flagged,
+            crashes=self.crashes,
+            warm_restored=self.warm_restored,
+            warm_invalidated=self.warm_invalidated,
             load_imbalance=self.load_imbalance,
             nodes=self.node_rows(),
         )
+        if self.interrupted:
+            row["interrupted"] = True
+        if self.store is not None:
+            row["store"] = dict(self.store)
         return row
 
     def node_rows(self) -> List[Dict[str, Any]]:

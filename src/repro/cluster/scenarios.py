@@ -20,6 +20,17 @@ cache cannot ask:
 * ``partition`` — the freshness channel to a subset of nodes turns lossy (or
   fully drops) for a window; fetches still work, so the nodes serve and fill
   normally while silently missing invalidates.
+* ``kill-at-t`` — the whole fleet crashes at a point in time and restarts
+  immediately: every node's volatile state (cache, buffers, in-flight
+  messages) is lost.  With ``mode="warm"`` and a configured store
+  (:mod:`repro.store`) each node rebuilds its cache from its last snapshot
+  plus WAL-replayed validation; ``mode="cold"`` restarts empty — the pair
+  quantifies what durability buys.
+
+``node-failure`` additionally accepts ``rejoin="warm"``: instead of coming
+back cold, the recovered node restores its cache from the last snapshot its
+local disk completed before the failure, invalidating exactly the keys the
+backend wrote while it was away.
 """
 
 from __future__ import annotations
@@ -54,6 +65,11 @@ class Scenario:
         self.staleness_bound = 0.0
         self.num_nodes = 0
 
+    @property
+    def requires_persistence(self) -> bool:
+        """Whether the scenario needs the cluster to run with a store."""
+        return False
+
     def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
         """Resolve time defaults against the run's horizon and bound."""
         self.duration = float(duration)
@@ -86,12 +102,17 @@ class NodeFailureScenario(Scenario):
       failure detector fires: the node leaves the ring (its cache is purged)
       and its keys move to the surviving nodes.
     * ``recover_at`` (default ``0.75 * duration``; ``None`` disables) — the
-      node rejoins the ring with a cold cache.
+      node rejoins the ring: cold by default, or warm (restoring its cache
+      from its last pre-failure snapshot, with keys written during the
+      outage invalidated) when ``rejoin="warm"``.
 
     Args:
         node_index: Index of the node to fail (default 0).
         fail_at / detect_at / recover_at: Absolute times overriding the
             defaults above (``recover_at=None`` keeps the node out for good).
+        rejoin: ``"cold"`` (empty cache) or ``"warm"`` (restore from the
+            node's durable snapshot; requires the cluster to run with a
+            :class:`~repro.store.StoreConfig`).
     """
 
     name = "node-failure"
@@ -104,10 +125,14 @@ class NodeFailureScenario(Scenario):
         fail_at: Optional[float] = None,
         detect_at: Optional[float] = None,
         recover_at: Optional[float] | str = _AUTO,
+        rejoin: str = "cold",
     ) -> None:
         super().__init__()
         if node_index < 0:
             raise ClusterError(f"node_index must be >= 0, got {node_index}")
+        if rejoin not in ("cold", "warm"):
+            raise ClusterError(f"rejoin must be 'cold' or 'warm', got {rejoin!r}")
+        self.rejoin = rejoin
         self.node_index = int(node_index)
         # Constructor arguments stay untouched; bind() resolves them into the
         # ``fail_at``/``detect_at``/``recover_at`` timeline, so the same
@@ -140,8 +165,13 @@ class NodeFailureScenario(Scenario):
         if not self.fail_at < self.detect_at:
             raise ClusterError("detect_at must be after fail_at")
 
+    @property
+    def requires_persistence(self) -> bool:
+        return self.rejoin == "warm"
+
     def events(self) -> List[ScenarioEvent]:
         index = self.node_index
+        warm = self.rejoin == "warm"
 
         def fail(cluster: "ClusterSimulation", time: float) -> None:
             cluster.fail_node(index)
@@ -150,14 +180,15 @@ class NodeFailureScenario(Scenario):
             cluster.remove_node(index, time)
 
         def recover(cluster: "ClusterSimulation", time: float) -> None:
-            cluster.rejoin_node(index)
+            cluster.rejoin_node(index, warm=warm, time=time)
 
+        label = "recover-warm" if warm else "recover"
         events = [
             ScenarioEvent(time=self.fail_at, label="fail", apply=fail),
             ScenarioEvent(time=self.detect_at, label="detect", apply=detect),
         ]
         if self.recover_at is not None:
-            events.append(ScenarioEvent(time=self.recover_at, label="recover", apply=recover))
+            events.append(ScenarioEvent(time=self.recover_at, label=label, apply=recover))
         return events
 
     def describe(self) -> Dict[str, Any]:
@@ -167,6 +198,7 @@ class NodeFailureScenario(Scenario):
             "fail_at": self.fail_at,
             "detect_at": self.detect_at,
             "recover_at": self.recover_at,
+            "rejoin": self.rejoin,
         }
 
 
@@ -319,10 +351,63 @@ class PartitionScenario(Scenario):
         }
 
 
+class CrashRestartScenario(Scenario):
+    """Mid-run fleet crash with immediate restart (``kill-at-t``).
+
+    At ``kill_at`` (default half the run) every node loses its volatile
+    state — cache contents, write buffers, trackers, in-flight freshness
+    messages — and restarts at once.  The shared datastore is authoritative
+    and survives.  With ``mode="warm"`` each node restores its cache from its
+    last durable snapshot, with keys written since the snapshot invalidated
+    by WAL replay; with ``mode="cold"`` the fleet restarts empty.  Comparing
+    the two quantifies the miss/stale spike durability avoids.
+
+    Args:
+        kill_at: Absolute crash time (default ``0.5 * duration``).
+        mode: ``"warm"`` (requires a configured store) or ``"cold"``.
+    """
+
+    name = "kill-at-t"
+
+    def __init__(self, kill_at: Optional[float] = None, mode: str = "warm") -> None:
+        super().__init__()
+        if mode not in ("warm", "cold"):
+            raise ClusterError(f"mode must be 'warm' or 'cold', got {mode!r}")
+        self._kill_at_arg = kill_at
+        self.kill_at: float = 0.0
+        self.mode = mode
+
+    @property
+    def requires_persistence(self) -> bool:
+        return self.mode == "warm"
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        self.kill_at = 0.5 * duration if self._kill_at_arg is None else self._kill_at_arg
+        if not 0.0 < self.kill_at < duration:
+            raise ClusterError(
+                f"kill_at must fall inside the run (0, {duration}), got {self.kill_at}"
+            )
+
+    def events(self) -> List[ScenarioEvent]:
+        warm = self.mode == "warm"
+
+        def crash(cluster: "ClusterSimulation", time: float) -> None:
+            cluster.crash_restart(time, warm=warm)
+
+        return [
+            ScenarioEvent(time=self.kill_at, label=f"crash-restart-{self.mode}", apply=crash)
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "kill_at": self.kill_at, "mode": self.mode}
+
+
 SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "node-failure": NodeFailureScenario,
     "flash-crowd": FlashCrowdScenario,
     "partition": PartitionScenario,
+    "kill-at-t": CrashRestartScenario,
 }
 
 

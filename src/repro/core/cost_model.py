@@ -50,6 +50,10 @@ class CostBreakdown:
     read_op: float = 0.2
     update_op: float = 0.2
     delete_op: float = 0.05
+    #: Fixed store work to stage one WAL record in the commit batch.
+    append_op: float = 0.02
+    #: Fixed cost of one fsync-style group commit of the WAL batch.
+    fsync_op: float = 0.5
 
     def _ser(self, size: int) -> float:
         return self.serialize_per_byte * size
@@ -84,6 +88,14 @@ class CostBreakdown:
         """
         return self._deser(key_size) + self.read_op + self._ser(key_size + value_size)
 
+    def wal_append_cost(self, record_size: int) -> float:
+        """Cost of serialising and staging one WAL record of ``record_size`` bytes."""
+        return self._ser(record_size) + self.append_op
+
+    def wal_flush_cost(self) -> float:
+        """Cost of one group commit (fsync) of the staged WAL batch."""
+        return self.fsync_op
+
 
 class CostModel:
     """Runtime cost oracle used by policies and the simulator.
@@ -104,6 +116,11 @@ class CostModel:
         update: Fixed ``c_u``.
         serve: Fixed cost of serving one read, used as the normalisation
             denominator for :math:`C'_F`.  Defaults to ``miss``.
+        wal_append: Fixed cost of staging one write-ahead-log record
+            (persistence layer; charged per backend write when journaling is
+            enabled).
+        wal_flush: Fixed cost of one fsync-style group commit of the WAL
+            batch; batching ``flush_every`` records amortises this.
         breakdown: Optional :class:`CostBreakdown`; when given, all costs are
             computed from it using per-request sizes.
     """
@@ -114,16 +131,22 @@ class CostModel:
         invalidate: float = 0.1,
         update: float = 0.6,
         serve: Optional[float] = None,
+        wal_append: float = 0.05,
+        wal_flush: float = 0.5,
         breakdown: Optional[CostBreakdown] = None,
     ) -> None:
         if min(miss, invalidate, update) < 0:
             raise ConfigurationError("costs must be non-negative")
+        if min(wal_append, wal_flush) < 0:
+            raise ConfigurationError("WAL costs must be non-negative")
         if serve is not None and serve <= 0:
             raise ConfigurationError(f"serve cost must be positive, got {serve}")
         self._miss = float(miss)
         self._invalidate = float(invalidate)
         self._update = float(update)
         self._serve = float(serve) if serve is not None else float(miss)
+        self._wal_append = float(wal_append)
+        self._wal_flush = float(wal_flush)
         self.breakdown = breakdown
 
     # ------------------------------------------------------------------ #
@@ -208,6 +231,18 @@ class CostModel:
         if self.breakdown is not None:
             return self.breakdown.serve_cost(key_size, value_size)
         return self._serve
+
+    def wal_append_cost(self, record_size: int = 64) -> float:
+        """Return the cost of staging one WAL record of ``record_size`` bytes."""
+        if self.breakdown is not None:
+            return self.breakdown.wal_append_cost(record_size)
+        return self._wal_append
+
+    def wal_flush_cost(self) -> float:
+        """Return the cost of one group commit of the staged WAL batch."""
+        if self.breakdown is not None:
+            return self.breakdown.wal_flush_cost()
+        return self._wal_flush
 
     def as_tuple(self, key_size: int = 16, value_size: int = 128) -> tuple[float, float, float]:
         """Return ``(c_m, c_i, c_u)`` for the given sizes."""

@@ -33,3 +33,8 @@ class BottleneckError(ReproError):
 
 class ClusterError(ReproError):
     """Raised when a cluster simulation is misconfigured or driven badly."""
+
+
+class StoreError(ReproError):
+    """Raised when the durable persistence layer hits a malformed log or
+    snapshot, or is asked to recover from a directory with nothing in it."""

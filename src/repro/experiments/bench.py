@@ -14,6 +14,7 @@ import json
 import platform
 import resource
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -21,6 +22,8 @@ from typing import Any, Dict, Optional, Sequence
 from repro.cluster import ClusterSimulation, ReplicationConfig
 from repro.experiments.registry import make_policy
 from repro.sim.simulation import Simulation
+from repro.store.format import KIND_WRITE, WalScan
+from repro.store.wal import WriteAheadLog
 from repro.workload.poisson import PoissonZipfWorkload
 
 DEFAULT_BENCH_POLICIES = ("ttl-expiry", "ttl-polling", "invalidate", "update", "adaptive")
@@ -102,6 +105,45 @@ def bench_policy(
     return row
 
 
+def bench_wal(
+    num_records: int = 200_000,
+    num_keys: int = 1000,
+    flush_every: int = 256,
+) -> Dict[str, Any]:
+    """Measure raw WAL append and replay throughput.
+
+    Appends ``num_records`` synthetic write records (group-committed every
+    ``flush_every``), then replays the log from disk, reporting records/sec
+    for both directions plus the on-disk footprint.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-wal-bench-") as root:
+        wal = WriteAheadLog(Path(root) / "wal.log", flush_every=flush_every)
+        started = time.perf_counter()
+        for index in range(num_records):
+            wal.append(
+                KIND_WRITE,
+                {"key": f"key-{index % num_keys:06d}", "t": float(index), "vs": 128},
+            )
+        wal.flush()
+        append_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        scan = WalScan()
+        replayed = sum(1 for _ in wal.replay(scan=scan))
+        replay_seconds = time.perf_counter() - started
+        wal.close()
+        return {
+            "records": num_records,
+            "flush_every": flush_every,
+            "bytes_written": wal.stats.bytes_written,
+            "flushes": wal.stats.flushes,
+            "append_seconds": append_seconds,
+            "append_per_sec": num_records / append_seconds if append_seconds > 0 else 0.0,
+            "replayed": replayed,
+            "replay_seconds": replay_seconds,
+            "replay_per_sec": replayed / replay_seconds if replay_seconds > 0 else 0.0,
+        }
+
+
 def run_bench(
     policies: Sequence[str] = DEFAULT_BENCH_POLICIES,
     num_requests: int = 200_000,
@@ -112,13 +154,15 @@ def run_bench(
     label: Optional[str] = None,
     num_nodes: Optional[int] = None,
     replication: int = 1,
+    store: bool = False,
 ) -> Dict[str, Any]:
     """Benchmark the streaming pipeline under several policies.
 
     With ``num_nodes`` set, benchmarks the cluster replay path instead of the
-    single-cache path.  Writes a ``BENCH_<label>.json`` record into
-    ``output_dir`` and returns its contents (including the output path under
-    ``"path"``).
+    single-cache path.  With ``store`` set, a :func:`bench_wal` pass is added
+    and recorded under the ``"store"`` key (WAL append + replay throughput).
+    Writes a ``BENCH_<label>.json`` record into ``output_dir`` and returns
+    its contents (including the output path under ``"path"``).
     """
     results = [
         bench_policy(
@@ -145,10 +189,13 @@ def run_bench(
             "policies": list(policies),
             "num_nodes": num_nodes,
             "replication": replication,
+            "store": store,
         },
         "peak_rss_kib": peak_rss_kib(),
         "results": results,
     }
+    if store:
+        record["store"] = bench_wal(num_records=num_requests, num_keys=num_keys)
     label = label or time.strftime("%Y%m%dT%H%M%S")
     path = Path(output_dir) / f"BENCH_{label}.json"
     with path.open("w") as handle:

@@ -15,13 +15,31 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Dict, List, Optional
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.backend.channel import Channel
 from repro.cluster import ClusterSimulation, HotKeyConfig, ReplicationConfig, make_scenario
 from repro.experiments.registry import make_cost_model, make_policy, make_workload
 from repro.experiments.spec import ExperimentSpec, RunCell
 from repro.sim.simulation import Simulation
+from repro.store.snapshot import StoreConfig
+
+
+@contextmanager
+def _cell_store(cell: RunCell) -> Iterator[Optional[StoreConfig]]:
+    """Yield a scratch-directory store config for persistent cells.
+
+    The directory is deleted after the run: the row keeps only the
+    deterministic store counters, so results stay byte-identical regardless
+    of where the scratch space lived or how many workers ran the grid.
+    """
+    if not cell.persistence:
+        yield None
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as root:
+        yield StoreConfig(root=root, snapshot_interval=cell.snapshot_interval)
 
 
 def run_cell(cell: RunCell) -> Dict[str, Any]:
@@ -45,18 +63,22 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             jitter=cell.channel.jitter,
             seed=cell.seed,
         )
-    simulation = Simulation(
-        workload=workload.iter_requests(cell.duration),
-        policy=policy,
-        staleness_bound=cell.staleness_bound,
-        costs=costs,
-        cache_capacity=cell.cache_capacity,
-        channel=channel,
-        duration=cell.duration,
-        workload_name=workload.name,
-    )
-    row = dict(cell.describe())
-    row.update(simulation.run().as_dict())
+    with _cell_store(cell) as store:
+        simulation = Simulation(
+            workload=workload.iter_requests(cell.duration),
+            policy=policy,
+            staleness_bound=cell.staleness_bound,
+            costs=costs,
+            cache_capacity=cell.cache_capacity,
+            channel=channel,
+            duration=cell.duration,
+            workload_name=workload.name,
+            store=store,
+        )
+        row = dict(cell.describe())
+        row.update(simulation.run().as_dict())
+        if store is not None:
+            row["store"] = simulation.store_stats()
     return row
 
 
@@ -74,24 +96,26 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
         if cell.hot_policy is not None
         else None
     )
-    cluster = ClusterSimulation(
-        workload=workload.iter_requests(cell.duration),
-        policy=cell.policy,
-        num_nodes=cell.num_nodes,
-        staleness_bound=cell.staleness_bound,
-        costs=costs,
-        replication=ReplicationConfig(factor=cell.replication, read_policy=cell.read_policy),
-        cache_capacity=cell.cache_capacity,
-        channel=cell.channel,
-        scenario=scenario,
-        hotkey=hotkey,
-        duration=cell.duration,
-        workload_name=workload.name,
-        vnodes=cell.vnodes,
-        seed=cell.seed,
-    )
-    row = dict(cell.describe())
-    row.update(cluster.run().as_dict())
+    with _cell_store(cell) as store:
+        cluster = ClusterSimulation(
+            workload=workload.iter_requests(cell.duration),
+            policy=cell.policy,
+            num_nodes=cell.num_nodes,
+            staleness_bound=cell.staleness_bound,
+            costs=costs,
+            replication=ReplicationConfig(factor=cell.replication, read_policy=cell.read_policy),
+            cache_capacity=cell.cache_capacity,
+            channel=cell.channel,
+            scenario=scenario,
+            hotkey=hotkey,
+            duration=cell.duration,
+            workload_name=workload.name,
+            vnodes=cell.vnodes,
+            seed=cell.seed,
+            store=store,
+        )
+        row = dict(cell.describe())
+        row.update(cluster.run().as_dict())
     return row
 
 

@@ -118,6 +118,11 @@ class RunCell:
     hot_policy: Optional[str] = None
     hot_fraction: float = 0.02
     vnodes: int = 64
+    # Persistence coordinates.  ``persistence=True`` runs the cell with a
+    # write-ahead log + snapshots in a per-cell scratch directory and records
+    # the deterministic store counters in the row.
+    persistence: bool = False
+    snapshot_interval: Optional[float] = None
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -139,6 +144,8 @@ class RunCell:
             "scenario": self.scenario.name if self.scenario is not None else "none",
             "scenario_params": dict(self.scenario.params) if self.scenario is not None else {},
             "hot_policy": self.hot_policy,
+            "persistence": self.persistence,
+            "snapshot_interval": self.snapshot_interval if self.persistence else None,
         }
 
 
@@ -189,6 +196,12 @@ class ExperimentSpec:
             hot-key switching; not an axis).
         hot_fraction: Hot-key detection threshold for cluster cells.
         vnodes: Virtual nodes per cluster node on the hash ring.
+        persistence: Persistence axis; ``True`` entries run their cells with
+            a write-ahead log + snapshots (scratch directory per cell) and
+            add the deterministic store counters to the row.
+        snapshot_intervals: Snapshot-cadence axis for persistent cells
+            (``None`` = only the final checkpoint).  Non-default entries
+            require every ``persistence`` entry to be ``True``.
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -208,6 +221,8 @@ class ExperimentSpec:
     hot_policy: Optional[str] = None
     hot_fraction: float = 0.02
     vnodes: int = 64
+    persistence: Sequence[bool] = (False,)
+    snapshot_intervals: Sequence[Optional[float]] = (None,)
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -260,6 +275,48 @@ class ExperimentSpec:
                 f"{list(self.num_nodes)}) or the single-cache rows would be "
                 "labeled with a scenario that never ran"
             )
+        if not self.persistence:
+            raise ConfigurationError("the persistence axis needs at least one entry")
+        for interval in self.snapshot_intervals:
+            if interval is not None and interval <= 0:
+                raise ConfigurationError(
+                    f"snapshot intervals must be positive, got {interval}"
+                )
+        if any(interval is not None for interval in self.snapshot_intervals) and not all(
+            self.persistence
+        ):
+            raise ConfigurationError(
+                "snapshot intervals only apply to persistent cells; every "
+                f"persistence entry must be True (got {list(self.persistence)}) "
+                "or the non-persistent rows would be labeled with a snapshot "
+                "cadence that never ran"
+            )
+        # Scenarios that restore nodes from durable snapshots (warm rejoin,
+        # warm kill-at-t) need every cell to run with a store; surface the
+        # mismatch here rather than inside a worker mid-sweep.
+        for scenario in self.normalized_scenarios():
+            if scenario is None:
+                continue
+            from repro.cluster.scenarios import make_scenario
+            from repro.errors import ClusterError
+
+            try:
+                materialized = make_scenario(scenario.name, scenario.params_dict())
+            except ClusterError as exc:
+                raise ConfigurationError(str(exc)) from exc
+            if materialized.requires_persistence:
+                if not all(self.persistence):
+                    raise ConfigurationError(
+                        f"scenario {scenario.name!r} restores nodes from durable "
+                        "snapshots; every persistence entry must be True (got "
+                        f"{list(self.persistence)})"
+                    )
+                if any(interval is None for interval in self.snapshot_intervals):
+                    raise ConfigurationError(
+                        f"scenario {scenario.name!r} restores nodes from "
+                        "periodic snapshots; every snapshot_intervals entry "
+                        f"must be set (got {list(self.snapshot_intervals)})"
+                    )
 
     def normalized_workloads(self) -> List[WorkloadSpec]:
         """Return the workload axis with bare names promoted to specs."""
@@ -292,6 +349,8 @@ class ExperimentSpec:
             * len(self.num_nodes)
             * len(self.replications)
             * len(self.scenarios)
+            * len(self.persistence)
+            * len(self.snapshot_intervals)
         )
 
     def expand(self) -> List[RunCell]:
@@ -306,6 +365,8 @@ class ExperimentSpec:
             self.num_nodes,
             self.replications,
             self.normalized_scenarios(),
+            self.persistence,
+            self.snapshot_intervals,
             self.policies,
         )
         for cell_id, (
@@ -316,6 +377,8 @@ class ExperimentSpec:
             nodes,
             replication,
             scenario,
+            persistence,
+            snapshot_interval,
             policy,
         ) in enumerate(grid):
             seed = stable_cell_seed(self.base_seed, workload.name, workload.params, self.duration)
@@ -340,6 +403,10 @@ class ExperimentSpec:
                     hot_policy=self.hot_policy,
                     hot_fraction=self.hot_fraction,
                     vnodes=self.vnodes,
+                    persistence=bool(persistence),
+                    snapshot_interval=(
+                        float(snapshot_interval) if snapshot_interval is not None else None
+                    ),
                 )
             )
         return cells

@@ -51,6 +51,12 @@ class SimulationResult:
     # Integrity checks.
     staleness_violations: int = 0
 
+    # Persistence-layer counters (zero unless a store is configured).
+    persistence_cost: float = 0.0
+    wal_appends: int = 0
+    wal_flushes: int = 0
+    snapshots_taken: int = 0
+
     # Cache-level statistics snapshot (filled at the end of the run).
     cache_stats: Dict[str, float] = field(default_factory=dict)
 
@@ -73,6 +79,10 @@ class SimulationResult:
         "stale_refetches",
         "messages_dropped",
         "staleness_violations",
+        "persistence_cost",
+        "wal_appends",
+        "wal_flushes",
+        "snapshots_taken",
     )
 
     def accumulate(self, other: "SimulationResult") -> None:
@@ -190,4 +200,8 @@ class SimulationResult:
             "stale_refetches": self.stale_refetches,
             "messages_dropped": self.messages_dropped,
             "staleness_violations": self.staleness_violations,
+            "persistence_cost": self.persistence_cost,
+            "wal_appends": self.wal_appends,
+            "wal_flushes": self.wal_flushes,
+            "snapshots_taken": self.snapshots_taken,
         }

@@ -27,7 +27,8 @@ proportional to the number of requests even for very small staleness bounds.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import math
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.backend.buffer import WriteBuffer
 from repro.backend.channel import Channel
@@ -44,6 +45,8 @@ from repro.errors import ConfigurationError
 from repro.sim.clock import SimulationClock
 from repro.sim.events import PendingDelivery
 from repro.sim.results import SimulationResult
+from repro.store.runtime import StoreRuntime
+from repro.store.snapshot import StoreConfig
 from repro.workload.base import Request, ensure_sorted
 
 
@@ -82,6 +85,13 @@ class Simulation:
         final_flush: Whether to flush the write buffer once more at the end of
             the run, matching the closed-form model that charges every
             interval containing a write.
+        store: Optional persistence config (:class:`~repro.store.StoreConfig`).
+            When given, every backend write is journaled to a write-ahead log
+            and the datastore is snapshotted at ``snapshot_interval`` plus
+            once at the end of the run, so the backend can be rebuilt
+            byte-for-byte by :func:`repro.store.recover_datastore`.
+        history_retention: Optional retention window for the datastore's
+            per-key write history (see :class:`~repro.backend.datastore.DataStore`).
     """
 
     def __init__(
@@ -98,6 +108,8 @@ class Simulation:
         workload_name: str = "",
         discard_buffer_on_miss_fill: bool = True,
         final_flush: bool = True,
+        store: Optional[StoreConfig] = None,
+        history_retention: Optional[float] = None,
     ) -> None:
         if staleness_bound <= 0:
             raise ConfigurationError(
@@ -128,7 +140,11 @@ class Simulation:
                 duration = 0.0
         self.duration = float(duration)
 
-        self.datastore = DataStore()
+        self.datastore = DataStore(retention=history_retention)
+        self._store: Optional[StoreRuntime] = None
+        if store is not None:
+            self._store = StoreRuntime(store, self.costs)
+            self._store.attach(self.datastore)
         self.cache = Cache(capacity=cache_capacity, eviction=eviction, on_evict=self._on_evict)
         self.buffer = WriteBuffer()
         self.tracker = InvalidationTracker(capacity=tracker_capacity)
@@ -185,12 +201,23 @@ class Simulation:
     # Background work: interval flushes and delayed message delivery
     # ------------------------------------------------------------------ #
     def _advance_background_work(self, until: float) -> None:
-        """Run interval flushes and message deliveries due before ``until``."""
-        if self.policy.reacts_to_writes:
-            while self._next_flush <= until:
-                self._deliver_messages(self._next_flush)
-                self._flush(self._next_flush)
+        """Run interval flushes, snapshots, and deliveries due before ``until``.
+
+        Flushes and snapshots are interleaved in time order (flush first on a
+        tie, so a snapshot observes the flushed state of its instant).
+        """
+        reacts = self.policy.reacts_to_writes
+        while True:
+            next_flush = self._next_flush if reacts else math.inf
+            next_snapshot = self._store.next_snapshot if self._store else math.inf
+            if min(next_flush, next_snapshot) > until:
+                break
+            if next_flush <= next_snapshot:
+                self._deliver_messages(next_flush)
+                self._flush(next_flush)
                 self._next_flush += self.staleness_bound
+            else:
+                self._store.checkpoint(next_snapshot, self.datastore)
         self._deliver_messages(until)
 
     def _flush(self, flush_time: float) -> None:
@@ -216,6 +243,8 @@ class Simulation:
         message = InvalidateMessage(
             key=key, sent_at=time, key_size=key_size, version=self.datastore.latest_version(key)
         )
+        if self.datastore.journal is not None:
+            self.datastore.journal.log_message("invalidate", key, time, message.version)
         self._transmit(message)
 
     def _send_update(self, key: str, key_size: int, time: float) -> None:
@@ -232,6 +261,8 @@ class Simulation:
             value_size=value_size,
             version=self.datastore.latest_version(key),
         )
+        if self.datastore.journal is not None:
+            self.datastore.journal.log_message("update", key, time, message.version)
         self._transmit(message)
 
     def _transmit(self, message) -> None:
@@ -376,16 +407,24 @@ class Simulation:
     def _finalize(self) -> None:
         end_time = max(self.duration, self.clock.now)
         self.clock.advance_to(end_time)
-        if self.policy.reacts_to_writes:
-            while self._next_flush <= end_time:
-                self._deliver_messages(self._next_flush)
-                self._flush(self._next_flush)
-                self._next_flush += self.staleness_bound
-            if self.final_flush and len(self.buffer):
-                self._flush(end_time)
+        self._advance_background_work(end_time)
+        if self.policy.reacts_to_writes and self.final_flush and len(self.buffer):
+            self._flush(end_time)
         self._deliver_messages(end_time)
         if self.policy.ttl_mode == "polling":
             for entry in list(self.cache.entries()):
                 self._account_polls(entry, end_time)
+        if self._store is not None:
+            self._store.checkpoint(end_time, self.datastore)
+            stats = self._store.stats()
+            self.result.persistence_cost = stats["persistence_cost"]
+            self.result.wal_appends = stats["wal_appends"]
+            self.result.wal_flushes = stats["wal_flushes"]
+            self.result.snapshots_taken = stats["snapshots"]
+            self._store.close()
         self.result.duration = end_time
         self.result.cache_stats = self.cache.stats.as_dict()
+
+    def store_stats(self) -> Optional[Dict[str, Any]]:
+        """Deterministic persistence counters (``None`` without a store)."""
+        return self._store.stats() if self._store is not None else None

@@ -1,0 +1,273 @@
+"""The append-only write-ahead log and the datastore journal built on it.
+
+:class:`WriteAheadLog` is the durability primitive: records are appended to
+an in-memory batch and made durable in groups of ``flush_every`` (an
+fsync-style group commit).  Every append and every flush is charged to the
+:class:`~repro.core.cost_model.CostModel`, so persistence shows up in the
+same cost units as freshness messages — the overhead a deployment would
+actually pay for crash safety.
+
+:class:`Journal` is the thin adapter the simulators attach to a
+:class:`~repro.backend.datastore.DataStore`: it logs every backend write as
+its own record, aggregates read counts into delta records (reads mutate only
+a counter, so logging each one individually would dominate the log), and
+records every freshness message sent, giving ``store inspect`` a full audit
+trail of the backend's externally visible behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.cost_model import CostModel
+from repro.errors import StoreError
+from repro.store.format import (
+    KIND_MESSAGE,
+    KIND_READS,
+    KIND_WRITE,
+    MAGIC,
+    WalScan,
+    encode_record,
+    scan_wal,
+)
+
+
+@dataclass(slots=True)
+class WalStats:
+    """Counters describing one WAL's lifetime activity.
+
+    ``bytes_written`` counts appended record bytes (a monotone total that
+    compaction does not roll back), so it doubles as the log-growth metric.
+    """
+
+    appends: int = 0
+    flushes: int = 0
+    bytes_written: int = 0
+    compactions: int = 0
+    records_dropped: int = 0
+    persistence_cost: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten for snapshots and result rows."""
+        return asdict(self)
+
+    def load(self, data: Dict[str, Any]) -> None:
+        """Restore the counters from a snapshot (crash-resume path)."""
+        for name, value in data.items():
+            if hasattr(self, name):
+                setattr(self, name, value)
+
+
+class WriteAheadLog:
+    """Append-only, checksummed record log with batched group commit.
+
+    Args:
+        path: Log file location.  An existing file is opened for append and
+            scanned once so LSNs continue where the previous process stopped.
+        flush_every: Records per group commit; ``1`` makes every append
+            durable immediately.
+        costs: Cost model charged per append and per flush (``None`` skips
+            cost accounting).
+        fsync: Whether to actually ``os.fsync`` on flush.  Defaults off — the
+            simulator models durability cost through the cost model, and the
+            OS-level sync only matters when the host itself may lose power.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        flush_every: int = 64,
+        costs: Optional[CostModel] = None,
+        fsync: bool = False,
+    ) -> None:
+        if flush_every < 1:
+            raise StoreError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = int(flush_every)
+        self.costs = costs
+        self.fsync = fsync
+        self.stats = WalStats()
+        self._batch: List[bytes] = []
+        self._batch_bytes = 0
+        self._last_lsn = 0
+        self._records_in_file = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            scan = WalScan()
+            for _ in scan_wal(self.path, scan):
+                pass
+            self._last_lsn = scan.last_lsn
+            self._records_in_file = scan.records
+            if scan.torn_bytes:
+                # Truncate the torn tail so new appends form a valid log.
+                # ``bytes_read`` is the absolute offset just past the last
+                # record whose checksum verified (0 when none did).
+                with self.path.open("r+b") as handle:
+                    handle.truncate(scan.bytes_read if scan.records else len(MAGIC))
+        else:
+            self.path.write_bytes(MAGIC)
+        self._handle = self.path.open("ab")
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record."""
+        return self._last_lsn
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, kind: str, fields: Dict[str, Any]) -> int:
+        """Append one record and return its LSN (durable after the next flush)."""
+        self._last_lsn += 1
+        payload = dict(fields)
+        payload["lsn"] = self._last_lsn
+        payload["k"] = kind
+        record = encode_record(payload)
+        self._batch.append(record)
+        self._batch_bytes += len(record)
+        self.stats.appends += 1
+        if self.costs is not None:
+            self.stats.persistence_cost += self.costs.wal_append_cost(len(record))
+        if len(self._batch) >= self.flush_every:
+            self.flush()
+        return self._last_lsn
+
+    def flush(self) -> None:
+        """Group-commit the batched records (no-op when nothing is pending)."""
+        if not self._batch:
+            return
+        self._handle.write(b"".join(self._batch))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.stats.flushes += 1
+        self.stats.bytes_written += self._batch_bytes
+        self._records_in_file += len(self._batch)
+        if self.costs is not None:
+            self.stats.persistence_cost += self.costs.wal_flush_cost()
+        self._batch.clear()
+        self._batch_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Reading and compaction
+    # ------------------------------------------------------------------ #
+    def replay(self, after_lsn: int = 0, scan: Optional[WalScan] = None) -> Iterator[Dict[str, Any]]:
+        """Yield durable records with ``lsn > after_lsn`` in log order.
+
+        Only flushed records are visible — replay reads the file, not the
+        in-memory batch, matching what a crashed process would recover.
+        """
+        for record in scan_wal(self.path, scan):
+            if int(record.get("lsn", 0)) > after_lsn:
+                yield record
+
+    def compact(self, keep_after_lsn: int) -> int:
+        """Drop records with ``lsn <= keep_after_lsn`` (the snapshot watermark).
+
+        The log is rewritten to a sibling file and atomically swapped in, so
+        a crash mid-compaction leaves either the old or the new log intact.
+
+        Returns:
+            The number of records dropped.
+        """
+        self.flush()
+        self._handle.close()
+        if keep_after_lsn >= self._last_lsn:
+            # The common checkpoint case drops the whole log: truncate to the
+            # header instead of decoding and re-encoding every record.
+            dropped = self._records_in_file
+            self.path.write_bytes(MAGIC)
+            self._records_in_file = 0
+        else:
+            tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+            kept = 0
+            with tmp_path.open("wb") as tmp:
+                tmp.write(MAGIC)
+                for record in scan_wal(self.path):
+                    if int(record.get("lsn", 0)) <= keep_after_lsn:
+                        continue
+                    tmp.write(encode_record(record))
+                    kept += 1
+            os.replace(tmp_path, self.path)
+            dropped = self._records_in_file - kept
+            self._records_in_file = kept
+        self._handle = self.path.open("ab")
+        self.stats.compactions += 1
+        self.stats.records_dropped += dropped
+        return dropped
+
+    def close(self) -> None:
+        """Flush any pending batch and close the file handle."""
+        self.flush()
+        self._handle.close()
+
+
+class Journal:
+    """Datastore-side hook feeding backend activity into a WAL.
+
+    The journal is attached via
+    :meth:`~repro.backend.datastore.DataStore.attach_journal`; from then on
+    every committed write becomes a WAL record.  Reads are aggregated: the
+    journal keeps a pending read count and emits a single delta record just
+    before the next write record (or at :meth:`sync`), keeping the recovered
+    ``total_reads`` counter exact at every durable point.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+        self._reads_pending = 0
+        self.writes_logged = 0
+        self.reads_logged = 0
+        self.messages_logged = 0
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the datastore and the simulators
+    # ------------------------------------------------------------------ #
+    def log_write(self, key: str, time: float, value_size: int) -> None:
+        """Record one committed backend write."""
+        self._drain_reads()
+        self.wal.append(KIND_WRITE, {"key": key, "t": time, "vs": value_size})
+        self.writes_logged += 1
+
+    def note_read(self) -> None:
+        """Count one backend read (aggregated into the next delta record)."""
+        self._reads_pending += 1
+
+    def log_message(self, kind: str, key: str, time: float, version: int) -> None:
+        """Record one freshness message (invalidate/update) sent by the backend."""
+        self._drain_reads()
+        self.wal.append(KIND_MESSAGE, {"mk": kind, "key": key, "t": time, "v": version})
+        self.messages_logged += 1
+
+    def _drain_reads(self) -> None:
+        if self._reads_pending:
+            self.wal.append(KIND_READS, {"n": self._reads_pending})
+            self.reads_logged += self._reads_pending
+            self._reads_pending = 0
+
+    def sync(self) -> None:
+        """Make everything logged so far durable (checkpoint barrier)."""
+        self._drain_reads()
+        self.wal.flush()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot round-trip
+    # ------------------------------------------------------------------ #
+    def state(self) -> Dict[str, Any]:
+        """Counters persisted in snapshots so a resumed run keeps counting."""
+        return {
+            "writes_logged": self.writes_logged,
+            "reads_logged": self.reads_logged,
+            "messages_logged": self.messages_logged,
+            "wal": self.wal.stats.as_dict(),
+        }
+
+    def load_state(self, data: Dict[str, Any]) -> None:
+        """Restore the counters from a snapshot (crash-resume path)."""
+        self.writes_logged = int(data.get("writes_logged", 0))
+        self.reads_logged = int(data.get("reads_logged", 0))
+        self.messages_logged = int(data.get("messages_logged", 0))
+        self.wal.stats.load(data.get("wal", {}))

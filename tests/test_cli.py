@@ -2,7 +2,48 @@
 
 import json
 
+import pytest
+
+import repro
 from repro.__main__ import main
+
+
+def test_version_flag_prints_the_package_version(capsys) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_unknown_policy_name_exits_non_zero(capsys) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--policy", "no-such-policy"])
+    assert excinfo.value.code != 0
+    assert "no-such-policy" in capsys.readouterr().err
+
+
+def test_negative_duration_exits_non_zero(capsys) -> None:
+    for argv in (
+        ["run", "--duration=-5"],
+        ["run", "--duration=inf"],
+        ["run", "--duration=nan"],
+        ["sweep", "--duration=-5"],
+        ["cluster", "--duration=0"],
+        ["store", "snapshot", "--dir", "x", "--duration=-1"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code != 0
+    assert "positive" in capsys.readouterr().err
+
+
+def test_unknown_workload_and_missing_subcommand_exit_non_zero(capsys) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--workload", "nope"])
+    assert excinfo.value.code != 0
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code != 0
 
 
 def test_run_prints_result_json(capsys) -> None:
@@ -91,6 +132,104 @@ def test_cluster_bench_mode_writes_record(tmp_path, capsys) -> None:
     for result in record["results"]:
         assert result["num_nodes"] == 4
         assert result["requests_per_sec"] > 0
+
+
+def test_store_snapshot_crash_recover_resume_verify(tmp_path, capsys) -> None:
+    """The CI smoke path: run -> crash -> recover -> resume -> verify."""
+    store_dir = tmp_path / "store"
+    exit_code = main(
+        [
+            "store", "snapshot",
+            "--dir", str(store_dir),
+            "--duration", "8.0",
+            "--snapshot-interval", "2.0",
+            "--kill-at", "4.0",
+            "--param", "num_keys=100",
+        ]
+    )
+    assert exit_code == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["interrupted"] is True
+    assert row["duration"] == pytest.approx(4.0)
+    # Interrupted rows report the same flat persistence counters as
+    # finished rows, consistent with their nested store dict.
+    assert row["wal_appends"] == row["store"]["wal_appends"] > 0
+    assert row["persistence_cost"] == row["store"]["persistence_cost"] > 0
+    assert (store_dir / "RUN.json").exists()
+
+    exit_code = main(["store", "recover", "--dir", str(store_dir), "--resume", "--verify"])
+    assert exit_code == 0
+    output = json.loads(capsys.readouterr().out)
+    assert output["recovery"]["recovered_keys"] > 0
+    assert output["result"]["duration"] == pytest.approx(8.0)
+    assert "interrupted" not in output["result"]
+    assert output["verify"]["matches"] is True
+    assert output["verify"]["mismatches"] == {}
+
+    exit_code = main(["store", "inspect", "--dir", str(store_dir)])
+    assert exit_code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["wal"]["torn_bytes"] == 0
+    assert [snap["seq"] for snap in summary["snapshots"]] == sorted(
+        snap["seq"] for snap in summary["snapshots"]
+    )
+    assert summary["snapshots"][-1]["keys"] > 0
+
+
+def test_store_snapshot_refuses_a_non_empty_directory(tmp_path, capsys) -> None:
+    (tmp_path / "junk.txt").write_text("precious")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["store", "snapshot", "--dir", str(tmp_path), "--duration", "2.0"])
+    assert excinfo.value.code != 0
+
+
+def test_store_recover_verify_requires_resume(tmp_path) -> None:
+    with pytest.raises(SystemExit):
+        main(["store", "recover", "--dir", str(tmp_path), "--verify"])
+
+
+def test_bench_store_reports_wal_throughput(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "invalidate",
+            "--requests", "3000",
+            "--keys", "100",
+            "--store",
+            "--output-dir", str(tmp_path),
+            "--label", "wal",
+        ]
+    )
+    assert exit_code == 0
+    record = json.loads((tmp_path / "BENCH_wal.json").read_text())
+    assert record["store"]["records"] == 3000
+    assert record["store"]["append_per_sec"] > 0
+    assert record["store"]["replay_per_sec"] > 0
+    assert record["store"]["replayed"] == 3000
+    assert record["store"]["bytes_written"] > 0
+
+
+def test_sweep_persist_adds_store_counters_to_rows(tmp_path, capsys) -> None:
+    json_path = tmp_path / "sweep.json"
+    exit_code = main(
+        [
+            "sweep",
+            "--policies", "invalidate",
+            "--workloads", "poisson",
+            "--bounds", "1.0",
+            "--duration", "2.0",
+            "--param", "num_keys=15",
+            "--persist",
+            "--snapshot-interval", "1.0",
+            "--processes", "1",
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    (row,) = json.loads(json_path.read_text())["results"]
+    assert row["persistence"] is True
+    assert row["wal_appends"] > 0
+    assert row["store"]["snapshots"] > 0
 
 
 def test_bench_emits_bench_json_for_three_plus_policies(tmp_path, capsys) -> None:

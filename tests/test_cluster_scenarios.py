@@ -7,13 +7,14 @@ import pytest
 from repro.cluster import ClusterSimulation, ReplicationConfig, make_scenario
 from repro.errors import ClusterError
 from repro.experiments import ExperimentSpec, ScenarioSpec, run_experiment
+from repro.store import StoreConfig
 from repro.workload.poisson import PoissonZipfWorkload
 
 DURATION = 12.0
 BOUND = 0.5
 
 
-def run_scenario(scenario_name, policy: str = "invalidate", **scenario_params):
+def run_scenario(scenario_name, policy: str = "invalidate", store_root=None, **scenario_params):
     workload = PoissonZipfWorkload(num_keys=300, rate_per_key=20.0, seed=7)
     scenario = (
         make_scenario(scenario_name, scenario_params) if scenario_name else None
@@ -28,6 +29,11 @@ def run_scenario(scenario_name, policy: str = "invalidate", **scenario_params):
         duration=DURATION,
         workload_name="poisson",
         seed=7,
+        store=(
+            StoreConfig(str(store_root), snapshot_interval=1.0)
+            if store_root is not None
+            else None
+        ),
     )
     return cluster.run()
 
@@ -78,6 +84,52 @@ def test_flash_crowd_moves_traffic_onto_event_keys() -> None:
     assert crowd.totals.writes == baseline.totals.writes
 
 
+def test_warm_rejoin_cuts_the_miss_spike_versus_cold_rejoin(tmp_path) -> None:
+    """The acceptance check: a snapshot-restored rejoin beats a cold one."""
+    cold = run_scenario("node-failure", store_root=tmp_path / "cold")
+    warm = run_scenario("node-failure", store_root=tmp_path / "warm", rejoin="warm")
+    # The rejoining node actually restored durable state...
+    assert warm.warm_restored > 0
+    rejoined = warm.nodes[0]
+    assert rejoined.warm_restored > 0
+    assert rejoined.warm_invalidated < rejoined.warm_restored
+    # ...and the restore measurably shrinks the rejoin spike: keys untouched
+    # during the outage serve as hits instead of cold misses, while entries
+    # written during the outage came back invalidated, so the stale-serve
+    # count does not grow.
+    assert warm.totals.misses < cold.totals.misses
+    assert warm.totals.hits > cold.totals.hits
+    assert warm.totals.cold_misses < cold.totals.cold_misses
+    assert warm.totals.staleness_violations <= cold.totals.staleness_violations
+    # Cold rejoin restores nothing, by definition.
+    assert cold.warm_restored == 0
+
+
+def test_kill_at_t_warm_restart_beats_cold_restart(tmp_path) -> None:
+    cold = run_scenario("kill-at-t", store_root=tmp_path / "cold", mode="cold")
+    warm = run_scenario("kill-at-t", store_root=tmp_path / "warm", mode="warm")
+    # Every node crashed once, in both modes.
+    assert cold.crashes == warm.crashes == 8
+    assert all(node.crashes == 1 for node in warm.nodes)
+    # Warm restart refills every cache from its snapshot...
+    assert warm.warm_restored > 0
+    assert cold.warm_restored == 0
+    # ...and turns a fleet-wide cold-miss storm into mostly hits.
+    assert warm.totals.misses < cold.totals.misses
+    assert warm.totals.staleness_violations <= cold.totals.staleness_violations
+
+
+def test_warm_scenarios_require_a_store() -> None:
+    with pytest.raises(ClusterError):
+        run_scenario("node-failure", rejoin="warm")
+    with pytest.raises(ClusterError):
+        run_scenario("kill-at-t", mode="warm")
+    # Cold kill-at-t also journals nothing, so it needs no store... but the
+    # crash itself is storeless: it must run fine without one.
+    result = run_scenario("kill-at-t", mode="cold")
+    assert result.crashes == 8
+
+
 def test_scenario_instances_can_be_rebound_to_a_different_run() -> None:
     scenario = make_scenario("node-failure")
     scenario.bind(duration=20.0, staleness_bound=0.5, num_nodes=4)
@@ -110,6 +162,12 @@ def test_scenarios_validate_their_timelines() -> None:
         run_scenario("partition", start_at=8.0, end_at=2.0)
     with pytest.raises(ClusterError):
         run_scenario("node-failure", node_index=99)
+    with pytest.raises(ClusterError):
+        make_scenario("node-failure", {"rejoin": "lukewarm"})
+    with pytest.raises(ClusterError):
+        make_scenario("kill-at-t", {"mode": "tepid"})
+    with pytest.raises(ClusterError):
+        run_scenario("kill-at-t", mode="cold", kill_at=99.0)
 
 
 def test_cluster_grid_axes_expand_and_run_identically_across_processes() -> None:

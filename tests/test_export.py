@@ -1,0 +1,89 @@
+"""Round-trip tests for ``repro.experiments.export`` (CSV/JSON stability)."""
+
+import csv
+import json
+
+from repro.experiments.export import write_results_csv, write_results_json
+
+ROWS = [
+    {
+        "policy": "invalidate",
+        "staleness_bound": 0.1,
+        "hit_ratio": 1 / 3,
+        "cache_capacity": None,
+        "workload_params": {"num_keys": 100, "rate_per_key": 10.0},
+        "nodes": [{"node_id": "node-000", "hits": 7}],
+    },
+    {
+        "policy": "update",
+        "staleness_bound": 10.0,
+        "hit_ratio": 0.875,
+        "cache_capacity": 512,
+        "workload_params": {},
+        "nodes": [],
+        # A column appearing only in a later row.
+        "scenario": "node-failure",
+    },
+]
+
+
+def read_csv(path):
+    with path.open(newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_csv_column_order_is_first_appearance_across_all_rows(tmp_path) -> None:
+    path = write_results_csv(ROWS, tmp_path / "rows.csv")
+    header, *body = read_csv(path)
+    assert header == [
+        "policy",
+        "staleness_bound",
+        "hit_ratio",
+        "cache_capacity",
+        "workload_params",
+        "nodes",
+        "scenario",
+    ]
+    assert len(body) == 2
+    # The first row simply has an empty cell for the late-appearing column.
+    assert body[0][header.index("scenario")] == ""
+
+
+def test_csv_cells_round_trip_floats_exactly(tmp_path) -> None:
+    path = write_results_csv(ROWS, tmp_path / "rows.csv")
+    header, first, second = read_csv(path)
+    ratio = header.index("hit_ratio")
+    assert float(first[ratio]) == 1 / 3
+    assert float(second[ratio]) == 0.875
+    assert float(first[header.index("staleness_bound")]) == 0.1
+
+
+def test_csv_nested_values_are_json_cells_and_none_is_empty(tmp_path) -> None:
+    path = write_results_csv(ROWS, tmp_path / "rows.csv")
+    header, first, _second = read_csv(path)
+    params = json.loads(first[header.index("workload_params")])
+    assert params == {"num_keys": 100, "rate_per_key": 10.0}
+    nodes = json.loads(first[header.index("nodes")])
+    assert nodes == [{"node_id": "node-000", "hits": 7}]
+    assert first[header.index("cache_capacity")] == ""
+
+
+def test_csv_with_no_rows_writes_an_empty_header(tmp_path) -> None:
+    path = write_results_csv([], tmp_path / "empty.csv")
+    assert read_csv(path) == [[]]
+
+
+def test_json_document_round_trips_rows_and_metadata(tmp_path) -> None:
+    path = write_results_json(ROWS, tmp_path / "rows.json", metadata={"spec": "test"})
+    document = json.loads(path.read_text())
+    assert document["metadata"] == {"spec": "test"}
+    assert document["results"] == json.loads(json.dumps(ROWS))
+    # Floats survive exactly through the JSON round trip.
+    assert document["results"][0]["hit_ratio"] == 1 / 3
+
+
+def test_json_with_no_rows_and_no_metadata(tmp_path) -> None:
+    path = write_results_json([], tmp_path / "empty.json")
+    document = json.loads(path.read_text())
+    assert document == {"metadata": {}, "results": []}
+    assert path.read_text().endswith("\n")

@@ -1,0 +1,142 @@
+"""WAL framing, group commit, torn tails, compaction, and cost accounting."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.errors import StoreError
+from repro.store import WalScan, WriteAheadLog, scan_wal
+from repro.store.format import KIND_READS, KIND_WRITE, MAGIC, encode_record
+from repro.store.wal import Journal
+
+
+def make_wal(tmp_path, **kwargs):
+    return WriteAheadLog(tmp_path / "wal.log", **kwargs)
+
+
+def test_append_assigns_monotone_lsns_and_replay_round_trips(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=4)
+    lsns = [wal.append(KIND_WRITE, {"key": f"k{i}", "t": float(i), "vs": 128}) for i in range(10)]
+    wal.flush()
+    assert lsns == list(range(1, 11))
+    records = list(wal.replay())
+    assert [r["lsn"] for r in records] == lsns
+    assert records[3] == {"lsn": 4, "k": KIND_WRITE, "key": "k3", "t": 3.0, "vs": 128}
+    # Replay after a watermark skips the prefix.
+    assert [r["lsn"] for r in wal.replay(after_lsn=7)] == [8, 9, 10]
+    wal.close()
+
+
+def test_group_commit_batches_appends_into_flushes(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=8)
+    for i in range(20):
+        wal.append(KIND_WRITE, {"key": "k", "t": float(i), "vs": 1})
+    # 20 appends = 2 full batches; 4 records still staged and not yet durable.
+    assert wal.stats.flushes == 2
+    assert sum(1 for _ in wal.replay()) == 16
+    wal.close()  # close flushes the tail
+    assert wal.stats.flushes == 3
+    assert sum(1 for _ in scan_wal(wal.path)) == 20
+
+
+def test_wal_costs_charge_appends_and_flushes(tmp_path) -> None:
+    costs = CostModel(wal_append=0.25, wal_flush=2.0)
+    wal = make_wal(tmp_path, flush_every=5, costs=costs)
+    for i in range(10):
+        wal.append(KIND_WRITE, {"key": "k", "t": float(i), "vs": 1})
+    assert wal.stats.persistence_cost == pytest.approx(10 * 0.25 + 2 * 2.0)
+    wal.close()
+
+
+def test_torn_tail_stops_replay_at_last_complete_record(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=1)
+    for i in range(5):
+        wal.append(KIND_WRITE, {"key": f"k{i}", "t": float(i), "vs": 1})
+    wal.close()
+    # A crash mid-append leaves half a record on disk.
+    with wal.path.open("ab") as handle:
+        handle.write(encode_record({"lsn": 6, "k": KIND_WRITE})[:7])
+    scan = WalScan()
+    assert [r["lsn"] for r in scan_wal(wal.path, scan)] == [1, 2, 3, 4, 5]
+    assert scan.torn_bytes > 0
+
+
+def test_corrupt_checksum_truncates_replay(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=1)
+    for i in range(4):
+        wal.append(KIND_WRITE, {"key": f"k{i}", "t": float(i), "vs": 1})
+    wal.close()
+    data = bytearray(wal.path.read_bytes())
+    data[-3] ^= 0xFF  # flip a byte inside the last record's payload
+    wal.path.write_bytes(bytes(data))
+    scan = WalScan()
+    assert [r["lsn"] for r in scan_wal(wal.path, scan)] == [1, 2, 3]
+    assert scan.torn_bytes > 0
+
+
+def test_reopening_truncates_the_torn_tail_and_continues_lsns(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=1)
+    wal.append(KIND_WRITE, {"key": "a", "t": 0.0, "vs": 1})
+    wal.append(KIND_WRITE, {"key": "b", "t": 1.0, "vs": 1})
+    wal.close()
+    with wal.path.open("ab") as handle:
+        handle.write(b"\x99" * 5)
+    reopened = make_wal(tmp_path, flush_every=1)
+    assert reopened.last_lsn == 2
+    reopened.append(KIND_WRITE, {"key": "c", "t": 2.0, "vs": 1})
+    reopened.close()
+    assert [r["lsn"] for r in scan_wal(reopened.path)] == [1, 2, 3]
+
+
+def test_bad_magic_is_rejected(tmp_path) -> None:
+    path = tmp_path / "not-a-wal.log"
+    path.write_bytes(b"definitely not" + MAGIC)
+    with pytest.raises(StoreError):
+        list(scan_wal(path))
+
+
+def test_compaction_drops_records_below_the_watermark(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=1)
+    for i in range(10):
+        wal.append(KIND_WRITE, {"key": f"k{i}", "t": float(i), "vs": 1})
+    dropped = wal.compact(keep_after_lsn=6)
+    assert dropped == 6
+    assert [r["lsn"] for r in wal.replay()] == [7, 8, 9, 10]
+    # Appends after compaction keep the LSN sequence.
+    assert wal.append(KIND_WRITE, {"key": "k", "t": 10.0, "vs": 1}) == 11
+    wal.close()
+    assert wal.stats.compactions == 1
+    assert wal.stats.records_dropped == 6
+
+
+def test_journal_aggregates_reads_into_delta_records(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=1)
+    journal = Journal(wal)
+    journal.note_read()
+    journal.note_read()
+    journal.log_write("k", 1.0, 128)  # flushes the pending read delta first
+    journal.note_read()
+    journal.sync()
+    records = list(wal.replay())
+    assert [r["k"] for r in records] == [KIND_READS, KIND_WRITE, KIND_READS]
+    assert records[0]["n"] == 2
+    assert records[2]["n"] == 1
+    assert journal.reads_logged == 3
+    assert journal.writes_logged == 1
+    wal.close()
+
+
+def test_journal_sync_is_a_noop_when_nothing_is_pending(tmp_path) -> None:
+    wal = make_wal(tmp_path, flush_every=64)
+    journal = Journal(wal)
+    journal.log_write("k", 1.0, 128)
+    journal.sync()
+    flushes = wal.stats.flushes
+    journal.sync()  # nothing new: no extra flush, no empty read record
+    assert wal.stats.flushes == flushes
+    assert wal.stats.appends == 1
+    wal.close()
+
+
+def test_flush_every_must_be_positive(tmp_path) -> None:
+    with pytest.raises(StoreError):
+        make_wal(tmp_path, flush_every=0)
