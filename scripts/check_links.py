@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Link checker for README.md, docs/, and the mkdocs nav.
+
+Checks, with no dependencies beyond the standard library:
+
+* every relative markdown link in README.md and docs/**/*.md points at a
+  file that exists (anchors and external http(s)/mailto links are skipped),
+* every ``*.md`` path mentioned in mkdocs.yml exists under docs/, and
+* every markdown file under docs/ is reachable from the mkdocs nav.
+
+Exit code 0 when everything resolves; 1 with a report otherwise.  Run
+directly (CI does) or through the pytest wrapper in tests/test_docs.py.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+#: Inline markdown links: [text](target).  Reference-style links are not
+#: used in this repository.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files() -> list[Path]:
+    return [ROOT / "README.md"] + sorted(DOCS.rglob("*.md"))
+
+
+def check_markdown_links() -> list[str]:
+    """Return one error string per broken relative link."""
+    errors = []
+    for path in _markdown_files():
+        text = path.read_text()
+        # Fenced code blocks frequently contain example paths that are not
+        # links; the link regex only matches [..](..) syntax, which does not
+        # appear in this repository's code fences, so no stripping is needed.
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def _nav_block(config: str) -> str:
+    """Return only the ``nav:`` section of mkdocs.yml.
+
+    Restricting the scan to the nav block keeps .md mentions elsewhere in
+    the config (comments, plugin options) from masquerading as nav entries
+    or being misreported as missing docs files.
+    """
+    lines = config.splitlines()
+    block: list[str] = []
+    in_nav = False
+    for line in lines:
+        if re.match(r"^nav:\s*$", line):
+            in_nav = True
+            continue
+        if in_nav:
+            if line.strip() and not line.startswith((" ", "\t")):
+                break  # next top-level key
+            block.append(line)
+    return "\n".join(block)
+
+
+def check_mkdocs_nav() -> list[str]:
+    """Return errors for nav entries without files and files without nav."""
+    errors = []
+    config = (ROOT / "mkdocs.yml").read_text()
+    nav = _nav_block(config)
+    if not nav.strip():
+        return ["mkdocs.yml: no nav section found"]
+    nav_paths = set(re.findall(r"[\w][\w/.-]*\.md", nav))
+    for nav_path in sorted(nav_paths):
+        if not (DOCS / nav_path).exists():
+            errors.append(f"mkdocs.yml: nav references missing file docs/{nav_path}")
+    for path in DOCS.rglob("*.md"):
+        relative = str(path.relative_to(DOCS))
+        if relative not in nav_paths:
+            errors.append(f"docs/{relative}: not referenced from the mkdocs.yml nav")
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links() + check_mkdocs_nav()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)/nav entries", file=sys.stderr)
+        return 1
+    print(f"links OK across {len(_markdown_files())} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,10 @@ and exports the rows that regenerate the paper's figures and tables — with
 the closed-form counterpart in ``model``, the ``E[W]`` sketches in
 ``sketch``, online bottleneck detection in ``bottleneck``, the sharded
 multi-node fleet simulation (consistent hashing, replicated invalidation,
-failure scenarios, hot-key detection) in ``cluster``, and the durable
-persistence layer (write-ahead log, snapshots, crash recovery, warm node
-rejoin) in ``store``.
+failure scenarios, hot-key detection) in ``cluster``, the two-level L1/L2
+cache hierarchy (admission, promotion, write-through/write-back, degraded
+serving) in ``tier``, and the durable persistence layer (write-ahead log,
+snapshots, crash recovery, warm node rejoin) in ``store``.
 
 The pipeline streams end-to-end: workloads yield requests lazily via
 ``iter_requests`` and the simulator consumes the stream without copying it,
@@ -71,12 +72,16 @@ from repro.store.wal import Journal, WriteAheadLog
 from repro.store.snapshot import Snapshot, SnapshotManager, StoreConfig
 from repro.store.recovery import RecoveryReport, recover_datastore, warm_state
 from repro.store.runtime import StoreRuntime
+from repro.tier.config import TierConfig
+from repro.tier.l1 import L1Tier
+from repro.tier.admission import AdmissionPolicy, make_admission
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Action",
     "AdaptivePolicy",
+    "AdmissionPolicy",
     "Bottleneck",
     "BottleneckDetector",
     "ChannelSpec",
@@ -87,6 +92,7 @@ __all__ = [
     "HotKeyConfig",
     "HotKeyDetector",
     "Journal",
+    "L1Tier",
     "RecoveryReport",
     "ReplicationConfig",
     "ScenarioSpec",
@@ -94,10 +100,12 @@ __all__ = [
     "SnapshotManager",
     "StoreConfig",
     "StoreRuntime",
+    "TierConfig",
     "WorkloadSpec",
     "WriteAheadLog",
     "cost_model_for_bottleneck",
     "estimator_memory_bytes",
+    "make_admission",
     "make_scenario",
     "recover_datastore",
     "run_bench",

@@ -1,14 +1,17 @@
 """Command-line entry point: ``python -m repro``.
 
-Five subcommands drive the experiment layer:
+Six subcommands drive the experiment layer:
 
 * ``run``     — one streamed simulation (workload x policy x bound), JSON out.
 * ``sweep``   — a full experiment grid executed across worker processes.
 * ``cluster`` — a sharded multi-node fleet sweep with replication, failure
   scenarios, and optional hot-key policy switching.
+* ``tier``    — a tiered-fleet sweep: every node fronted by a small L1
+  (``--l1-capacity`` / ``--tier-mode`` axes, admission policies, and the
+  ``l2-outage`` / ``cold-l1`` scenarios).
 * ``bench``   — replay-throughput benchmark emitting a ``BENCH_*.json``
-  record (single-cache by default, cluster mode via ``--nodes``, WAL
-  append/replay throughput via ``--store``).
+  record (single-cache by default, cluster mode via ``--nodes``, tiered
+  mode via ``--tier``, WAL append/replay throughput via ``--store``).
 * ``store``   — the persistence layer: ``snapshot`` runs a journaled
   simulation (optionally killing it mid-run), ``recover`` rebuilds — and can
   resume and verify — from the durable state, ``inspect`` summarises a store
@@ -21,7 +24,12 @@ Examples::
         --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
     python -m repro cluster --nodes 8 --replication 2 --scenario node-failure \
         --policies invalidate,adaptive --bounds 0.5 --duration 20 --csv fleet.csv
+    python -m repro tier --nodes 8 --l1-capacity 0,64,256 --tier-mode \
+        write-through,write-back --policies invalidate --bounds 0.5 --csv tier.csv
+    python -m repro tier --nodes 4 --l1-capacity 128 --scenario l2-outage \
+        --policies invalidate --bounds 0.5 --duration 20
     python -m repro bench --requests 500000 --store --output-dir .
+    python -m repro bench --requests 500000 --nodes 8 --tier --l1-capacity 256
     python -m repro store snapshot --dir run-store --duration 12 \
         --snapshot-interval 2 --kill-at 6
     python -m repro store recover --dir run-store --resume --verify
@@ -64,6 +72,7 @@ from repro.store import (
     recover_datastore,
     scan_wal,
 )
+from repro.tier.config import ADMISSION_POLICIES, TIER_MODES, TierConfig
 
 
 def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
@@ -169,7 +178,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
+def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
+    """Shared body of the ``cluster`` and ``tier`` fleet sweeps."""
     if args.snapshot_interval is not None and not args.persist:
         raise SystemExit("--snapshot-interval only takes effect together with --persist")
     if args.hot_fraction is not None and args.hot_policy is None:
@@ -198,6 +208,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             delay=args.channel_delay,
             jitter=args.channel_jitter,
         )
+    tier_axes: Dict[str, Any] = {}
+    if kind == "tier":
+        tier_axes = dict(
+            l1_capacities=[int(capacity) for capacity in _csv_list(args.l1_capacity)],
+            tier_modes=_csv_list(args.tier_mode),
+            tier_admission=args.admission,
+        )
     spec = _build_spec(
         name=args.name,
         policies=_csv_list(args.policies),
@@ -217,8 +234,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         duration=args.duration,
         base_seed=args.seed,
         cost_preset=args.cost_preset,
+        **tier_axes,
     )
-    print(f"cluster sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
+    print(f"{kind} sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
     rows = run_experiment(spec, processes=args.processes)
     wrote = False
     if args.json:
@@ -234,7 +252,22 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    return _run_fleet_sweep(args, "cluster")
+
+
+def _cmd_tier(args: argparse.Namespace) -> int:
+    return _run_fleet_sweep(args, "tier")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    tier = None
+    if args.tier:
+        if args.nodes <= 0:
+            raise SystemExit("--tier benchmarks the tiered fleet path: pass --nodes too")
+        tier = TierConfig(
+            l1_capacity=args.l1_capacity, mode=args.tier_mode, admission="always"
+        )
     record = run_bench(
         policies=_csv_list(args.policies),
         num_requests=args.requests,
@@ -246,12 +279,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         num_nodes=args.nodes if args.nodes > 0 else None,
         replication=args.replication,
         store=args.store,
+        tier=tier,
     )
     for result in record["results"]:
         print(
             f"{result['policy']:>12}: {result['requests_per_sec']:>12,.0f} req/s "
             f"({result['requests']} requests in {result['wall_seconds']:.2f}s)"
         )
+        if "l1_hit_share" in result:
+            print(
+                f"{'':>12}  L1 share {result['l1_hit_share']:.1%} "
+                f"({result['l1_hits']} L1 hits, tier cost {result['tier_cost']:.1f})"
+            )
     if "store" in record:
         store = record["store"]
         print(
@@ -294,6 +333,11 @@ def _store_cluster(config: Dict[str, Any], store: StoreConfig) -> ClusterSimulat
         workload_name=workload.name,
         seed=config["cell_seed"],
         store=store,
+        # Older RUN.json files predate the tier; they ran single-tier.
+        tier=TierConfig(
+            l1_capacity=config.get("l1_capacity", 0),
+            mode=config.get("tier_mode", "write-through"),
+        ),
     )
 
 
@@ -318,6 +362,8 @@ def _cmd_store_snapshot(args: argparse.Namespace) -> int:
         "replication": args.replication,
         "snapshot_interval": args.snapshot_interval,
         "kill_at": args.kill_at,
+        "l1_capacity": args.l1_capacity,
+        "tier_mode": args.tier_mode,
         "cell_seed": stable_cell_seed(args.seed, args.workload, params, args.duration),
     }
     store = StoreConfig(str(root), snapshot_interval=args.snapshot_interval)
@@ -486,51 +532,70 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", help="write results CSV here")
     sweep.set_defaults(func=_cmd_sweep)
 
+    def add_fleet_arguments(fleet: argparse.ArgumentParser, name_default: str) -> None:
+        """Arguments shared by the ``cluster`` and ``tier`` fleet sweeps."""
+        fleet.add_argument("--name", default=name_default)
+        fleet.add_argument("--nodes", default="8",
+                           help="fleet-size axis, comma separated (e.g. 4,8,16)")
+        fleet.add_argument("--replication", default="1",
+                           help="replication-factor axis, comma separated")
+        fleet.add_argument("--scenario", dest="scenarios", default="none",
+                           help="scenario axis, comma separated: none, "
+                                + ", ".join(sorted(SCENARIO_FACTORIES)))
+        fleet.add_argument("--scenario-param", action="append", metavar="KEY=VALUE",
+                           help="scenario constructor parameter (repeatable)")
+        fleet.add_argument("--read-policy", default="primary", choices=READ_POLICIES)
+        fleet.add_argument("--hot-policy", default=None,
+                           choices=[name for name in sorted(POLICY_FACTORIES)
+                                    if not getattr(POLICY_FACTORIES[name], "needs_future",
+                                                   False)],
+                           help="freshness policy applied to detected hot keys per shard")
+        fleet.add_argument("--hot-fraction", type=float, default=None,
+                           help="traffic share a key needs to be flagged hot on a shard "
+                                "(requires --hot-policy; default 0.02)")
+        fleet.add_argument("--vnodes", type=int, default=64,
+                           help="virtual nodes per physical node on the hash ring")
+        fleet.add_argument("--policies", default="invalidate,update,adaptive")
+        fleet.add_argument("--workloads", default="poisson")
+        fleet.add_argument("--bounds", default="1.0")
+        fleet.add_argument("--capacities", default="none")
+        fleet.add_argument("--duration", type=_positive_float, default=10.0)
+        fleet.add_argument("--persist", action="store_true",
+                           help="run every cell with a write-ahead log + snapshots")
+        fleet.add_argument("--snapshot-interval", type=_positive_float, default=None,
+                           help="snapshot cadence for --persist cells (default: final only)")
+        fleet.add_argument("--seed", type=int, default=0)
+        fleet.add_argument("--cost-preset", default="fixed",
+                           choices=["fixed", "cpu", "network", "latency"])
+        fleet.add_argument("--channel-loss", type=float, default=0.0)
+        fleet.add_argument("--channel-delay", type=float, default=0.0)
+        fleet.add_argument("--channel-jitter", type=float, default=0.0)
+        fleet.add_argument("--processes", type=int, default=None,
+                           help="worker processes (default: one per CPU, 1 = serial)")
+        fleet.add_argument("--param", action="append", metavar="KEY=VALUE",
+                           help="workload constructor parameter applied to every workload")
+        fleet.add_argument("--json", help="write results JSON here")
+        fleet.add_argument("--csv", help="write results CSV here")
+
     cluster = subparsers.add_parser(
         "cluster", help="run a sharded multi-node fleet sweep"
     )
-    cluster.add_argument("--name", default="cluster")
-    cluster.add_argument("--nodes", default="8",
-                         help="fleet-size axis, comma separated (e.g. 4,8,16)")
-    cluster.add_argument("--replication", default="1",
-                         help="replication-factor axis, comma separated")
-    cluster.add_argument("--scenario", dest="scenarios", default="none",
-                         help="scenario axis, comma separated: none, "
-                              + ", ".join(sorted(SCENARIO_FACTORIES)))
-    cluster.add_argument("--scenario-param", action="append", metavar="KEY=VALUE",
-                         help="scenario constructor parameter (repeatable)")
-    cluster.add_argument("--read-policy", default="primary", choices=READ_POLICIES)
-    cluster.add_argument("--hot-policy", default=None,
-                         choices=[name for name in sorted(POLICY_FACTORIES)
-                                  if not getattr(POLICY_FACTORIES[name], "needs_future", False)],
-                         help="freshness policy applied to detected hot keys per shard")
-    cluster.add_argument("--hot-fraction", type=float, default=None,
-                         help="traffic share a key needs to be flagged hot on a shard "
-                              "(requires --hot-policy; default 0.02)")
-    cluster.add_argument("--vnodes", type=int, default=64,
-                         help="virtual nodes per physical node on the hash ring")
-    cluster.add_argument("--policies", default="invalidate,update,adaptive")
-    cluster.add_argument("--workloads", default="poisson")
-    cluster.add_argument("--bounds", default="1.0")
-    cluster.add_argument("--capacities", default="none")
-    cluster.add_argument("--duration", type=_positive_float, default=10.0)
-    cluster.add_argument("--persist", action="store_true",
-                         help="run every cell with a write-ahead log + snapshots")
-    cluster.add_argument("--snapshot-interval", type=_positive_float, default=None,
-                         help="snapshot cadence for --persist cells (default: final only)")
-    cluster.add_argument("--seed", type=int, default=0)
-    cluster.add_argument("--cost-preset", default="fixed",
-                         choices=["fixed", "cpu", "network", "latency"])
-    cluster.add_argument("--channel-loss", type=float, default=0.0)
-    cluster.add_argument("--channel-delay", type=float, default=0.0)
-    cluster.add_argument("--channel-jitter", type=float, default=0.0)
-    cluster.add_argument("--processes", type=int, default=None,
-                         help="worker processes (default: one per CPU, 1 = serial)")
-    cluster.add_argument("--param", action="append", metavar="KEY=VALUE",
-                         help="workload constructor parameter applied to every workload")
-    cluster.add_argument("--json", help="write results JSON here")
-    cluster.add_argument("--csv", help="write results CSV here")
+    add_fleet_arguments(cluster, "cluster")
     cluster.set_defaults(func=_cmd_cluster)
+
+    tier = subparsers.add_parser(
+        "tier", help="run a tiered (L1/L2) fleet sweep"
+    )
+    add_fleet_arguments(tier, "tier")
+    tier.add_argument("--l1-capacity", default="256",
+                      help="L1-capacity axis, comma separated (objects per node; "
+                           "0 = single-tier baseline)")
+    tier.add_argument("--tier-mode", default="write-through",
+                      help="tier fill-mode axis, comma separated: "
+                           + ", ".join(TIER_MODES))
+    tier.add_argument("--admission", default="second-hit", choices=ADMISSION_POLICIES,
+                      help="L1 admission policy (default: second-hit)")
+    tier.set_defaults(func=_cmd_tier)
 
     bench = subparsers.add_parser("bench", help="measure streaming replay throughput")
     bench.add_argument("--policies", default=",".join(DEFAULT_BENCH_POLICIES))
@@ -544,6 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replication factor for --nodes mode")
     bench.add_argument("--store", action="store_true",
                        help="also measure WAL append + replay throughput")
+    bench.add_argument("--tier", action="store_true",
+                       help="front every node with an L1 (tiered replay path; "
+                            "requires --nodes)")
+    bench.add_argument("--l1-capacity", type=int, default=256,
+                       help="L1 objects per node for --tier mode")
+    bench.add_argument("--tier-mode", default="write-through", choices=TIER_MODES,
+                       help="tier fill mode for --tier mode")
     bench.add_argument("--output-dir", default=".")
     bench.add_argument("--label", default=None, help="suffix for the BENCH_<label>.json record")
     bench.set_defaults(func=_cmd_bench)
@@ -571,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="snapshot cadence (default: checkpoint only at the end/kill)")
     snapshot.add_argument("--kill-at", type=_positive_float, default=None,
                           help="crash the run at this simulated time after a durable checkpoint")
+    snapshot.add_argument("--l1-capacity", type=int, default=0,
+                          help="front every node with an L1 of this many objects "
+                               "(0 = single-tier; L1 state is checkpointed too)")
+    snapshot.add_argument("--tier-mode", default="write-through", choices=TIER_MODES,
+                          help="tier fill mode when --l1-capacity > 0")
     snapshot.add_argument("--seed", type=int, default=0)
     snapshot.add_argument("--param", action="append", metavar="KEY=VALUE",
                           help="workload constructor parameter (repeatable)")

@@ -46,6 +46,17 @@ class EvictionPolicy(ABC):
     def __len__(self) -> int:
         """Number of keys currently tracked."""
 
+    def recency_order(self) -> Optional[list[str]]:
+        """Keys in victim-first order, for exact serialization — or ``None``.
+
+        Policies whose state is fully captured by an ordered key list (LRU,
+        FIFO) return it here; snapshots store entries in this order so that
+        restoring them via ``on_insert`` reproduces the eviction state — and
+        hence every post-restore eviction decision — exactly.  Policies with
+        richer state return ``None`` and restore approximately.
+        """
+        return None
+
 
 class LRUEviction(EvictionPolicy):
     """Least-recently-used eviction."""
@@ -74,6 +85,10 @@ class LRUEviction(EvictionPolicy):
     def __len__(self) -> int:
         return len(self._order)
 
+    def recency_order(self) -> list[str]:
+        """Keys least-recently-used first (victim-first)."""
+        return list(self._order)
+
 
 class FIFOEviction(EvictionPolicy):
     """First-in-first-out eviction (insertion order, ignores accesses)."""
@@ -101,6 +116,10 @@ class FIFOEviction(EvictionPolicy):
 
     def __len__(self) -> int:
         return len(self._order)
+
+    def recency_order(self) -> list[str]:
+        """Keys in insertion order (victim-first)."""
+        return list(self._order)
 
 
 class LFUEviction(EvictionPolicy):

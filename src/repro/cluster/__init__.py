@@ -52,7 +52,10 @@ from repro.cluster.replication import ReplicaRouter, ReplicationConfig
 from repro.cluster.results import ClusterResult, NodeResult
 from repro.cluster.scenarios import (
     SCENARIO_FACTORIES,
+    ColdL1Scenario,
+    CrashRestartScenario,
     FlashCrowdScenario,
+    L2OutageScenario,
     NodeFailureScenario,
     PartitionScenario,
     Scenario,
@@ -63,10 +66,13 @@ __all__ = [
     "CacheNode",
     "ClusterResult",
     "ClusterSimulation",
+    "ColdL1Scenario",
     "ConsistentHashRing",
+    "CrashRestartScenario",
     "FlashCrowdScenario",
     "HotKeyConfig",
     "HotKeyDetector",
+    "L2OutageScenario",
     "NodeFailureScenario",
     "NodeResult",
     "PartitionScenario",

@@ -56,6 +56,7 @@ from repro.store.snapshot import (
     serialize_node,
     serialize_node_stub,
 )
+from repro.tier.config import TierConfig
 from repro.workload.base import Request, ensure_sorted
 
 PolicyLike = Union[str, Callable[[], FreshnessPolicy]]
@@ -117,6 +118,10 @@ class ClusterSimulation:
             rejoin, and the ``kill-at-t`` scenario's warm restart.
         history_retention: Optional retention window for the datastore's
             per-key write history.
+        tier: Optional :class:`~repro.tier.TierConfig` placing a small L1 in
+            front of every node's cache (the node cache then acts as the
+            sharded L2).  A disabled config (``l1_capacity=0``) is normalised
+            to ``None`` and reproduces single-tier results byte-for-byte.
     """
 
     def __init__(
@@ -141,6 +146,7 @@ class ClusterSimulation:
         final_flush: bool = True,
         store: Optional[StoreConfig] = None,
         history_retention: Optional[float] = None,
+        tier: Optional[TierConfig] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -157,6 +163,11 @@ class ClusterSimulation:
                 f"replication factor {replication.factor} exceeds fleet size {num_nodes}"
             )
 
+        # A zero-capacity tier IS the single-tier fleet: normalising it to
+        # ``None`` here is what pins the l1_capacity=0 equivalence.
+        if tier is not None and not tier.enabled:
+            tier = None
+        self.tier = tier
         self.staleness_bound = float(staleness_bound)
         self.costs = costs if costs is not None else CostModel()
         self.replication = replication
@@ -232,6 +243,8 @@ class ClusterSimulation:
                 detector=detector,
                 discard_buffer_on_miss_fill=discard_buffer_on_miss_fill,
                 pending_registry=self._pending_nodes,
+                tier=self.tier,
+                tier_seed=node_seed ^ 0x1F123BB5,
             )
             node.result.workload_name = workload_name
             node.result.staleness_bound = self.staleness_bound
@@ -254,6 +267,10 @@ class ClusterSimulation:
             return self._node_list[index]
         except IndexError as exc:
             raise ClusterError(f"no node at index {index}") from exc
+
+    def nodes(self) -> List[CacheNode]:
+        """The fleet's nodes in creation order (scenario addressing)."""
+        return list(self._node_list)
 
     def fail_node(self, index: int) -> None:
         """Fail a node silently (unreachable, still serving, still on ring)."""
@@ -324,7 +341,14 @@ class ClusterSimulation:
             # No snapshot ever captured this node (it failed before the first
             # interval): nothing to restore, the rejoin stays cold.
             return
-        node.restore_warm(state.entries, time, state.invalidated)
+        node.restore_warm(
+            state.entries,
+            time,
+            state.invalidated,
+            l1_entries=state.l1_entries,
+            l1_invalidated=state.l1_invalidated,
+            l1_dirty=state.l1_dirty,
+        )
 
     # ------------------------------------------------------------------ #
     # Replay
@@ -351,6 +375,11 @@ class ClusterSimulation:
         if not self._explicit_duration and type(self.scenario) is not Scenario:
             raise ClusterError(
                 "scenarios need an explicit duration to resolve their timelines"
+            )
+        if self.scenario.requires_tier and self.tier is None:
+            raise ClusterError(
+                f"scenario {self.scenario.name!r} exercises the L1 tier: pass "
+                "tier=TierConfig(l1_capacity=...) with a positive capacity"
             )
         if self.scenario.requires_persistence:
             if self._store is None:
@@ -485,6 +514,8 @@ class ClusterSimulation:
             replication=self.replication.factor,
             read_policy=self.replication.read_policy,
             scenario=self.scenario.name,
+            l1_capacity=self.tier.l1_capacity if self.tier is not None else 0,
+            tier_mode=self.tier.mode if self.tier is not None else "write-through",
         )
         result.nodes = [node.result for node in self._node_list]
         result.rebalances = self._rebalances
@@ -599,6 +630,8 @@ class ClusterSimulation:
             replication=self.replication.factor,
             read_policy=self.replication.read_policy,
             scenario=self.scenario.name,
+            l1_capacity=self.tier.l1_capacity if self.tier is not None else 0,
+            tier_mode=self.tier.mode if self.tier is not None else "write-through",
         )
         result.nodes = [node.result for node in self._node_list]
         result.rebalances = self._rebalances

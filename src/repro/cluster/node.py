@@ -29,12 +29,15 @@ from repro.backend.messages import InvalidateMessage, Message, UpdateMessage
 from repro.cache.cache import Cache
 from repro.cache.entry import CacheEntry
 from repro.cache.eviction import EvictionPolicy
+from repro.errors import ClusterError
 from repro.cluster.hotkey import HotKeyDetector
 from repro.cluster.results import NodeResult
 from repro.core.cost_model import CostModel
 from repro.core.policy import Action, FreshnessPolicy, PolicyContext
 from repro.core.ttl import TTLPollingPolicy
 from repro.sim.events import PendingDelivery
+from repro.tier.config import TierConfig
+from repro.tier.l1 import L1Tier
 from repro.workload.base import Request
 
 
@@ -61,6 +64,11 @@ class CacheNode:
         pending_registry: Optional cluster-owned set of node ids with
             messages in flight; lets the cluster skip the per-request
             delivery sweep when nothing is pending anywhere in the fleet.
+        tier: Optional :class:`~repro.tier.TierConfig` placing a small L1 in
+            front of this node's cache (which then acts as the L2).  Disabled
+            configs (``l1_capacity=0``) leave the node single-tier and
+            byte-identical to a node built without one.
+        tier_seed: Seed for the L1 admission sketch's hash family.
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class CacheNode:
         detector: Optional[HotKeyDetector] = None,
         discard_buffer_on_miss_fill: bool = True,
         pending_registry: Optional[set] = None,
+        tier: Optional[TierConfig] = None,
+        tier_seed: int = 0,
     ) -> None:
         self.node_id = node_id
         self.policy = policy
@@ -93,6 +103,19 @@ class CacheNode:
         self.buffer = WriteBuffer()
         self.tracker = InvalidationTracker(capacity=tracker_capacity)
         self.result = NodeResult(node_id=node_id, policy_name=policy.name)
+        #: The per-node L1 in front of ``cache`` (``None`` = single-tier).
+        self.l1: Optional[L1Tier] = (
+            L1Tier(
+                tier,
+                costs=costs,
+                result=self.result,
+                seed=tier_seed,
+                demote_sink=self._install_demoted,
+                victim_settler=self._settle_l1_victim,
+            )
+            if tier is not None and tier.enabled
+            else None
+        )
         self._pending: List[PendingDelivery] = []
         self._pending_registry = pending_registry
 
@@ -154,7 +177,14 @@ class CacheNode:
             )
 
     def handle_read(self, request: Request) -> None:
-        """Serve one read routed to this node (mirrors the single-cache path)."""
+        """Serve one read routed to this node (mirrors the single-cache path).
+
+        With a tier configured, the L1 is consulted first: a valid L1 hit
+        serves immediately (charged ``l1_hit``); everything else falls
+        through to the single-tier L2 path below, after which the key is
+        offered back to the L1 through its admission policy.  During an L2
+        outage the node serves degraded straight from the L1.
+        """
         result = self.result
         result.reads += 1
         if self.detector is not None:
@@ -165,7 +195,18 @@ class CacheNode:
         value_size = self.datastore.value_size(request.key)
         result.useful_work += self.costs.serve_cost(request.key_size, value_size)
 
+        if self.l1 is not None and self.l1.outage:
+            # The shared tier is partitioned away: the L1 is all there is.
+            if not self.l1.serve_degraded(request, self.datastore, self.staleness_bound):
+                result.failed_fetches += 1
+                result.cold_misses += 1
+            return
+
         self._settle_ttl_state(request.key, request.time)
+        if self.l1 is not None and self.l1.serve(
+            request, self.datastore, self.staleness_bound
+        ):
+            return
         entry, outcome = self.cache.lookup(request.key, request.time)
         if outcome == "hit":
             result.hits += 1
@@ -173,6 +214,11 @@ class CacheNode:
                 request.key, entry.as_of, request.time, self.staleness_bound
             ):
                 result.staleness_violations += 1
+            if self.l1 is not None:
+                self.l1.offer(
+                    entry, request.time, self._ttl_headroom(entry, request.time),
+                    promotion=True,
+                )
             return
 
         if not self.reachable:
@@ -198,22 +244,55 @@ class CacheNode:
             result.cold_miss_cost += self.costs.miss_cost(
                 request.key_size, backend_value_size
             )
-        self.cache.fill(
+        self._fill_after_fetch(request, version, backend_value_size)
+        self.tracker.mark_refetched(request.key)
+        if self.discard_buffer_on_miss_fill and self.reacts_to_writes:
+            self.buffer.discard(request.key)
+
+    def _fill_after_fetch(self, request: Request, version: int, value_size: int) -> None:
+        """Install a backend fetch into the hierarchy.
+
+        Single-tier and write-through nodes fill the L2 exactly as before
+        (write-through additionally offers the entry to the L1); write-back
+        nodes fill the L1 only, falling back to the L2 when admission
+        refuses the key so the fetch is never wasted.
+        """
+        if self.l1 is not None and self.l1.write_back:
+            headroom = (
+                self.policy.ttl
+                if self.policy.ttl_mode == "expiry"
+                else None
+            )
+            if self.l1.fill_write_back(request, version, value_size, headroom):
+                return
+        entry = self.cache.fill(
             request.key,
             version=version,
             time=request.time,
             key_size=request.key_size,
-            value_size=backend_value_size,
+            value_size=value_size,
         )
-        self.tracker.mark_refetched(request.key)
-        if self.discard_buffer_on_miss_fill and self.reacts_to_writes:
-            self.buffer.discard(request.key)
+        if self.l1 is not None and not self.l1.write_back:
+            self.l1.offer(
+                entry, request.time, self._ttl_headroom(entry, request.time),
+                promotion=False,
+            )
+
+    def _ttl_headroom(self, entry: CacheEntry, now: float) -> Optional[float]:
+        """Seconds before ``entry``'s expiry timer fires (``None``: no timer)."""
+        if self.policy.ttl_mode != "expiry":
+            return None
+        return self.policy.expiry_time(entry.fetched_at) - now
 
     # ------------------------------------------------------------------ #
     # Interval flush and message delivery
     # ------------------------------------------------------------------ #
     def flush(self, flush_time: float) -> None:
         """Decide and send one freshness message per dirty key on this shard."""
+        if self.l1 is not None:
+            # Write-back flush first: the L2 sees the L1's dirty entries at
+            # the same instant the freshness decisions for the interval land.
+            self.l1.flush(flush_time)
         for buffered in self.buffer.drain():
             action = self._decide(buffered.key, flush_time)
             if action is Action.NOTHING:
@@ -301,14 +380,25 @@ class CacheNode:
             self._pending_registry.discard(self.node_id)
 
     def _apply_message(self, message: Message, time: float) -> None:
+        """Apply one freshness message, fanning it out through both tiers."""
         if isinstance(message, UpdateMessage):
             applied = self.cache.apply_update(
                 message.key, version=message.version, time=time, value_size=message.value_size
             )
+            if self.l1 is not None:
+                # An update that misses the L2 but refreshes the L1 copy
+                # (write-back fill, or L2 eviction) was not wasted.
+                l1_applied = self.l1.apply_update(
+                    message.key, version=message.version, time=time,
+                    value_size=message.value_size,
+                )
+                applied = applied or l1_applied
             if not applied:
                 self.result.updates_wasted += 1
         else:
             self.cache.apply_invalidate(message.key, time)
+            if self.l1 is not None:
+                self.l1.apply_invalidate(message.key, time)
 
     # ------------------------------------------------------------------ #
     # Lazy TTL accounting (same scheme as the single-cache simulator)
@@ -318,13 +408,14 @@ class CacheNode:
         if mode is None:
             return
         entry = self.cache.peek(key)
-        if entry is None:
-            return
-        if mode == "expiry":
-            if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
-                self.cache.expire(key)
-        elif mode == "polling":
-            self.account_polls(entry, now)
+        if entry is not None:
+            if mode == "expiry":
+                if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
+                    self.cache.expire(key)
+            elif mode == "polling":
+                self.account_polls(entry, now)
+        if self.l1 is not None:
+            self.l1.settle(key, now, self.policy, entry, self.account_polls)
 
     def account_polls(self, entry: CacheEntry, now: float) -> None:
         """Charge the polls an entry performed since the last accounting point."""
@@ -346,6 +437,17 @@ class CacheNode:
     def _on_evict(self, entry: CacheEntry, time: float) -> None:
         if self.policy.ttl_mode == "polling":
             self.account_polls(entry, time)
+            if self.l1 is not None:
+                # The L1 copy piggybacked on this entry's polls; sync its
+                # accounting bookmark so the now-L1-only copy does not
+                # re-charge the window just settled.
+                l1_entry = self.l1.cache.peek(entry.key)
+                if l1_entry is not None:
+                    l1_entry.last_poll_accounted = max(
+                        l1_entry.last_poll_accounted, entry.last_poll_accounted
+                    )
+                    l1_entry.as_of = max(l1_entry.as_of, entry.as_of)
+                    l1_entry.version = max(l1_entry.version, entry.version)
 
     # ------------------------------------------------------------------ #
     # Scenario hooks: failure, departure, rejoin
@@ -385,14 +487,91 @@ class CacheNode:
 
         Polls the cached entries already performed are real costs incurred
         before the loss, so they are accounted before the state disappears.
+        The L1 is volatile memory like everything else: it dies too.
         """
         if self.policy.ttl_mode == "polling":
             for entry in list(self.cache.entries()):
                 self.account_polls(entry, time)
+            self._account_l1_only_polls(time)
         self.cache.clear()
         self.buffer.drain()
         self.tracker.clear()
+        if self.l1 is not None:
+            self.l1.clear()
         self._drop_pending()
+
+    def _account_l1_only_polls(self, time: float) -> None:
+        """Settle polls on entries that live only in the L1 (write-back).
+
+        Keys present in both tiers poll once per node (the L2 copy carries
+        the accounting), so only L1-only entries are charged here.
+        """
+        if self.l1 is None:
+            return
+        for entry in list(self.l1.cache.entries()):
+            if self.cache.peek(entry.key) is None:
+                self.account_polls(entry, time)
+
+    def clear_l1(self, time: float) -> None:
+        """Drop the L1 only (the ``cold-l1`` fleet restart: warm L2, cold L1).
+
+        Dirty write-back entries are lost, not flushed — they only existed
+        in the L1's memory.  Lazy polling costs already incurred by L1-only
+        entries are settled first, mirroring :meth:`lose_volatile_state`.
+        """
+        if self.l1 is None:
+            return
+        if self.policy.ttl_mode == "polling":
+            self._account_l1_only_polls(time)
+        self.l1.clear()
+        self.result.l1_cold_restarts += 1
+
+    def set_l2_outage(self, active: bool, time: float) -> None:
+        """Partition this node from the shared tier (``l2-outage`` scenario).
+
+        While active, reads are served degraded from the L1 (misses fail),
+        and freshness messages are lost at the channel — the node cannot
+        hear the backend it cannot reach.  Polling stops too: polls already
+        performed are settled when the partition starts, and when it ends
+        every entry's poll-accounting bookmark jumps over the window, so the
+        node is neither charged for polls it could not perform nor credited
+        with the freshness those polls would have fetched.
+        """
+        if self.l1 is None:
+            raise ClusterError(
+                f"node {self.node_id} has no L1 tier to serve degraded from"
+            )
+        if self.policy.ttl_mode == "polling":
+            if active:
+                # Polls performed before the partition are real costs.
+                for entry in list(self.cache.entries()):
+                    self.account_polls(entry, time)
+                self._account_l1_only_polls(time)
+            else:
+                # No poll crossed the partition: skip the window, uncharged
+                # and unfreshened (as_of/version stay where the last real
+                # poll left them, so post-outage staleness is honest).
+                for entry in self.cache.entries():
+                    entry.last_poll_accounted = max(entry.last_poll_accounted, time)
+                for entry in self.l1.cache.entries():
+                    entry.last_poll_accounted = max(entry.last_poll_accounted, time)
+        self.l1.outage = active
+        self.channel.outage = active
+
+    def _install_demoted(self, entry: CacheEntry, time: float) -> None:
+        """Install a dirty L1 entry into the L2 (write-back flush/demotion)."""
+        self.cache.restore_entry(entry, time)
+
+    def _settle_l1_victim(self, entry: CacheEntry, time: float) -> None:
+        """Settle lazy polling costs on an L1 eviction victim.
+
+        Only L1-only entries carry their own poll accounting (keys present
+        in both tiers are accounted on the L2 copy), so only those are
+        charged here — the polls they performed while L1-resident are real
+        costs that must not vanish with the eviction.
+        """
+        if self.policy.ttl_mode == "polling" and self.cache.peek(entry.key) is None:
+            self.account_polls(entry, time)
 
     def _drop_pending(self) -> None:
         self._pending.clear()
@@ -406,7 +585,15 @@ class CacheNode:
         self.channel.outage = False
         self.result.joins += 1
 
-    def restore_warm(self, entries: List[CacheEntry], time: float, invalidated: int) -> None:
+    def restore_warm(
+        self,
+        entries: List[CacheEntry],
+        time: float,
+        invalidated: int,
+        l1_entries: Optional[List[CacheEntry]] = None,
+        l1_invalidated: int = 0,
+        l1_dirty: Optional[List[str]] = None,
+    ) -> None:
         """Refill the cache from durable state (warm rejoin / warm restart).
 
         Args:
@@ -414,12 +601,27 @@ class CacheNode:
                 replayed write history (stale ones arrive pre-invalidated).
             time: The restore instant (anchors eviction bookkeeping).
             invalidated: How many of ``entries`` were invalidated by replay.
+            l1_entries: Recovered L1 entries (validated the same way); only
+                restored when this node actually runs a tier.
+            l1_invalidated: How many of ``l1_entries`` replay invalidated.
+            l1_dirty: Keys among ``l1_entries`` that were write-back dirty
+                at the snapshot — the L2 never saw them, so they come back
+                dirty and flush at the next write-back interval.
         """
         for entry in entries:
             entry.last_poll_accounted = time
             self.cache.restore_entry(entry, time)
         self.result.warm_restored += len(entries)
         self.result.warm_invalidated += invalidated
+        if self.l1 is not None and l1_entries:
+            for entry in l1_entries:
+                entry.last_poll_accounted = time
+                self.l1.cache.restore_entry(entry, time)
+            self.l1.dirty.update(
+                key for key in l1_dirty or () if key in self.l1.cache
+            )
+            self.result.warm_restored += len(l1_entries)
+            self.result.warm_invalidated += l1_invalidated
 
     # ------------------------------------------------------------------ #
     # End of run
@@ -432,7 +634,10 @@ class CacheNode:
         if self.policy.ttl_mode == "polling":
             for entry in list(self.cache.entries()):
                 self.account_polls(entry, end_time)
+            self._account_l1_only_polls(end_time)
         self.result.duration = end_time
         if self.detector is not None:
             self.result.hot_keys_flagged = len(self.detector.flagged)
         self.result.cache_stats = self.cache.stats.as_dict()
+        if self.l1 is not None:
+            self.result.l1_stats = self.l1.cache.stats.as_dict()

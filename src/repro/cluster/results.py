@@ -40,6 +40,30 @@ class NodeResult(SimulationResult):
     warm_restored: int = 0
     warm_invalidated: int = 0
 
+    # L1/L2 tier counters (all zero when the node runs single-tier).
+    #: Reads served straight from the per-node L1.
+    l1_hits: int = 0
+    #: Entries copied into the L1 (promotions, refreshes, write-back fills).
+    l1_insertions: int = 0
+    #: L1 insertions that promoted an L2-served entry upward.
+    l1_promotions: int = 0
+    #: L1 capacity evictions.
+    l1_evictions: int = 0
+    #: Dirty entries pushed down to the L2 (interval flushes + demotions).
+    l1_writebacks: int = 0
+    #: L1 evictions that had to demote a dirty entry into the L2.
+    l1_demotions: int = 0
+    #: Candidates the admission policy kept out of the L1.
+    l1_admission_rejects: int = 0
+    #: Reads served from the L1 while the shared tier was partitioned away.
+    l1_served_degraded: int = 0
+    #: Times this node's L1 was dropped by a ``cold-l1`` fleet restart.
+    l1_cold_restarts: int = 0
+    #: Accumulated L1 charges (hits, inserts, write-back flushes).
+    tier_cost: float = 0.0
+    #: L1 cache statistics snapshot (filled at the end of the run).
+    l1_stats: Dict[str, Any] = field(default_factory=dict)
+
     def as_dict(self) -> Dict[str, Any]:
         """Flatten, extending the single-cache schema with cluster counters."""
         # Explicit parent call: ``dataclass(slots=True)`` rebuilds the class,
@@ -55,6 +79,17 @@ class NodeResult(SimulationResult):
             crashes=self.crashes,
             warm_restored=self.warm_restored,
             warm_invalidated=self.warm_invalidated,
+            l1_hits=self.l1_hits,
+            l1_insertions=self.l1_insertions,
+            l1_promotions=self.l1_promotions,
+            l1_evictions=self.l1_evictions,
+            l1_writebacks=self.l1_writebacks,
+            l1_demotions=self.l1_demotions,
+            l1_admission_rejects=self.l1_admission_rejects,
+            l1_served_degraded=self.l1_served_degraded,
+            l1_cold_restarts=self.l1_cold_restarts,
+            tier_cost=self.tier_cost,
+            l1_stats=dict(self.l1_stats),
         )
         return row
 
@@ -71,6 +106,9 @@ class ClusterResult:
     replication: int = 1
     read_policy: str = "primary"
     scenario: str = "none"
+    #: Tier coordinates (``l1_capacity=0`` means the fleet ran single-tier).
+    l1_capacity: int = 0
+    tier_mode: str = "write-through"
 
     #: Fleet totals with single-cache counter semantics (each workload
     #: request counted exactly once across the fleet).
@@ -86,6 +124,18 @@ class ClusterResult:
     crashes: int = 0
     warm_restored: int = 0
     warm_invalidated: int = 0
+
+    # Fleet-level tier counters (sums of the per-node L1 counters).
+    l1_hits: int = 0
+    l1_insertions: int = 0
+    l1_promotions: int = 0
+    l1_evictions: int = 0
+    l1_writebacks: int = 0
+    l1_demotions: int = 0
+    l1_admission_rejects: int = 0
+    l1_served_degraded: int = 0
+    l1_cold_restarts: int = 0
+    tier_cost: float = 0.0
 
     #: True when the run stopped early at ``run(stop_at=...)`` — the
     #: kill-at-t crash point — instead of draining the whole stream.
@@ -121,6 +171,20 @@ class ClusterResult:
         self.crashes = 0
         self.warm_restored = 0
         self.warm_invalidated = 0
+        tier_counters = (
+            "l1_hits",
+            "l1_insertions",
+            "l1_promotions",
+            "l1_evictions",
+            "l1_writebacks",
+            "l1_demotions",
+            "l1_admission_rejects",
+            "l1_served_degraded",
+            "l1_cold_restarts",
+            "tier_cost",
+        )
+        for name in tier_counters:
+            setattr(self, name, 0.0 if name == "tier_cost" else 0)
         for node in self.nodes:
             self.totals.accumulate(node)
             self.failed_fetches += node.failed_fetches
@@ -129,6 +193,8 @@ class ClusterResult:
             self.crashes += node.crashes
             self.warm_restored += node.warm_restored
             self.warm_invalidated += node.warm_invalidated
+            for name in tier_counters:
+                setattr(self, name, getattr(self, name) + getattr(node, name))
 
     def as_dict(self) -> Dict[str, Any]:
         """Flatten fleet totals plus cluster metadata for result rows.
@@ -143,6 +209,8 @@ class ClusterResult:
             replication=self.replication,
             read_policy=self.read_policy,
             scenario=self.scenario,
+            l1_capacity=self.l1_capacity,
+            tier_mode=self.tier_mode,
             failed_fetches=self.failed_fetches,
             rebalances=self.rebalances,
             hot_decisions=self.hot_decisions,
@@ -150,6 +218,16 @@ class ClusterResult:
             crashes=self.crashes,
             warm_restored=self.warm_restored,
             warm_invalidated=self.warm_invalidated,
+            l1_hits=self.l1_hits,
+            l1_insertions=self.l1_insertions,
+            l1_promotions=self.l1_promotions,
+            l1_evictions=self.l1_evictions,
+            l1_writebacks=self.l1_writebacks,
+            l1_demotions=self.l1_demotions,
+            l1_admission_rejects=self.l1_admission_rejects,
+            l1_served_degraded=self.l1_served_degraded,
+            l1_cold_restarts=self.l1_cold_restarts,
+            tier_cost=self.tier_cost,
             load_imbalance=self.load_imbalance,
             nodes=self.node_rows(),
         )
@@ -176,6 +254,9 @@ class ClusterResult:
                 "updates_sent": node.updates_sent,
                 "hot_decisions": node.hot_decisions,
                 "freshness_cost": node.freshness_cost,
+                "l1_hits": node.l1_hits,
+                "l1_served_degraded": node.l1_served_degraded,
+                "tier_cost": node.tier_cost,
             }
             for node in self.nodes
         ]

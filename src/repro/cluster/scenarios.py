@@ -26,6 +26,14 @@ cache cannot ask:
   (:mod:`repro.store`) each node rebuilds its cache from its last snapshot
   plus WAL-replayed validation; ``mode="cold"`` restarts empty — the pair
   quantifies what durability buys.
+* ``l2-outage`` — the shared tier is partitioned away from a subset of nodes
+  for a window: reads are served *degraded* straight from each node's L1
+  (stale entries included — availability over freshness), L1 misses fail
+  outright, and freshness messages are lost.  Requires the fleet to run with
+  a tier (:class:`~repro.tier.TierConfig`).
+* ``cold-l1`` — the fleet restarts with a warm L2 but empty L1s (a rolling
+  binary deploy: the process-local tier dies, the shared tier survives),
+  measuring the L1 warming transient.  Requires a tier as well.
 
 ``node-failure`` additionally accepts ``rejoin="warm"``: instead of coming
 back cold, the recovered node restores its cache from the last snapshot its
@@ -68,6 +76,11 @@ class Scenario:
     @property
     def requires_persistence(self) -> bool:
         """Whether the scenario needs the cluster to run with a store."""
+        return False
+
+    @property
+    def requires_tier(self) -> bool:
+        """Whether the scenario needs the fleet to run with an L1 tier."""
         return False
 
     def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
@@ -403,11 +416,149 @@ class CrashRestartScenario(Scenario):
         return {"name": self.name, "kill_at": self.kill_at, "mode": self.mode}
 
 
+class L2OutageScenario(Scenario):
+    """Partition the shared tier away from a subset of nodes for a window.
+
+    Between ``start_at`` and ``end_at`` the affected nodes cannot reach the
+    shared L2/backend: reads are answered *degraded* straight from the
+    per-node L1 — stale entries included, counted honestly as staleness
+    violations — L1 misses fail outright (``failed_fetches``), and freshness
+    messages are lost at the channel.  This is the survivability question
+    tiering exists to answer: how much of the traffic does the fast tier
+    carry when the fleet behind it goes dark?
+
+    Requires the cluster to run with an L1
+    (:class:`~repro.tier.TierConfig` with ``l1_capacity > 0``).
+
+    Args:
+        node_indices: Indices of the partitioned nodes (``None`` = the whole
+            fleet, the default — a shared-tier outage hits everyone).
+        start_at: Window start (default ``0.4 * duration``).
+        end_at: Window end (default ``0.7 * duration``).
+    """
+
+    name = "l2-outage"
+
+    def __init__(
+        self,
+        node_indices: Optional[Sequence[int]] = None,
+        start_at: Optional[float] = None,
+        end_at: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if node_indices is not None and not node_indices:
+            raise ClusterError("l2-outage needs at least one node index (or None for all)")
+        self.node_indices = (
+            tuple(int(index) for index in node_indices) if node_indices is not None else None
+        )
+        self._start_at_arg = start_at
+        self._end_at_arg = end_at
+        self.start_at: float = 0.0
+        self.end_at: float = 0.0
+
+    @property
+    def requires_tier(self) -> bool:
+        return True
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        for index in self.node_indices or ():
+            if not 0 <= index < num_nodes:
+                raise ClusterError(f"node index {index} out of range for {num_nodes} nodes")
+        self.start_at = 0.4 * duration if self._start_at_arg is None else self._start_at_arg
+        self.end_at = 0.7 * duration if self._end_at_arg is None else self._end_at_arg
+        if not self.start_at < self.end_at:
+            raise ClusterError("l2-outage end_at must be after start_at")
+        if not 0.0 <= self.start_at or not self.end_at <= duration:
+            # The end event must fire inside the run: the outage's no-charge
+            # poll accounting depends on it.
+            raise ClusterError(
+                f"l2-outage window must fall inside the run [0, {duration}], "
+                f"got [{self.start_at}, {self.end_at}]"
+            )
+
+    def _indices(self, cluster: "ClusterSimulation") -> Sequence[int]:
+        if self.node_indices is not None:
+            return self.node_indices
+        return range(self.num_nodes)
+
+    def events(self) -> List[ScenarioEvent]:
+        def start(cluster: "ClusterSimulation", time: float) -> None:
+            for index in self._indices(cluster):
+                cluster.node_at(index).set_l2_outage(True, time)
+
+        def end(cluster: "ClusterSimulation", time: float) -> None:
+            for index in self._indices(cluster):
+                cluster.node_at(index).set_l2_outage(False, time)
+
+        return [
+            ScenarioEvent(time=self.start_at, label="l2-outage-start", apply=start),
+            ScenarioEvent(time=self.end_at, label="l2-outage-end", apply=end),
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "node_indices": list(self.node_indices) if self.node_indices is not None else None,
+            "start_at": self.start_at,
+            "end_at": self.end_at,
+        }
+
+
+class ColdL1Scenario(Scenario):
+    """Fleet restart with a warm L2 but empty L1s (the deploy transient).
+
+    At ``restart_at`` every node drops its L1 — a rolling binary deploy
+    kills the process-local tier while the shared tier keeps its state.
+    The L1 hit rate collapses and re-warms through admission; comparing the
+    transient across admission policies and L1 sizes is the point.
+
+    Requires the cluster to run with an L1
+    (:class:`~repro.tier.TierConfig` with ``l1_capacity > 0``).
+
+    Args:
+        restart_at: Absolute restart time (default ``0.5 * duration``).
+    """
+
+    name = "cold-l1"
+
+    def __init__(self, restart_at: Optional[float] = None) -> None:
+        super().__init__()
+        self._restart_at_arg = restart_at
+        self.restart_at: float = 0.0
+
+    @property
+    def requires_tier(self) -> bool:
+        return True
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        self.restart_at = (
+            0.5 * duration if self._restart_at_arg is None else self._restart_at_arg
+        )
+        if not 0.0 < self.restart_at < duration:
+            raise ClusterError(
+                f"restart_at must fall inside the run (0, {duration}), got {self.restart_at}"
+            )
+
+    def events(self) -> List[ScenarioEvent]:
+        def restart(cluster: "ClusterSimulation", time: float) -> None:
+            for node in cluster.nodes():
+                node.clear_l1(time)
+
+        return [ScenarioEvent(time=self.restart_at, label="cold-l1-restart", apply=restart)]
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "restart_at": self.restart_at}
+
+
 SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "node-failure": NodeFailureScenario,
     "flash-crowd": FlashCrowdScenario,
     "partition": PartitionScenario,
     "kill-at-t": CrashRestartScenario,
+    "l2-outage": L2OutageScenario,
+    "cold-l1": ColdL1Scenario,
 }
 
 

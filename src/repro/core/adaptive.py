@@ -38,6 +38,15 @@ class AdaptivePolicy(FreshnessPolicy):
             (:math:`C'_S \\le C`).  When set, the SLO-constrained rule of
             §3.2 is used instead of the pure throughput rule ("Adpt." vs the
             SLO scenario discussed in the paper).
+
+    Example — the estimator learns E[W] from the observed stream:
+
+        >>> policy = AdaptivePolicy()
+        >>> for _ in range(4):
+        ...     policy.observe_write("k", time=0.0)
+        >>> policy.observe_read("k", time=1.0)
+        >>> policy.estimator.estimate("k")
+        4.0
     """
 
     name = "adaptive"

@@ -54,6 +54,13 @@ class CostBreakdown:
     append_op: float = 0.02
     #: Fixed cost of one fsync-style group commit of the WAL batch.
     fsync_op: float = 0.5
+    #: Fixed cost of an in-process L1 lookup (no serialisation, no network).
+    l1_lookup_op: float = 0.02
+    #: Fixed cost of installing one entry into the in-process L1.
+    l1_insert_op: float = 0.05
+    #: Per-byte cost of copying an object between tiers inside one process
+    #: (a memcpy, not a serialise — an order of magnitude below the wire).
+    copy_per_byte: float = 0.0005
 
     def _ser(self, size: int) -> float:
         return self.serialize_per_byte * size
@@ -96,6 +103,26 @@ class CostBreakdown:
         """Cost of one group commit (fsync) of the staged WAL batch."""
         return self.fsync_op
 
+    def l1_hit_cost(self, key_size: int) -> float:
+        """Cost of serving a read from the in-process L1 (a hash lookup)."""
+        return self.l1_lookup_op
+
+    def l1_insert_cost(self, key_size: int, value_size: int) -> float:
+        """Cost of copying one object into the L1 (promotion or fill)."""
+        return self.l1_insert_op + self.copy_per_byte * (key_size + value_size)
+
+    def writeback_flush_cost(self, key_size: int, value_size: int) -> float:
+        """Cost of flushing one dirty L1 entry down into the shared L2 tier.
+
+        The entry is copied out of the L1 and installed into the L2 store,
+        so the charge is the copy plus the store-side update.
+        """
+        return (
+            self.l1_insert_op
+            + self.copy_per_byte * (key_size + value_size)
+            + self.update_op
+        )
+
 
 class CostModel:
     """Runtime cost oracle used by policies and the simulator.
@@ -121,8 +148,27 @@ class CostModel:
             enabled).
         wal_flush: Fixed cost of one fsync-style group commit of the WAL
             batch; batching ``flush_every`` records amortises this.
+        l1_hit: Fixed cost of serving a read from the in-process L1 tier
+            (orders of magnitude below ``miss``: no message is exchanged).
+        l1_insert: Fixed cost of copying one object into the L1 (admission,
+            promotion, or write-back fill).
+        writeback_flush: Fixed cost of flushing one dirty L1 entry down into
+            the shared L2 tier (write-back mode only).
         breakdown: Optional :class:`CostBreakdown`; when given, all costs are
             computed from it using per-request sizes.
+
+    Example — fixed costs are size-independent, breakdown-backed costs scale:
+
+        >>> fixed = CostModel(miss=1.0, invalidate=0.1, update=0.6)
+        >>> fixed.as_tuple()
+        (1.0, 0.1, 0.6)
+        >>> fixed.miss_cost(value_size=4096) == fixed.miss_cost(value_size=64)
+        True
+        >>> scaled = CostModel.cpu_bottleneck()
+        >>> scaled.miss_cost(value_size=4096) > scaled.miss_cost(value_size=64)
+        True
+        >>> fixed.l1_hit_cost() < fixed.miss_cost()
+        True
     """
 
     def __init__(
@@ -133,12 +179,17 @@ class CostModel:
         serve: Optional[float] = None,
         wal_append: float = 0.05,
         wal_flush: float = 0.5,
+        l1_hit: float = 0.02,
+        l1_insert: float = 0.05,
+        writeback_flush: float = 0.25,
         breakdown: Optional[CostBreakdown] = None,
     ) -> None:
         if min(miss, invalidate, update) < 0:
             raise ConfigurationError("costs must be non-negative")
         if min(wal_append, wal_flush) < 0:
             raise ConfigurationError("WAL costs must be non-negative")
+        if min(l1_hit, l1_insert, writeback_flush) < 0:
+            raise ConfigurationError("tier costs must be non-negative")
         if serve is not None and serve <= 0:
             raise ConfigurationError(f"serve cost must be positive, got {serve}")
         self._miss = float(miss)
@@ -147,6 +198,9 @@ class CostModel:
         self._serve = float(serve) if serve is not None else float(miss)
         self._wal_append = float(wal_append)
         self._wal_flush = float(wal_flush)
+        self._l1_hit = float(l1_hit)
+        self._l1_insert = float(l1_insert)
+        self._writeback_flush = float(writeback_flush)
         self.breakdown = breakdown
 
     # ------------------------------------------------------------------ #
@@ -243,6 +297,24 @@ class CostModel:
         if self.breakdown is not None:
             return self.breakdown.wal_flush_cost()
         return self._wal_flush
+
+    def l1_hit_cost(self, key_size: int = 16) -> float:
+        """Return the cost of serving one read from the in-process L1."""
+        if self.breakdown is not None:
+            return self.breakdown.l1_hit_cost(key_size)
+        return self._l1_hit
+
+    def l1_insert_cost(self, key_size: int = 16, value_size: int = 128) -> float:
+        """Return the cost of copying one object into the L1."""
+        if self.breakdown is not None:
+            return self.breakdown.l1_insert_cost(key_size, value_size)
+        return self._l1_insert
+
+    def writeback_flush_cost(self, key_size: int = 16, value_size: int = 128) -> float:
+        """Return the cost of flushing one dirty L1 entry down to the L2."""
+        if self.breakdown is not None:
+            return self.breakdown.writeback_flush_cost(key_size, value_size)
+        return self._writeback_flush
 
     def as_tuple(self, key_size: int = 16, value_size: int = 128) -> tuple[float, float, float]:
         """Return ``(c_m, c_i, c_u)`` for the given sizes."""

@@ -50,6 +50,13 @@ def update_preferred(
         ``True`` when ``c_u < P_R / (P_R + P_W) * (c_m + c_i)``.  If both
         probabilities are zero (no traffic), invalidation is (vacuously)
         preferred since an update can never pay off.
+
+    Example — read-heavy keys prefer updates, write-heavy keys do not:
+
+        >>> update_preferred(0.9, 0.1, miss_cost=1.0, invalidate_cost=0.1, update_cost=0.6)
+        True
+        >>> update_preferred(0.1, 0.9, miss_cost=1.0, invalidate_cost=0.1, update_cost=0.6)
+        False
     """
     for name, value in (("p_read", p_read), ("p_write", p_write)):
         if not 0.0 <= value <= 1.0:
@@ -90,6 +97,13 @@ def ew_decision(
 
     Returns:
         :attr:`Action.UPDATE` or :attr:`Action.INVALIDATE`.
+
+    Example — a rarely-written key takes updates, a write-storm key does not:
+
+        >>> ew_decision(0.5, miss_cost=1.0, invalidate_cost=0.1, update_cost=0.6).value
+        'update'
+        >>> ew_decision(10.0, miss_cost=1.0, invalidate_cost=0.1, update_cost=0.6).value
+        'invalidate'
     """
     if expected_writes_between_reads < 0:
         raise ConfigurationError(
@@ -163,6 +177,14 @@ class DecisionRule:
     Bundles the cost parameters so call sites only supply the per-key
     statistics.  Used by the adaptive policies and by the experiments that
     check sketch decision accuracy (Figure 6b).
+
+    Example:
+
+        >>> rule = DecisionRule(miss_cost=1.0, invalidate_cost=0.1, update_cost=0.6)
+        >>> rule.from_ew(0.5).value
+        'update'
+        >>> DecisionRule(1.0, 0.1, 0.6, staleness_slo=0.0).from_ew(10.0).value
+        'update'
     """
 
     miss_cost: float

@@ -33,7 +33,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 
 class Action(Enum):
-    """Per-key decision taken at an interval flush."""
+    """Per-key decision taken at an interval flush.
+
+    Example:
+
+        >>> Action("update") is Action.UPDATE
+        True
+        >>> str(Action.INVALIDATE)
+        'invalidate'
+    """
 
     UPDATE = "update"
     INVALIDATE = "invalidate"
@@ -50,6 +58,18 @@ class FutureIndex:
     ``reads[key]`` and ``writes[key]`` are sorted lists of request times.  The
     omniscient optimal policy uses this to know whether the next request to a
     key is a read or a write.
+
+    Example:
+
+        >>> from repro.workload.base import OpType, Request
+        >>> index = FutureIndex.from_requests([
+        ...     Request(time=1.0, key="k", op=OpType.READ),
+        ...     Request(time=2.0, key="k", op=OpType.WRITE),
+        ... ])
+        >>> index.next_write_after("k", 1.0)
+        2.0
+        >>> index.next_read_after("k", 1.0) is None
+        True
     """
 
     reads: Dict[str, List[float]] = field(default_factory=dict)

@@ -25,6 +25,16 @@ class StalenessSLO:
         max_stale_miss_ratio: The largest acceptable fraction of reads that
             miss because the cached object was stale (``0`` means "never serve
             a stale-induced miss", which forces updates everywhere).
+
+    Example — a 5% budget tolerates read-heavy keys under invalidation:
+
+        >>> slo = StalenessSLO(max_stale_miss_ratio=0.05)
+        >>> slo.is_met(0.03)
+        True
+        >>> slo.invalidation_feasible_small_t(read_ratio=0.99)
+        True
+        >>> slo.invalidation_feasible_small_t(read_ratio=0.5)
+        False
     """
 
     max_stale_miss_ratio: float

@@ -61,7 +61,16 @@ class TTLExpiryPolicy(_TTLPolicy):
     ttl_mode = "expiry"
 
     def is_expired(self, fetched_at: float, now: float) -> bool:
-        """Whether an object fetched at ``fetched_at`` has expired by ``now``."""
+        """Whether an object fetched at ``fetched_at`` has expired by ``now``.
+
+        Example:
+
+            >>> policy = TTLExpiryPolicy(ttl=1.0)
+            >>> policy.is_expired(fetched_at=0.0, now=0.5)
+            False
+            >>> policy.is_expired(fetched_at=0.0, now=1.0)
+            True
+        """
         return now >= self.expiry_time(fetched_at)
 
 
@@ -84,6 +93,14 @@ class TTLPollingPolicy(_TTLPolicy):
         poll as an event since polling cost does not depend on the request
         stream), so this returns how many polls fall in
         ``(accounted_until, now]``.
+
+        Example — three polls in the first 3.5 seconds, none of them re-counted:
+
+            >>> policy = TTLPollingPolicy(ttl=1.0)
+            >>> policy.polls_between(anchor=0.0, accounted_until=0.0, now=3.5)
+            3
+            >>> policy.polls_between(anchor=0.0, accounted_until=3.5, now=4.5)
+            1
         """
         if now <= anchor:
             return 0

@@ -11,6 +11,14 @@ dirty key is emitted.
 * **Always-update** ("Up." in Figure 5): send an update (key plus fresh value)
   for every dirty key, keeping cached copies always valid at the price of a
   larger message for every write interval — even for keys nobody reads.
+
+Example:
+
+    >>> from repro.core.write_reactive import AlwaysInvalidatePolicy, AlwaysUpdatePolicy
+    >>> AlwaysInvalidatePolicy().decide("any-key", time=1.0).value
+    'invalidate'
+    >>> AlwaysUpdatePolicy().decide("any-key", time=1.0).value
+    'update'
 """
 
 from __future__ import annotations

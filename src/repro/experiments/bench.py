@@ -24,6 +24,7 @@ from repro.experiments.registry import make_policy
 from repro.sim.simulation import Simulation
 from repro.store.format import KIND_WRITE, WalScan
 from repro.store.wal import WriteAheadLog
+from repro.tier.config import TierConfig
 from repro.workload.poisson import PoissonZipfWorkload
 
 DEFAULT_BENCH_POLICIES = ("ttl-expiry", "ttl-polling", "invalidate", "update", "adaptive")
@@ -49,13 +50,15 @@ def bench_policy(
     seed: int = 0,
     num_nodes: Optional[int] = None,
     replication: int = 1,
+    tier: Optional[TierConfig] = None,
 ) -> Dict[str, Any]:
     """Replay a streamed trace of roughly ``num_requests`` under one policy.
 
     With ``num_nodes`` set the trace replays through a sharded
     :class:`~repro.cluster.cluster.ClusterSimulation` instead of the
     single-cache simulator, measuring the routing + fan-out overhead of the
-    fleet path (cluster replay throughput).
+    fleet path (cluster replay throughput).  ``tier`` additionally fronts
+    every node with an L1, measuring the tiered read path.
     """
     rate_per_key = 100.0
     duration = num_requests / (rate_per_key * num_keys)
@@ -80,6 +83,7 @@ def bench_policy(
             duration=duration,
             workload_name=workload.name,
             seed=seed,
+            tier=tier,
         )
     started = time.perf_counter()
     raw = simulation.run()
@@ -102,6 +106,12 @@ def bench_policy(
         row["num_nodes"] = num_nodes
         row["replication"] = replication
         row["load_imbalance"] = raw.load_imbalance
+        if tier is not None:
+            row["l1_capacity"] = tier.l1_capacity
+            row["tier_mode"] = tier.mode
+            row["l1_hits"] = raw.l1_hits
+            row["l1_hit_share"] = raw.l1_hits / raw.totals.hits if raw.totals.hits else 0.0
+            row["tier_cost"] = raw.tier_cost
     return row
 
 
@@ -155,12 +165,14 @@ def run_bench(
     num_nodes: Optional[int] = None,
     replication: int = 1,
     store: bool = False,
+    tier: Optional[TierConfig] = None,
 ) -> Dict[str, Any]:
     """Benchmark the streaming pipeline under several policies.
 
     With ``num_nodes`` set, benchmarks the cluster replay path instead of the
-    single-cache path.  With ``store`` set, a :func:`bench_wal` pass is added
-    and recorded under the ``"store"`` key (WAL append + replay throughput).
+    single-cache path; ``tier`` additionally benchmarks the tiered (L1/L2)
+    read path.  With ``store`` set, a :func:`bench_wal` pass is added and
+    recorded under the ``"store"`` key (WAL append + replay throughput).
     Writes a ``BENCH_<label>.json`` record into ``output_dir`` and returns
     its contents (including the output path under ``"path"``).
     """
@@ -173,6 +185,7 @@ def run_bench(
             seed=seed,
             num_nodes=num_nodes,
             replication=replication,
+            tier=tier,
         )
         for policy in policies
     ]
@@ -190,6 +203,7 @@ def run_bench(
             "num_nodes": num_nodes,
             "replication": replication,
             "store": store,
+            "tier": tier.as_dict() if tier is not None else None,
         },
         "peak_rss_kib": peak_rss_kib(),
         "results": results,

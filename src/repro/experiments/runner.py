@@ -25,6 +25,7 @@ from repro.experiments.registry import make_cost_model, make_policy, make_worklo
 from repro.experiments.spec import ExperimentSpec, RunCell
 from repro.sim.simulation import Simulation
 from repro.store.snapshot import StoreConfig
+from repro.tier.config import TierConfig
 
 
 @contextmanager
@@ -96,6 +97,13 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
         if cell.hot_policy is not None
         else None
     )
+    # A zero-capacity config is normalised to "no tier" by the cluster, so
+    # l1_capacity=0 cells replay the single-tier path byte-for-byte.
+    tier = TierConfig(
+        l1_capacity=cell.l1_capacity,
+        mode=cell.tier_mode,
+        admission=cell.tier_admission,
+    )
     with _cell_store(cell) as store:
         cluster = ClusterSimulation(
             workload=workload.iter_requests(cell.duration),
@@ -113,6 +121,7 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             vnodes=cell.vnodes,
             seed=cell.seed,
             store=store,
+            tier=tier,
         )
         row = dict(cell.describe())
         row.update(cluster.run().as_dict())

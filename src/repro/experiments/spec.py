@@ -123,6 +123,13 @@ class RunCell:
     # the deterministic store counters in the row.
     persistence: bool = False
     snapshot_interval: Optional[float] = None
+    # Tier coordinates.  ``l1_capacity=0`` keeps the cell single-tier (and
+    # byte-identical to a cell without any tier coordinates — test-pinned);
+    # a positive capacity fronts every node's cache with an L1 in
+    # ``tier_mode`` using the ``tier_admission`` policy.
+    l1_capacity: int = 0
+    tier_mode: str = "write-through"
+    tier_admission: str = "second-hit"
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -146,6 +153,9 @@ class RunCell:
             "hot_policy": self.hot_policy,
             "persistence": self.persistence,
             "snapshot_interval": self.snapshot_interval if self.persistence else None,
+            "l1_capacity": self.l1_capacity,
+            "tier_mode": self.tier_mode,
+            "tier_admission": self.tier_admission,
         }
 
 
@@ -202,6 +212,14 @@ class ExperimentSpec:
         snapshot_intervals: Snapshot-cadence axis for persistent cells
             (``None`` = only the final checkpoint).  Non-default entries
             require every ``persistence`` entry to be ``True``.
+        l1_capacities: L1-capacity axis for cluster cells (``0`` = the
+            single-tier fleet, byte-identical to not setting the axis at
+            all).  Positive entries require every ``num_nodes`` entry to be
+            a cluster cell.
+        tier_modes: Tier fill-mode axis (``"write-through"`` /
+            ``"write-back"``); non-default entries require a positive
+            ``l1_capacities`` axis.
+        tier_admission: L1 admission policy for tiered cells (not an axis).
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -223,6 +241,9 @@ class ExperimentSpec:
     vnodes: int = 64
     persistence: Sequence[bool] = (False,)
     snapshot_intervals: Sequence[Optional[float]] = (None,)
+    l1_capacities: Sequence[int] = (0,)
+    tier_modes: Sequence[str] = ("write-through",)
+    tier_admission: str = "second-hit"
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -291,6 +312,53 @@ class ExperimentSpec:
                 "or the non-persistent rows would be labeled with a snapshot "
                 "cadence that never ran"
             )
+        # Tier axes: validate entries eagerly and keep them off single-cache
+        # cells (the plain Simulation has no L1 to run).
+        if not self.l1_capacities or not self.tier_modes:
+            raise ConfigurationError(
+                "the l1_capacities and tier_modes axes each need at least one entry"
+            )
+        for capacity in self.l1_capacities:
+            if capacity < 0:
+                raise ConfigurationError(
+                    f"l1_capacities entries must be >= 0, got {capacity}"
+                )
+        from repro.tier.config import ADMISSION_POLICIES, TIER_MODES
+
+        for mode in self.tier_modes:
+            if mode not in TIER_MODES:
+                raise ConfigurationError(
+                    f"tier_modes entries must be one of {TIER_MODES}, got {mode!r}"
+                )
+        if self.tier_admission not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"tier_admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.tier_admission!r}"
+            )
+        wants_tier = any(capacity > 0 for capacity in self.l1_capacities)
+        if wants_tier and len(cluster_sizes) != len(self.num_nodes):
+            raise ConfigurationError(
+                "the l1_capacities axis only applies to cluster cells; every "
+                "num_nodes entry must be an integer fleet size (got "
+                f"{list(self.num_nodes)}) or the single-cache rows would be "
+                "labeled with an L1 that never ran"
+            )
+        if not wants_tier and tuple(self.tier_modes) != ("write-through",):
+            raise ConfigurationError(
+                "tier_modes only takes effect with a positive l1_capacities "
+                f"axis (got l1_capacities={list(self.l1_capacities)})"
+            )
+        tier_scenarios = [
+            scenario
+            for scenario in self.normalized_scenarios()
+            if scenario is not None and scenario.name in ("l2-outage", "cold-l1")
+        ]
+        if tier_scenarios and (not wants_tier or any(c == 0 for c in self.l1_capacities)):
+            raise ConfigurationError(
+                f"scenario {tier_scenarios[0].name!r} exercises the L1 tier; "
+                "every l1_capacities entry must be positive (got "
+                f"{list(self.l1_capacities)})"
+            )
         # Scenarios that restore nodes from durable snapshots (warm rejoin,
         # warm kill-at-t) need every cell to run with a store; surface the
         # mismatch here rather than inside a worker mid-sweep.
@@ -325,6 +393,26 @@ class ExperimentSpec:
             for workload in self.workloads
         ]
 
+    def tier_combos(self) -> List[Tuple[int, str]]:
+        """The (l1_capacity, tier_mode) pairs the grid actually runs.
+
+        A zero-capacity tier is the single-tier fleet whatever its fill
+        mode, so ``l1_capacity=0`` appears exactly once with the default
+        mode instead of once per ``tier_modes`` entry — crossing it with
+        every mode would re-run byte-identical baseline cells and emit
+        indistinguishable duplicate rows.
+        """
+        combos: List[Tuple[int, str]] = []
+        seen_zero = False
+        for capacity in self.l1_capacities:
+            if capacity == 0:
+                if not seen_zero:
+                    combos.append((0, "write-through"))
+                    seen_zero = True
+            else:
+                combos.extend((int(capacity), mode) for mode in self.tier_modes)
+        return combos
+
     def normalized_scenarios(self) -> List[Optional[ScenarioSpec]]:
         """Return the scenario axis with bare names promoted to specs."""
         normalized: List[Optional[ScenarioSpec]] = []
@@ -351,6 +439,7 @@ class ExperimentSpec:
             * len(self.scenarios)
             * len(self.persistence)
             * len(self.snapshot_intervals)
+            * len(self.tier_combos())
         )
 
     def expand(self) -> List[RunCell]:
@@ -367,6 +456,7 @@ class ExperimentSpec:
             self.normalized_scenarios(),
             self.persistence,
             self.snapshot_intervals,
+            self.tier_combos(),
             self.policies,
         )
         for cell_id, (
@@ -379,6 +469,7 @@ class ExperimentSpec:
             scenario,
             persistence,
             snapshot_interval,
+            (l1_capacity, tier_mode),
             policy,
         ) in enumerate(grid):
             seed = stable_cell_seed(self.base_seed, workload.name, workload.params, self.duration)
@@ -407,6 +498,9 @@ class ExperimentSpec:
                     snapshot_interval=(
                         float(snapshot_interval) if snapshot_interval is not None else None
                     ),
+                    l1_capacity=int(l1_capacity),
+                    tier_mode=tier_mode,
+                    tier_admission=self.tier_admission,
                 )
             )
         return cells

@@ -79,6 +79,19 @@ class CountMinSketch:
         self._table.fill(0)
         self.total = 0
 
+    def state(self) -> dict:
+        """Serialisable snapshot of the counter table (JSON-safe primitives).
+
+        The hash family is reconstructed from the seed at construction time,
+        so the counters and the running total are the whole mutable state.
+        """
+        return {"table": self._table.tolist(), "total": self.total}
+
+    def load_state(self, data: dict) -> None:
+        """Restore a :meth:`state` snapshot in place (same dimensions)."""
+        self._table[:] = np.asarray(data["table"], dtype=np.int64)
+        self.total = int(data["total"])
+
 
 class CountMinEWSketch(EWEstimator):
     """E[W] estimator backed by two Count-min sketches (reads and writes).

@@ -166,11 +166,18 @@ class WarmState:
     entries: List[CacheEntry] = field(default_factory=list)
     #: Keys written since the snapshot: restored as invalidated placeholders.
     invalidated: int = 0
+    #: L1 entries recovered from the snapshot (empty for single-tier nodes),
+    #: validated against the write history exactly like the L2 entries.
+    l1_entries: List[CacheEntry] = field(default_factory=list)
+    l1_invalidated: int = 0
+    #: Keys among ``l1_entries`` that were write-back dirty at the snapshot:
+    #: the L2 never saw them, so they stay dirty after the restore.
+    l1_dirty: List[str] = field(default_factory=list)
 
     @property
     def restored(self) -> int:
-        """Total entries put back into the cache."""
-        return len(self.entries)
+        """Total entries put back into the cache (both tiers)."""
+        return len(self.entries) + len(self.l1_entries)
 
 
 def warm_state(
@@ -199,12 +206,24 @@ def warm_state(
     if replayed is None:
         replayed, _ = recover_datastore(root)
     state = WarmState(snapshot_seq=snapshot.seq, snapshot_time=snapshot.time)
-    for entry_data in node_data["entries"]:
+
+    def validate(entry_data: Dict[str, Any]) -> Tuple[CacheEntry, bool]:
         entry = entry_from_dict(entry_data)
         if replayed.writes_between(entry.key, entry.as_of, rejoin_time) > 0:
             entry.state = EntryState.INVALIDATED
-            state.invalidated += 1
-        else:
-            entry.state = EntryState.VALID
+            return entry, True
+        entry.state = EntryState.VALID
+        return entry, False
+
+    for entry_data in node_data["entries"]:
+        entry, stale = validate(entry_data)
+        state.invalidated += stale
         state.entries.append(entry)
+    l1_data = node_data.get("l1", {})
+    for entry_data in l1_data.get("entries", []):
+        entry, stale = validate(entry_data)
+        state.l1_invalidated += stale
+        state.l1_entries.append(entry)
+    restored_keys = {entry.key for entry in state.l1_entries}
+    state.l1_dirty = [key for key in l1_data.get("dirty", []) if key in restored_keys]
     return state

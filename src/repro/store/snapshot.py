@@ -237,9 +237,46 @@ def serialize_node_stub(node: Any) -> Dict[str, Any]:
     }
 
 
+def serialize_l1(l1: Any) -> Dict[str, Any]:
+    """Flatten a node's L1 tier: entries, dirty set, stats, admission state.
+
+    The admission sketch rides along so a crash-resume replays admission
+    decisions exactly — unlike hot-key detectors, whose state is not
+    checkpointed and which therefore refuse to resume.  Entries are written
+    in LRU recency order (victim first): the L1 is always capacity-bounded,
+    so restoring them in that order reproduces the eviction state — and
+    hence every post-resume eviction decision — exactly.
+    """
+    entries = {entry.key: entry for entry in l1.cache.entries()}
+    recency = l1.cache.eviction.recency_order()
+    ordered = (
+        [entries[key] for key in recency if key in entries]
+        if recency is not None
+        else list(entries.values())
+    )
+    return {
+        "entries": [serialize_entry(entry) for entry in ordered],
+        "dirty": sorted(l1.dirty),
+        "outage": l1.outage,
+        "stats": _serialize_result(l1.cache.stats),
+        "admission": l1.admission.state(),
+    }
+
+
+def restore_l1(l1: Any, data: Dict[str, Any], time: float) -> None:
+    """Rebuild a node's L1 tier in place from :func:`serialize_l1`."""
+    l1.cache.clear()
+    for entry_data in data["entries"]:
+        l1.cache.restore_entry(entry_from_dict(entry_data), time)
+    l1.dirty = set(data["dirty"])
+    l1.outage = bool(data.get("outage", False))
+    _restore_result(l1.cache.stats, data["stats"])
+    l1.admission.load_state(data["admission"])
+
+
 def serialize_node(node: Any) -> Dict[str, Any]:
     """Flatten one cache node's volatile state for a snapshot."""
-    return {
+    data = {
         "node_id": node.node_id,
         "reachable": node.reachable,
         "in_ring": node.in_ring,
@@ -276,6 +313,9 @@ def serialize_node(node: Any) -> Dict[str, Any]:
         "result": _serialize_result(node.result),
         "channel": _serialize_channel(node.channel),
     }
+    if getattr(node, "l1", None) is not None:
+        data["l1"] = serialize_l1(node.l1)
+    return data
 
 
 def restore_node(node: Any, data: Dict[str, Any], time: float) -> None:
@@ -329,6 +369,8 @@ def restore_node(node: Any, data: Dict[str, Any], time: float) -> None:
         node._pending.append(PendingDelivery(message=message, deliver_at=item["deliver_at"]))
     if node._pending and node._pending_registry is not None:
         node._pending_registry.add(node.node_id)
+    if getattr(node, "l1", None) is not None and "l1" in data:
+        restore_l1(node.l1, data["l1"], time)
     _restore_result(node.result, data["result"])
     _restore_channel(node.channel, data["channel"])
 

@@ -1,0 +1,161 @@
+"""Pluggable L1 admission policies.
+
+Admission decides which objects earn a slot in the small per-node L1.  The
+fast tier is orders of magnitude smaller than the sharded L2, so admitting
+everything lets one-hit wonders evict the keys that actually produce L1 hits;
+the classic countermeasure (TinyLFU-style) is to require evidence of reuse
+before admitting.  Three policies ship:
+
+* ``always`` — admit every candidate (the degenerate baseline; useful for
+  isolating the effect of admission itself),
+* ``second-hit`` — admit a key on its **second** access within the decay
+  window, tracked approximately by the existing Count-min sketch
+  (:class:`~repro.sketch.countmin.CountMinSketch`), and
+* ``size-ttl`` — ``second-hit`` plus size/TTL gating: oversized values and
+  entries whose TTL timer is about to fire are refused regardless of
+  frequency.
+
+Admission state is deterministic (the sketch hash family is seeded per node)
+and serialisable (:meth:`AdmissionPolicy.state` /
+:meth:`AdmissionPolicy.load_state`), so snapshot/crash-resume replays
+admission decisions exactly.
+
+Example — the second access admits, the first does not:
+
+    >>> from repro.tier import TierConfig, make_admission
+    >>> policy = make_admission(TierConfig(l1_capacity=4, admission="second-hit"))
+    >>> policy.observe("k")
+    >>> policy.admit("k", value_size=128, ttl_headroom=None)
+    False
+    >>> policy.observe("k")
+    >>> policy.admit("k", value_size=128, ttl_headroom=None)
+    True
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sketch.countmin import CountMinSketch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tier.config import TierConfig
+
+
+class AdmissionPolicy:
+    """Base admission policy: admit everything, keep no state."""
+
+    name = "always"
+
+    def observe(self, key: str) -> None:
+        """Record one access to ``key`` (called for every L1-missed read)."""
+
+    def admit(self, key: str, value_size: int, ttl_headroom: Optional[float]) -> bool:
+        """Whether ``key`` may enter the L1 right now.
+
+        Args:
+            key: Candidate key.
+            value_size: Value size in bytes of the candidate entry.
+            ttl_headroom: Seconds until the entry's TTL-expiry timer fires
+                (``None`` when the node's policy has no expiry timer).
+        """
+        return True
+
+    def end_interval(self) -> None:
+        """Advance the decay clock (called at every interval flush)."""
+
+    def state(self) -> Dict[str, Any]:
+        """Serialisable snapshot of the admission state (crash-resume)."""
+        return {}
+
+    def load_state(self, data: Dict[str, Any]) -> None:
+        """Restore :meth:`state` output (crash-resume)."""
+
+
+class SecondHitAdmission(AdmissionPolicy):
+    """Admit a key on its second access within the decay window.
+
+    Accesses are counted approximately in a Count-min sketch that is halved
+    every ``decay_every`` interval flushes, so "second access" means *recent*
+    reuse, not all-time reuse.  Collisions can only over-admit (the sketch
+    over-counts), never starve a genuinely reused key.
+    """
+
+    name = "second-hit"
+
+    def __init__(self, config: "TierConfig", seed: int = 0) -> None:
+        self._sketch = CountMinSketch(
+            width=config.sketch_width, depth=config.sketch_depth, seed=seed
+        )
+        self._decay_every = config.decay_every
+        self._intervals = 0
+
+    def observe(self, key: str) -> None:
+        self._sketch.add(key)
+
+    def admit(self, key: str, value_size: int, ttl_headroom: Optional[float]) -> bool:
+        return self._sketch.query(key) >= 2
+
+    def end_interval(self) -> None:
+        self._intervals += 1
+        if self._intervals >= self._decay_every:
+            self._sketch.halve()
+            self._intervals = 0
+
+    def state(self) -> Dict[str, Any]:
+        return {"sketch": self._sketch.state(), "intervals": self._intervals}
+
+    def load_state(self, data: Dict[str, Any]) -> None:
+        self._sketch.load_state(data["sketch"])
+        self._intervals = int(data["intervals"])
+
+
+class SizeTTLAdmission(SecondHitAdmission):
+    """Second-hit admission with size and TTL-headroom gates.
+
+    An object must (a) show recent reuse, (b) fit under ``max_value_size``,
+    and (c) — when the node's policy runs a TTL-expiry timer — have at least
+    ``min_ttl_headroom`` seconds of validity left.  Gate (c) keeps
+    about-to-expire objects out of the fast tier, where they would turn into
+    L1 stale misses almost immediately.
+    """
+
+    name = "size-ttl"
+
+    def __init__(self, config: "TierConfig", seed: int = 0) -> None:
+        super().__init__(config, seed=seed)
+        self._max_value_size = config.max_value_size
+        self._min_ttl_headroom = config.min_ttl_headroom
+
+    def admit(self, key: str, value_size: int, ttl_headroom: Optional[float]) -> bool:
+        if self._max_value_size is not None and value_size > self._max_value_size:
+            return False
+        if ttl_headroom is not None and ttl_headroom < self._min_ttl_headroom:
+            return False
+        return super().admit(key, value_size, ttl_headroom)
+
+
+_ADMISSION_FACTORIES = {
+    "always": lambda config, seed: AdmissionPolicy(),
+    "second-hit": lambda config, seed: SecondHitAdmission(config, seed=seed),
+    "size-ttl": lambda config, seed: SizeTTLAdmission(config, seed=seed),
+}
+
+
+def make_admission(config: "TierConfig", seed: int = 0) -> AdmissionPolicy:
+    """Build the admission policy a :class:`~repro.tier.TierConfig` names.
+
+    Raises:
+        ConfigurationError: If the name is not registered (the config
+            validates its own fields, so this only fires for configs built
+            by bypassing :class:`~repro.tier.TierConfig`).
+    """
+    try:
+        factory = _ADMISSION_FACTORIES[config.admission]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown admission policy {config.admission!r}; expected one of "
+            f"{sorted(_ADMISSION_FACTORIES)}"
+        ) from exc
+    return factory(config, seed)

@@ -1,11 +1,24 @@
 """The ``python -m repro`` command-line interface."""
 
 import json
+import re
 
 import pytest
 
 import repro
 from repro.__main__ import main
+
+
+def test_help_lists_every_subcommand(capsys) -> None:
+    """New subcommands cannot ship undocumented: --help must name them all."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    listing = re.search(r"\{([a-z,-]+)\}", out)
+    assert listing is not None, f"no subcommand listing in --help output:\n{out}"
+    subcommands = set(listing.group(1).split(","))
+    assert subcommands == {"run", "sweep", "bench", "cluster", "store", "tier"}
 
 
 def test_version_flag_prints_the_package_version(capsys) -> None:
@@ -111,6 +124,85 @@ def test_cluster_sweep_runs_scenarios_and_exports(tmp_path, capsys) -> None:
     assert row["rebalances"] == 2
     assert len(row["nodes"]) == 8
     assert row["reads"] + row["writes"] > 0
+
+
+def test_tier_sweep_sweeps_l1_capacities_and_modes(tmp_path, capsys) -> None:
+    json_path = tmp_path / "tier.json"
+    exit_code = main(
+        [
+            "tier",
+            "--nodes", "2",
+            "--l1-capacity", "0,16",
+            "--tier-mode", "write-through,write-back",
+            "--policies", "invalidate",
+            "--bounds", "0.5",
+            "--duration", "3.0",
+            "--param", "num_keys=100",
+            "--processes", "1",
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    rows = json.loads(json_path.read_text())["results"]
+    # The single-tier baseline (l1_capacity=0) runs once, not once per mode.
+    assert len(rows) == 3
+    zero = [row for row in rows if row["l1_capacity"] == 0]
+    tiered = [row for row in rows if row["l1_capacity"] == 16]
+    assert len(zero) == 1 and len(tiered) == 2
+    assert zero[0]["l1_hits"] == 0
+    assert zero[0]["tier_mode"] == "write-through"
+    assert sorted(row["tier_mode"] for row in tiered) == ["write-back", "write-through"]
+    assert all(row["l1_hits"] > 0 for row in tiered)
+
+
+def test_tier_scenario_from_the_command_line(tmp_path, capsys) -> None:
+    json_path = tmp_path / "outage.json"
+    exit_code = main(
+        [
+            "tier",
+            "--nodes", "2",
+            "--l1-capacity", "64",
+            "--admission", "always",
+            "--scenario", "l2-outage",
+            "--policies", "invalidate",
+            "--bounds", "0.5",
+            "--duration", "4.0",
+            "--param", "num_keys=100",
+            "--processes", "1",
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    (row,) = json.loads(json_path.read_text())["results"]
+    assert row["scenario"] == "l2-outage"
+    assert row["l1_served_degraded"] > 0
+
+
+def test_bench_tier_mode_records_l1_share(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "invalidate",
+            "--requests", "3000",
+            "--keys", "100",
+            "--nodes", "2",
+            "--tier",
+            "--l1-capacity", "32",
+            "--output-dir", str(tmp_path),
+            "--label", "tier",
+        ]
+    )
+    assert exit_code == 0
+    record = json.loads((tmp_path / "BENCH_tier.json").read_text())
+    assert record["config"]["tier"]["l1_capacity"] == 32
+    (result,) = record["results"]
+    assert result["l1_hits"] > 0
+    assert 0 < result["l1_hit_share"] <= 1
+
+
+def test_bench_tier_requires_nodes(capsys) -> None:
+    with pytest.raises(SystemExit):
+        main(["bench", "--tier", "--requests", "100"])
 
 
 def test_cluster_bench_mode_writes_record(tmp_path, capsys) -> None:

@@ -1,0 +1,373 @@
+"""The L1/L2 tier: admission, promotion, modes, and the pinned equivalences."""
+
+import pytest
+
+from repro import PoissonZipfWorkload, StoreConfig, TierConfig
+from repro.cluster import ClusterSimulation
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_cell, run_experiment
+from repro.experiments.spec import ExperimentSpec, RunCell, stable_cell_seed
+from repro.tier import make_admission
+from repro.workload.base import OpType, Request
+
+
+def _cluster(tier=None, policy="invalidate", num_nodes=2, duration=8.0, seed=11, **kwargs):
+    workload = PoissonZipfWorkload(num_keys=300, rate_per_key=20.0, seed=seed)
+    return ClusterSimulation(
+        workload=workload.iter_requests(duration),
+        policy=policy,
+        num_nodes=num_nodes,
+        staleness_bound=0.5,
+        duration=duration,
+        seed=seed,
+        tier=tier,
+        **kwargs,
+    )
+
+
+def _cell(**overrides):
+    defaults = dict(
+        experiment="tier-test",
+        cell_id=0,
+        policy="invalidate",
+        workload="poisson",
+        workload_params=(("num_keys", 100), ("rate_per_key", 20.0)),
+        staleness_bound=0.5,
+        cache_capacity=None,
+        channel=None,
+        duration=4.0,
+        seed=stable_cell_seed(3, "poisson", {"num_keys": 100, "rate_per_key": 20.0}, 4.0),
+        num_nodes=2,
+    )
+    defaults.update(overrides)
+    return RunCell(**defaults)
+
+
+# --------------------------------------------------------------------- #
+# The pinned equivalence: l1_capacity=0 IS the single-tier fleet
+# --------------------------------------------------------------------- #
+def test_l1_capacity_zero_row_is_byte_identical_to_single_tier_row() -> None:
+    baseline = run_cell(_cell())
+    tiered_zero = run_cell(_cell(l1_capacity=0))
+    assert baseline == tiered_zero
+
+
+def test_l1_capacity_zero_cluster_matches_untiered_cluster() -> None:
+    baseline = _cluster().run().as_dict()
+    for mode in ("write-through", "write-back"):
+        zero = _cluster(tier=TierConfig(l1_capacity=0, mode=mode)).run().as_dict()
+        # The disabled tier is normalised away entirely, fill mode included.
+        assert zero == baseline
+
+
+def test_tier_config_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        TierConfig(l1_capacity=-1)
+    with pytest.raises(ConfigurationError):
+        TierConfig(l1_capacity=4, mode="write-around")
+    with pytest.raises(ConfigurationError):
+        TierConfig(l1_capacity=4, admission="belady")
+    with pytest.raises(ConfigurationError):
+        TierConfig(l1_capacity=4, max_value_size=0)
+
+
+# --------------------------------------------------------------------- #
+# Read path: hits, costs, and freshness through both tiers
+# --------------------------------------------------------------------- #
+def test_l1_serves_hits_and_charges_tier_cost() -> None:
+    baseline = _cluster().run()
+    tiered = _cluster(tier=TierConfig(l1_capacity=16, admission="always")).run()
+    assert 0 < tiered.l1_hits < tiered.totals.hits
+    assert tiered.tier_cost > 0
+    # Tiering re-routes hits between tiers but serves the same data: the
+    # fleet-level hit count and freshness guarantees are unchanged.
+    assert tiered.totals.hits == baseline.totals.hits
+    assert tiered.totals.staleness_violations == baseline.totals.staleness_violations
+    assert tiered.l1_capacity == 16
+    assert tiered.tier_mode == "write-through"
+    row = tiered.as_dict()
+    assert row["l1_hits"] == tiered.l1_hits
+    assert row["nodes"][0]["tier_cost"] >= 0
+
+
+def test_invalidation_fans_out_through_both_tiers() -> None:
+    """An L1 hit must never serve data its L2 would have refused."""
+    requests = [
+        Request(time=0.1, key="k", op=OpType.READ),   # cold miss, not yet admitted
+        Request(time=0.2, key="k", op=OpType.READ),   # L2 hit, second access -> promoted
+        Request(time=0.25, key="k", op=OpType.READ),  # served from the L1
+        Request(time=0.3, key="k", op=OpType.WRITE),  # invalidate sent at t=0.5
+        Request(time=0.9, key="k", op=OpType.READ),   # must re-fetch, not L1-serve
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="invalidate",
+        num_nodes=1,
+        staleness_bound=0.5,
+        duration=1.0,
+        tier=TierConfig(l1_capacity=8, admission="second-hit"),
+    )
+    result = cluster.run()
+    assert result.l1_hits >= 1                      # the t=0.2 read
+    assert result.totals.stale_misses == 1          # the t=0.9 read re-fetched
+    assert result.totals.staleness_violations == 0  # nothing served stale
+
+
+def test_tiered_fleet_adds_no_staleness_violations_across_policies() -> None:
+    for policy in ("invalidate", "update", "ttl-expiry", "ttl-polling", "adaptive"):
+        baseline = _cluster(policy=policy).run()
+        tiered = _cluster(
+            policy=policy, tier=TierConfig(l1_capacity=16, admission="always")
+        ).run()
+        assert tiered.totals.staleness_violations == baseline.totals.staleness_violations
+        # Polling charges once per node, never once per tier.
+        assert tiered.totals.polls == baseline.totals.polls
+
+
+# --------------------------------------------------------------------- #
+# Admission
+# --------------------------------------------------------------------- #
+def test_second_hit_admission_requires_recent_reuse() -> None:
+    policy = make_admission(TierConfig(l1_capacity=4, admission="second-hit"))
+    policy.observe("k")
+    assert not policy.admit("k", value_size=128, ttl_headroom=None)
+    policy.observe("k")
+    assert policy.admit("k", value_size=128, ttl_headroom=None)
+    # Decay forgets old traffic: after enough halvings the key must re-earn
+    # its slot.
+    for _ in range(64):
+        policy.end_interval()
+    assert not policy.admit("k", value_size=128, ttl_headroom=None)
+
+
+def test_size_ttl_admission_gates_size_and_headroom() -> None:
+    config = TierConfig(
+        l1_capacity=4, admission="size-ttl", max_value_size=256, min_ttl_headroom=0.2
+    )
+    policy = make_admission(config)
+    policy.observe("k")
+    policy.observe("k")
+    assert policy.admit("k", value_size=128, ttl_headroom=None)
+    assert not policy.admit("k", value_size=512, ttl_headroom=None)   # too big
+    assert not policy.admit("k", value_size=128, ttl_headroom=0.1)    # about to expire
+    assert policy.admit("k", value_size=128, ttl_headroom=5.0)
+
+
+def test_second_hit_rejects_show_up_in_results() -> None:
+    tiered = _cluster(tier=TierConfig(l1_capacity=16, admission="second-hit")).run()
+    assert tiered.l1_admission_rejects > 0
+    assert tiered.l1_insertions > 0
+
+
+# --------------------------------------------------------------------- #
+# Write-back mode
+# --------------------------------------------------------------------- #
+def test_write_back_flushes_dirty_entries_to_l2() -> None:
+    tiered = _cluster(tier=TierConfig(l1_capacity=8, mode="write-back",
+                                      admission="always")).run()
+    assert tiered.l1_writebacks > 0
+    assert tiered.tier_mode == "write-back"
+    # A tiny L1 under a wide key set must demote dirty victims on eviction.
+    assert tiered.l1_demotions > 0
+    assert tiered.l1_evictions >= tiered.l1_demotions
+
+
+def test_write_back_entries_reach_the_l2_at_flush() -> None:
+    requests = [
+        Request(time=0.1, key="k", op=OpType.READ),  # fills L1 only (always-admit)
+        Request(time=0.9, key="k", op=OpType.READ),
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="invalidate",
+        num_nodes=1,
+        staleness_bound=0.5,
+        duration=1.0,
+        tier=TierConfig(l1_capacity=8, mode="write-back", admission="always"),
+    )
+    node = cluster.node_at(0)
+    result = cluster.run()
+    assert result.l1_writebacks == 1       # the t=0.5 interval flush
+    assert "k" in node.cache               # flushed down to the L2
+    assert "k" in node.l1.cache
+    assert not node.l1.dirty
+
+
+def test_polling_is_not_double_charged_after_an_l2_eviction() -> None:
+    """An L2 eviction settles polls; the surviving L1 copy must not re-charge them."""
+    requests = [
+        Request(time=1.0, key="k", op=OpType.READ),   # fills L1 + L2
+        Request(time=4.5, key="x", op=OpType.READ),   # L2 (capacity 1) evicts k:
+                                                      #   k's polls at 2,3,4 settle
+        Request(time=8.0, key="k", op=OpType.READ),   # L1-only k polls 5,6,7,8
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="ttl-polling",
+        num_nodes=1,
+        staleness_bound=1.0,
+        cache_capacity=1,
+        duration=8.0,
+        tier=TierConfig(l1_capacity=8, admission="always"),
+    )
+    result = cluster.run()
+    # k: 3 polls settled at the L2 eviction + 4 as an L1-only entry;
+    # x: 3 polls (5.5, 6.5, 7.5) settled at finalize.  Double-charging the
+    # already-settled window would report 13.
+    assert result.totals.polls == 10
+    assert result.l1_hits == 1
+
+
+def test_l1_eviction_settles_polls_of_l1_only_victims() -> None:
+    """Polls an L1-only entry performed must not vanish with its eviction."""
+    requests = [
+        Request(time=1.0, key="k", op=OpType.READ),
+        Request(time=4.5, key="x", op=OpType.READ),   # L2 evicts k (polls 2,3,4)
+        Request(time=6.2, key="y", op=OpType.READ),   # L2 evicts x (poll 5.5);
+                                                      #   L1 (capacity 2) evicts
+                                                      #   L1-only k: polls 5,6
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="ttl-polling",
+        num_nodes=1,
+        staleness_bound=1.0,
+        cache_capacity=1,
+        duration=8.0,
+        tier=TierConfig(l1_capacity=2, admission="always"),
+    )
+    result = cluster.run()
+    # k: 3 + 2 (settled at its L1 eviction); x: 1 + 2 more as L1-only
+    # (6.5, 7.5 at finalize); y: 1 (7.2 at finalize).  Dropping the L1
+    # victim's polls would report 7.
+    assert result.totals.polls == 9
+
+
+def test_update_that_lands_only_in_the_l1_is_not_counted_wasted() -> None:
+    """A capacity-bounded L2 evicted the key, but the L1 still holds it."""
+    requests = [
+        Request(time=0.1, key="k1", op=OpType.READ),   # L2 + L1 hold k1
+        Request(time=0.2, key="k2", op=OpType.READ),   # L2 (capacity 1) evicts k1
+        Request(time=0.3, key="k1", op=OpType.WRITE),  # update pushed at t=0.5
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="update",
+        num_nodes=1,
+        staleness_bound=0.5,
+        cache_capacity=1,
+        duration=1.0,
+        tier=TierConfig(l1_capacity=8, admission="always"),
+    )
+    node = cluster.node_at(0)
+    result = cluster.run()
+    assert result.totals.updates_sent == 1
+    # The update missed the L2 but refreshed the L1 copy, which keeps
+    # serving fresh hits: not a wasted message.
+    assert result.totals.updates_wasted == 0
+    assert node.l1.cache.peek("k1").is_valid
+
+
+# --------------------------------------------------------------------- #
+# Crash-resume with a tier (L1 state checkpointed like everything else)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("mode", ["write-through", "write-back"])
+def test_tier_resume_matches_uninterrupted_run(tmp_path, mode) -> None:
+    tier = TierConfig(l1_capacity=16, mode=mode, admission="second-hit")
+
+    def build(root):
+        return _cluster(
+            tier=tier, num_nodes=2, duration=6.0,
+            store=StoreConfig(str(root), snapshot_interval=1.5),
+        )
+
+    reference = build(tmp_path / "full").run()
+    crashed = build(tmp_path / "crash")
+    partial = crashed.run(stop_at=3.0)
+    assert partial.interrupted
+    resumed = build(tmp_path / "crash")
+    resumed.restore_from_store()
+    final = resumed.run()
+    ref_row = reference.as_dict()
+    final_row = final.as_dict()
+    # Persistence bookkeeping differs by the crash checkpoint itself.
+    for row in (ref_row, final_row):
+        for key in ("store", "persistence_cost", "wal_appends", "wal_flushes",
+                    "snapshots_taken"):
+            row.pop(key, None)
+        for node_row in row["nodes"]:
+            node_row.pop("store", None)
+    assert final_row == ref_row
+
+
+# --------------------------------------------------------------------- #
+# Experiment grid integration
+# --------------------------------------------------------------------- #
+def test_spec_tier_axes_expand_into_cells() -> None:
+    spec = ExperimentSpec(
+        name="tier-grid",
+        policies=["invalidate"],
+        workloads=["poisson"],
+        staleness_bounds=[0.5],
+        num_nodes=[2],
+        l1_capacities=[0, 8],
+        tier_modes=["write-through", "write-back"],
+        duration=2.0,
+    )
+    # l1_capacity=0 is the same single-tier baseline whatever the fill mode,
+    # so it expands once — not once per mode.
+    assert spec.num_cells == 3
+    cells = spec.expand()
+    assert sorted({(cell.l1_capacity, cell.tier_mode) for cell in cells}) == [
+        (0, "write-through"), (8, "write-back"), (8, "write-through"),
+    ]
+    assert all(cell.tier_admission == "second-hit" for cell in cells)
+
+
+def test_spec_rejects_tier_axes_on_single_cache_cells() -> None:
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(
+            name="bad",
+            policies=["invalidate"],
+            workloads=["poisson"],
+            staleness_bounds=[0.5],
+            num_nodes=[None],
+            l1_capacities=[8],
+        )
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(
+            name="bad",
+            policies=["invalidate"],
+            workloads=["poisson"],
+            staleness_bounds=[0.5],
+            num_nodes=[2],
+            tier_modes=["write-back"],  # no positive l1_capacities axis
+        )
+    with pytest.raises(ConfigurationError):
+        ExperimentSpec(
+            name="bad",
+            policies=["invalidate"],
+            workloads=["poisson"],
+            staleness_bounds=[0.5],
+            num_nodes=[2],
+            l1_capacities=[0],
+            scenarios=["l2-outage"],
+        )
+
+
+def test_tier_rows_are_identical_across_worker_schedules() -> None:
+    spec = ExperimentSpec(
+        name="tier-procs",
+        policies=["invalidate", "update"],
+        workloads=["poisson"],
+        staleness_bounds=[0.5],
+        num_nodes=[2],
+        l1_capacities=[8],
+        tier_modes=["write-back"],
+        duration=2.0,
+    )
+    serial = run_experiment(spec, processes=1)
+    parallel = run_experiment(spec, processes=2)
+    assert serial == parallel
+    assert all(row["l1_capacity"] == 8 for row in serial)
+    assert all(row["l1_hits"] > 0 for row in serial)

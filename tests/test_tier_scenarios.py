@@ -1,0 +1,196 @@
+"""The tier scenarios: ``l2-outage`` degraded serving and ``cold-l1`` warming."""
+
+import pytest
+
+from repro import PoissonZipfWorkload, StoreConfig, TierConfig
+from repro.cluster import ClusterSimulation, make_scenario
+from repro.errors import ClusterError
+
+
+def _cluster(scenario=None, tier=None, num_nodes=3, duration=10.0, seed=5, **kwargs):
+    workload = PoissonZipfWorkload(num_keys=400, rate_per_key=20.0, seed=seed)
+    return ClusterSimulation(
+        workload=workload.iter_requests(duration),
+        policy="invalidate",
+        num_nodes=num_nodes,
+        staleness_bound=0.5,
+        duration=duration,
+        seed=seed,
+        scenario=scenario,
+        tier=tier,
+        **kwargs,
+    )
+
+
+TIER = TierConfig(l1_capacity=64, admission="always")
+
+
+# --------------------------------------------------------------------- #
+# l2-outage
+# --------------------------------------------------------------------- #
+def test_l2_outage_serves_strictly_more_degraded_reads_than_baseline() -> None:
+    baseline = _cluster(tier=TIER).run()
+    cluster = _cluster(scenario=make_scenario("l2-outage"), tier=TIER)
+    outage = cluster.run()
+    # The acceptance pin: the outage window produces strictly more L1-served
+    # (degraded) reads than the steady-state baseline, which has none.
+    assert baseline.l1_served_degraded == 0
+    assert outage.l1_served_degraded > baseline.l1_served_degraded
+    labels = [label for _, label in cluster.event_log]
+    assert labels == ["l2-outage-start", "l2-outage-end"]
+
+
+def test_l2_outage_fails_reads_missing_from_the_l1() -> None:
+    # A tiny L1 cannot hold the whole key set: some outage reads must fail.
+    tiny = TierConfig(l1_capacity=4, admission="always")
+    outage = _cluster(scenario=make_scenario("l2-outage"), tier=tiny).run()
+    assert outage.l1_served_degraded > 0
+    assert outage.failed_fetches > 0
+    # Degraded serving trades freshness for availability: stale L1 entries
+    # answer reads the steady-state fleet would have re-fetched.
+    baseline = _cluster(tier=tiny).run()
+    assert outage.totals.staleness_violations >= baseline.totals.staleness_violations
+
+
+def test_l2_outage_recovers_after_the_window() -> None:
+    cluster = _cluster(
+        scenario=make_scenario("l2-outage", {"start_at": 3.0, "end_at": 6.0}),
+        tier=TIER,
+    )
+    result = cluster.run()
+    for node in cluster.nodes():
+        assert node.l1 is not None and not node.l1.outage
+        assert not node.channel.outage
+    # Post-outage reads fetch again: the run ends with backend traffic.
+    assert result.totals.stale_misses + result.totals.cold_misses > 0
+
+
+def test_l2_outage_scope_can_target_a_subset() -> None:
+    scenario = make_scenario("l2-outage", {"node_indices": [0]})
+    cluster = _cluster(scenario=scenario, tier=TIER)
+    result = cluster.run()
+    degraded = [node.l1_served_degraded for node in result.nodes]
+    assert degraded[0] > 0
+    assert all(count == 0 for count in degraded[1:])
+
+
+def test_l2_outage_requires_a_tier() -> None:
+    with pytest.raises(ClusterError, match="tier"):
+        _cluster(scenario=make_scenario("l2-outage")).run()
+
+
+def test_l2_outage_rejects_bad_windows() -> None:
+    with pytest.raises(ClusterError):
+        _cluster(
+            scenario=make_scenario("l2-outage", {"start_at": 6.0, "end_at": 3.0}),
+            tier=TIER,
+        ).run()
+    with pytest.raises(ClusterError):
+        # The end event must fire inside the run (poll accounting needs it).
+        _cluster(
+            scenario=make_scenario("l2-outage", {"start_at": 3.0, "end_at": 100.0}),
+            tier=TIER,
+        ).run()
+    with pytest.raises(ClusterError):
+        make_scenario("l2-outage", {"node_indices": []})
+
+
+def test_l2_outage_stops_polling_without_charging_or_freshening() -> None:
+    """A partitioned node neither pays for polls nor learns from them."""
+    from repro.workload.base import OpType, Request
+
+    requests = [
+        Request(time=1.0, key="k", op=OpType.READ),   # fills both tiers
+        Request(time=6.5, key="k", op=OpType.READ),   # first post-outage read
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="ttl-polling",
+        num_nodes=1,
+        staleness_bound=1.0,
+        duration=8.0,
+        tier=TierConfig(l1_capacity=8, admission="always"),
+        scenario=make_scenario("l2-outage", {"start_at": 2.0, "end_at": 5.0}),
+    )
+    result = cluster.run()
+    # Polls happen at t=2 (settled at outage start), t=6 (the 6.5 read),
+    # and t=7, 8 (finalize).  The partition window's would-be polls at
+    # t=3, 4, 5 never happened: charging them too would report 7.
+    assert result.totals.polls == 4
+
+
+def test_l2_outage_blocks_write_backs_across_the_partition() -> None:
+    """Dirty L1 entries cannot flush into a partitioned-away L2."""
+    from repro.workload.base import OpType, Request
+
+    requests = [
+        Request(time=0.1, key="k", op=OpType.READ),   # write-back fill -> dirty
+        Request(time=2.1, key="k", op=OpType.READ),   # keeps the run going
+    ]
+    cluster = ClusterSimulation(
+        workload=requests,
+        policy="invalidate",
+        num_nodes=1,
+        staleness_bound=0.5,
+        duration=3.0,
+        tier=TierConfig(l1_capacity=8, mode="write-back", admission="always"),
+        scenario=make_scenario("l2-outage", {"start_at": 0.2, "end_at": 1.8}),
+    )
+    node = cluster.node_at(0)
+    result = cluster.run()
+    # Flushes at t=0.5/1.0/1.5 fall inside the outage and must not demote;
+    # the first flush after the window (t=2.0) does.
+    assert result.l1_writebacks == 1
+    assert "k" in node.cache
+
+
+# --------------------------------------------------------------------- #
+# cold-l1
+# --------------------------------------------------------------------- #
+def test_cold_l1_restart_clears_every_l1_and_costs_hits() -> None:
+    steady = _cluster(tier=TIER).run()
+    cold = _cluster(scenario=make_scenario("cold-l1"), tier=TIER).run()
+    assert cold.l1_cold_restarts == cold.num_nodes
+    # The warming transient: the restarted fleet serves fewer L1 hits than
+    # the steady-state fleet, but re-warms (it still serves plenty).
+    assert 0 < cold.l1_hits < steady.l1_hits
+    # The L2 stayed warm: fleet-level misses do not regress.
+    assert cold.totals.cold_misses == steady.totals.cold_misses
+
+
+def test_cold_l1_rewarms_through_admission() -> None:
+    cluster = _cluster(scenario=make_scenario("cold-l1", {"restart_at": 5.0}), tier=TIER)
+    result = cluster.run()
+    assert result.l1_cold_restarts == result.num_nodes
+    assert [label for _, label in cluster.event_log] == ["cold-l1-restart"]
+    # After the restart the L1s filled back up.
+    assert any(len(node.l1.cache) > 0 for node in cluster.nodes())
+
+
+def test_cold_l1_requires_a_tier() -> None:
+    with pytest.raises(ClusterError, match="tier"):
+        _cluster(scenario=make_scenario("cold-l1")).run()
+
+
+def test_cold_l1_rejects_out_of_range_restart() -> None:
+    with pytest.raises(ClusterError):
+        _cluster(scenario=make_scenario("cold-l1", {"restart_at": 99.0}), tier=TIER).run()
+
+
+# --------------------------------------------------------------------- #
+# Warm rejoin restores the L1 from the node's snapshot
+# --------------------------------------------------------------------- #
+def test_warm_rejoin_restores_l1_entries_too(tmp_path) -> None:
+    def run(rejoin, root):
+        return _cluster(
+            scenario=make_scenario("node-failure", {"rejoin": rejoin}),
+            tier=TIER,
+            store=StoreConfig(str(root), snapshot_interval=1.0),
+        ).run()
+
+    cold = run("cold", tmp_path / "cold")
+    warm = run("warm", tmp_path / "warm")
+    assert warm.warm_restored > 0
+    # The warm node comes back with both tiers populated: strictly fewer
+    # cold misses than the cold rejoin.
+    assert warm.totals.cold_misses < cold.totals.cold_misses
