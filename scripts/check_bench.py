@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Compare fresh ``BENCH_*.json`` records against ``BENCH_BASELINE.json``.
+
+Usage::
+
+    python scripts/check_bench.py --baseline BENCH_BASELINE.json \
+        BENCH_fresh.json [BENCH_fresh2.json ...] [--max-regression 0.25]
+    python scripts/check_bench.py --baseline BENCH_BASELINE.json \
+        BENCH_fresh.json --update   # rewrite the baseline from the records
+
+Each bench row is keyed ``<mode>/<policy>`` where mode is ``single`` or
+``cluster<N>``.  A fresh row regresses when its requests/sec falls more than
+``--max-regression`` (default 25%) below the baseline's expectation.
+
+Because throughput is machine-dependent, the baseline stores a *calibration
+score* — a fixed pure-Python workload timed on the machine that recorded the
+baseline.  The checker re-times the same workload locally and scales the
+baseline expectation by the ratio, so a slower CI runner is not reported as
+a code regression.  Pass ``--no-calibration`` to compare raw numbers.
+
+Exit status: 0 when every baseline entry was measured and is within bounds,
+1 on regression or uncovered baseline entries (``--allow-partial`` downgrades
+the latter to a note), 2 on malformed or config-mismatched inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+BASELINE_KIND = "repro-bench-baseline"
+BENCH_KIND = "repro-bench"
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Time a fixed pure-Python workload; return its ops/sec score.
+
+    The workload (integer arithmetic + dict churn + string formatting)
+    resembles the replay loop's instruction mix closely enough to track how
+    fast a machine runs the simulator, and is deterministic in its work.
+    """
+    ops = 200_000
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        table: Dict[str, int] = {}
+        total = 0
+        for index in range(ops):
+            key = f"key-{index & 1023:06d}"
+            total += table.get(key, 0) + (index * 31 & 255)
+            table[key] = total & 0xFFFF
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return ops / best
+
+
+#: Bench config keys that define the measured workload: throughput is only
+#: comparable between runs that agree on these.
+_WORKLOAD_CONFIG_KEYS = ("num_requests", "num_keys", "staleness_bound", "seed")
+
+
+def bench_entries(record: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten one ``repro-bench`` record into ``mode/policy -> rps``."""
+    if record.get("kind") != BENCH_KIND:
+        raise ValueError(f"not a repro-bench record (kind={record.get('kind')!r})")
+    nodes = record.get("config", {}).get("num_nodes")
+    mode = "single" if not nodes else f"cluster{nodes}"
+    return {
+        f"{mode}/{row['policy']}": float(row["requests_per_sec"])
+        for row in record["results"]
+    }
+
+
+def workload_config(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The comparability-defining subset of a bench record's config."""
+    config = record.get("config", {})
+    return {key: config.get(key) for key in _WORKLOAD_CONFIG_KEYS}
+
+
+def load_json(path: Path) -> Dict[str, Any]:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def collect_fresh(paths: List[Path]) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    """Flatten fresh records into entries plus their shared workload config.
+
+    Raises:
+        ValueError: If the fresh records disagree with each other on the
+            workload configuration, or two records carry the same
+            ``mode/policy`` entry (silently keeping one would make the gate
+            depend on argument order).
+    """
+    entries: Dict[str, float] = {}
+    config: Dict[str, Any] = {}
+    for path in paths:
+        record = load_json(path)
+        record_entries = bench_entries(record)
+        duplicated = sorted(set(record_entries) & set(entries))
+        if duplicated:
+            raise ValueError(
+                f"{path} repeats entries already provided by an earlier "
+                f"record ({', '.join(duplicated)}); pass each mode's record "
+                "exactly once"
+            )
+        entries.update(record_entries)
+        record_config = workload_config(record)
+        if config and record_config != config:
+            raise ValueError(
+                f"{path} was benched with {record_config}, but an earlier "
+                f"record used {config}; mixed-config records are not comparable"
+            )
+        config = record_config
+    return entries, config
+
+
+def compare(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, float],
+    max_regression: float,
+    scale: float,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Return (report lines, regressions, unmeasured baseline entries)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    base_entries = baseline.get("entries", {})
+    unmeasured = sorted(set(base_entries) - set(fresh))
+    for key, fresh_rps in sorted(fresh.items()):
+        base_rps = base_entries.get(key)
+        if base_rps is None:
+            lines.append(f"  {key:>24}: {fresh_rps:>12,.0f} req/s (no baseline entry)")
+            continue
+        expected = float(base_rps) * scale
+        floor = expected * (1.0 - max_regression)
+        ratio = fresh_rps / expected if expected > 0 else float("inf")
+        verdict = "ok" if fresh_rps >= floor else "REGRESSION"
+        lines.append(
+            f"  {key:>24}: {fresh_rps:>12,.0f} req/s vs expected "
+            f"{expected:>12,.0f} ({ratio:.2f}x) {verdict}"
+        )
+        if fresh_rps < floor:
+            regressions.append(key)
+    return lines, regressions, unmeasured
+
+
+def update_baseline(
+    path: Path,
+    fresh: Dict[str, float],
+    config: Dict[str, Any],
+    max_regression: float,
+    previous: Dict[str, Any],
+) -> None:
+    """Rewrite the baseline from fresh entries (keeps the pre-PR reference)."""
+    record = {
+        "kind": BASELINE_KIND,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "max_regression": max_regression,
+        "calibration_ops_per_sec": calibrate(),
+        "config": config,
+        "entries": fresh,
+    }
+    if "pre_pr" in previous:
+        record["pre_pr"] = previous["pre_pr"]
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"updated {path} ({len(fresh)} entries)")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="+", type=Path,
+                        help="fresh BENCH_*.json record(s) to check")
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_BASELINE.json"))
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="allowed fractional slowdown (default: the "
+                             "baseline's own bound, else 0.25)")
+    parser.add_argument("--no-calibration", action="store_true",
+                        help="compare raw req/s without machine-speed scaling")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="do not fail when some baseline entries have no "
+                             "matching fresh row")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the fresh records")
+    args = parser.parse_args(argv)
+
+    try:
+        fresh, fresh_config = collect_fresh(args.fresh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error reading fresh records: {exc}", file=sys.stderr)
+        return 2
+    if not fresh:
+        print("error: no bench rows found in the fresh records", file=sys.stderr)
+        return 2
+
+    baseline: Dict[str, Any] = {}
+    if args.baseline.exists():
+        try:
+            baseline = load_json(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error reading baseline: {exc}", file=sys.stderr)
+            return 2
+        if baseline.get("kind") != BASELINE_KIND:
+            print(f"error: {args.baseline} is not a {BASELINE_KIND} record",
+                  file=sys.stderr)
+            return 2
+    elif not args.update:
+        print(f"error: baseline {args.baseline} not found (run with --update "
+              "to create it)", file=sys.stderr)
+        return 2
+
+    max_regression = args.max_regression
+    if max_regression is None:
+        max_regression = float(baseline.get("max_regression", 0.25))
+
+    if args.update:
+        update_baseline(args.baseline, fresh, fresh_config, max_regression, baseline)
+        return 0
+
+    baseline_config = baseline.get("config")
+    if baseline_config is not None:
+        base_workload = {
+            key: baseline_config.get(key) for key in _WORKLOAD_CONFIG_KEYS
+        }
+        if base_workload != fresh_config:
+            # Throughput at a different workload size is a different metric:
+            # refuse rather than apply the threshold to mismatched runs.
+            print(
+                "error: fresh records were benched with "
+                f"{fresh_config}, but the baseline records {base_workload}; "
+                "re-run the bench with the baseline's configuration (or "
+                "--update the baseline)",
+                file=sys.stderr,
+            )
+            return 2
+
+    scale = 1.0
+    if not args.no_calibration:
+        base_cal = baseline.get("calibration_ops_per_sec")
+        if base_cal:
+            local_cal = calibrate()
+            scale = local_cal / float(base_cal)
+            print(
+                f"calibration: local {local_cal:,.0f} ops/s vs baseline "
+                f"{float(base_cal):,.0f} ops/s -> scaling expectations by {scale:.2f}x"
+            )
+
+    lines, regressions, unmeasured = compare(baseline, fresh, max_regression, scale)
+    print(f"bench check vs {args.baseline} (max regression {max_regression:.0%}):")
+    for line in lines:
+        print(line)
+    matched = [line for line in lines if "no baseline entry" not in line]
+    if not matched:
+        print("error: no fresh row matched a baseline entry", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"FAILED: {len(regressions)} regression(s): {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    if unmeasured and not args.allow_partial:
+        # A baseline entry nobody measured is an ungated path, not a pass.
+        print(
+            f"FAILED: {len(unmeasured)} baseline entr{'y' if len(unmeasured) == 1 else 'ies'} "
+            f"not covered by the fresh records: {', '.join(unmeasured)} "
+            "(pass --allow-partial for a deliberate partial check)",
+            file=sys.stderr,
+        )
+        return 1
+    if unmeasured:
+        print(f"note: {len(unmeasured)} baseline entries unmeasured (--allow-partial)")
+    print("all measured benches within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Six subcommands drive the experiment layer:
+Seven subcommands drive the experiment layer:
 
 * ``run``     — one streamed simulation (workload x policy x bound), JSON out.
 * ``sweep``   — a full experiment grid executed across worker processes.
@@ -11,7 +11,12 @@ Six subcommands drive the experiment layer:
   ``l2-outage`` / ``cold-l1`` scenarios).
 * ``bench``   — replay-throughput benchmark emitting a ``BENCH_*.json``
   record (single-cache by default, cluster mode via ``--nodes``, tiered
-  mode via ``--tier``, WAL append/replay throughput via ``--store``).
+  mode via ``--tier``, WAL append/replay throughput via ``--store``),
+  with per-phase generation/replay timings; ``scripts/check_bench.py``
+  compares a fresh record against the committed ``BENCH_BASELINE.json``.
+* ``perf``    — component microbenchmarks of the hot paths (fingerprint,
+  ring routing, request allocation, generation, sketches, cache ops, small
+  replays), with ``--profile NAME`` for a cProfile table.
 * ``store``   — the persistence layer: ``snapshot`` runs a journaled
   simulation (optionally killing it mid-run), ``recover`` rebuilds — and can
   resume and verify — from the durable state, ``inspect`` summarises a store
@@ -30,6 +35,7 @@ Examples::
         --policies invalidate --bounds 0.5 --duration 20
     python -m repro bench --requests 500000 --store --output-dir .
     python -m repro bench --requests 500000 --nodes 8 --tier --l1-capacity 256
+    python -m repro perf --only fingerprint,replay-single --json PERF.json
     python -m repro store snapshot --dir run-store --duration 12 \
         --snapshot-interval 2 --kill-at 6
     python -m repro store recover --dir run-store --resume --verify
@@ -258,6 +264,44 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_tier(args: argparse.Namespace) -> int:
     return _run_fleet_sweep(args, "tier")
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import MICROBENCHES, profile_call, run_perf
+
+    if (args.json or args.only) and (args.list or args.profile):
+        raise SystemExit(
+            "--json/--only configure a perf run; they cannot be combined "
+            "with --list or --profile"
+        )
+    if args.list:
+        for name in MICROBENCHES:
+            print(name)
+        return 0
+    names = _csv_list(args.only) if args.only else None
+    if args.profile:
+        if args.profile not in MICROBENCHES:
+            raise SystemExit(
+                f"unknown benchmark {args.profile!r}; choose from "
+                + ", ".join(MICROBENCHES)
+            )
+        print(profile_call(lambda: MICROBENCHES[args.profile](args.scale)))
+        return 0
+    try:
+        record = run_perf(names=names, scale=args.scale)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0])) from exc
+    for row in record["results"]:
+        print(
+            f"{row['name']:>20}: {row['ops_per_sec']:>14,.0f} ops/s "
+            f"({row['ops']} ops, best {row['best_seconds']:.3f}s)"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -596,6 +640,19 @@ def build_parser() -> argparse.ArgumentParser:
     tier.add_argument("--admission", default="second-hit", choices=ADMISSION_POLICIES,
                       help="L1 admission policy (default: second-hit)")
     tier.set_defaults(func=_cmd_tier)
+
+    perf = subparsers.add_parser(
+        "perf", help="microbenchmark the replay hot-path components"
+    )
+    perf.add_argument("--list", action="store_true", help="list benchmark names and exit")
+    perf.add_argument("--only", default=None,
+                      help="comma-separated benchmark names (default: all)")
+    perf.add_argument("--scale", type=float, default=1.0,
+                      help="multiplier on every benchmark's operation count")
+    perf.add_argument("--profile", metavar="NAME", default=None,
+                      help="run one benchmark under cProfile and print the table")
+    perf.add_argument("--json", help="write the perf record JSON here")
+    perf.set_defaults(func=_cmd_perf)
 
     bench = subparsers.add_parser("bench", help="measure streaming replay throughput")
     bench.add_argument("--policies", default=",".join(DEFAULT_BENCH_POLICIES))

@@ -33,6 +33,8 @@ class Cache:
             finalise lazily-accounted polling costs.
     """
 
+    __slots__ = ("capacity", "eviction", "on_evict", "stats", "_entries", "_on_access")
+
     def __init__(
         self,
         capacity: Optional[int] = None,
@@ -46,6 +48,9 @@ class Cache:
         self.on_evict = on_evict
         self.stats = CacheStats()
         self._entries: Dict[str, CacheEntry] = {}
+        # Hot-path alias: one bound-method resolution per lookup saved; the
+        # eviction policy never changes after construction.
+        self._on_access = self.eviction.on_access
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -68,6 +73,14 @@ class Cache:
         """Return the entry for ``key`` without touching recency or stats."""
         return self._entries.get(key)
 
+    def raw_getter(self):
+        """Bound ``dict.get`` over the live entry map (a hot-path ``peek``).
+
+        The returned callable must be used read-only; the dict object is
+        stable for the cache's lifetime, so the alias never goes stale.
+        """
+        return self._entries.get
+
     def contains_valid(self, key: str) -> bool:
         """Whether ``key`` is cached *and* currently valid."""
         entry = self._entries.get(key)
@@ -86,18 +99,19 @@ class Cache:
             entry's recency is updated; on any outcome the statistics are
             updated.
         """
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.cold_misses += 1
+            stats.cold_misses += 1
             return None, "cold_miss"
-        if entry.is_valid:
+        if entry.state is EntryState.VALID:
             entry.hits += 1
-            self.stats.hits += 1
-            self.eviction.on_access(key)
+            stats.hits += 1
+            self._on_access(key)
             return entry, "hit"
-        self.stats.stale_misses += 1
-        self.eviction.on_access(key)
+        stats.stale_misses += 1
+        self._on_access(key)
         return entry, "stale_miss"
 
     # ------------------------------------------------------------------ #

@@ -39,7 +39,7 @@ from repro.cluster.results import ClusterResult
 from repro.cluster.scenarios import Scenario, ScenarioEvent
 from repro.core.cost_model import CostModel
 from repro.core.policy import FreshnessPolicy
-from repro.errors import ClusterError, ConfigurationError, StoreError
+from repro.errors import ClusterError, ConfigurationError, StoreError, WorkloadError
 from repro.sim.clock import SimulationClock
 from repro.store.recovery import (
     RecoveryReport,
@@ -57,7 +57,7 @@ from repro.store.snapshot import (
     serialize_node_stub,
 )
 from repro.tier.config import TierConfig
-from repro.workload.base import Request, ensure_sorted
+from repro.workload.base import OpType, Request
 
 PolicyLike = Union[str, Callable[[], FreshnessPolicy]]
 
@@ -253,10 +253,19 @@ class ClusterSimulation:
             self.ring.add_node(node_id)
 
         self._next_flush = self.staleness_bound
+        self._next_due = self.staleness_bound
         self._has_run = False
         self._rebalances = 0
         self._resume_from: Optional[float] = None
         self.event_log: List[tuple[float, str]] = []
+        # Hot-path aliases: the ring, factor, and routing mode never change
+        # after construction (membership changes mutate the ring in place).
+        self._route = self.ring.route
+        self._factor = self.replication.factor
+        self._read_primary = self.replication.read_policy == "primary"
+        # Live key -> replicas map for this factor: cleared in place by the
+        # ring on membership change, so the alias never goes stale.
+        self._route_map = self.ring.route_cache_for(self._factor)
 
     # ------------------------------------------------------------------ #
     # Scenario control surface
@@ -401,26 +410,59 @@ class ClusterSimulation:
         )
         events = sorted(self.scenario.events(), key=lambda event: event.time)
         event_index = 0
+        num_events = len(events)
         if self._resume_from is not None:
             # Events up to the checkpoint were applied before the crash and
             # their effects live in the restored state; skip, don't re-apply.
-            while event_index < len(events) and events[event_index].time <= self._resume_from:
+            while event_index < num_events and events[event_index].time <= self._resume_from:
                 event_index += 1
 
-        for request in ensure_sorted(self._stream):
-            if self._resume_from is not None and request.time <= self._resume_from:
+        # The fleet replay hot loop mirrors the single-cache one: the
+        # time-ordering check is inlined, the identity request transform of
+        # the base scenario is skipped, the next scenario event time is a
+        # hoisted float compare, and background work only runs when a flush
+        # or snapshot is due (or a freshness message is in flight somewhere).
+        next_event_time = events[event_index].time if event_index < num_events else math.inf
+        transform = (
+            self.scenario.transform_request
+            if type(self.scenario).transform_request is not Scenario.transform_request
+            else None
+        )
+        self._refresh_next_due()
+        clock = self.clock
+        process_read = self._process_read
+        process_write = self._process_write
+        advance_background = self._advance_background
+        pending_nodes = self._pending_nodes
+        write_op = OpType.WRITE
+        resume_from = self._resume_from
+        previous = float("-inf")
+        for index, request in enumerate(self._stream):
+            time = request.time
+            if time < previous:
+                raise WorkloadError(
+                    f"request stream is not sorted by time at index {index}: "
+                    f"{time} < {previous}"
+                )
+            previous = time
+            if resume_from is not None and time <= resume_from:
                 continue
-            if stop_at is not None and request.time > stop_at:
+            if stop_at is not None and time > stop_at:
                 return self._interrupt(stop_at, events, event_index)
-            while event_index < len(events) and events[event_index].time <= request.time:
+            while time >= next_event_time:
                 event_index = self._apply_event(events, event_index)
-            request = self.scenario.transform_request(request)
-            self._advance_background(request.time)
-            self.clock.advance_to(request.time)
-            if request.is_write:
-                self._process_write(request)
+                next_event_time = (
+                    events[event_index].time if event_index < num_events else math.inf
+                )
+            if transform is not None:
+                request = transform(request)
+            if pending_nodes or time >= self._next_due:
+                advance_background(time)
+            clock.advance_to(time)
+            if request.op is write_op:
+                process_write(request)
             else:
-                self._process_read(request)
+                process_read(request)
 
         if stop_at is not None:
             # The stream ran dry before the kill point: checkpoint there.
@@ -456,11 +498,18 @@ class ClusterSimulation:
                 self._next_flush += self.staleness_bound
             else:
                 self._checkpoint(next_snapshot)
+        self._refresh_next_due()
         # Per-request sweep: with ideal channels nothing is ever in flight,
         # so this stays O(1) instead of O(num_nodes) per request.
         if self._pending_nodes:
             for node_id in sorted(self._pending_nodes):
                 self._nodes[node_id].deliver_until(until)
+
+    def _refresh_next_due(self) -> None:
+        """Recompute the earliest time background work must run."""
+        next_snapshot = self._store.next_snapshot if self._store else math.inf
+        next_flush = self._next_flush
+        self._next_due = next_flush if next_flush <= next_snapshot else next_snapshot
 
     # ------------------------------------------------------------------ #
     # Persistence: checkpoint, crash, resume
@@ -602,14 +651,27 @@ class ClusterSimulation:
         return report
 
     def _process_write(self, request: Request) -> None:
-        self.datastore.write(request.key, request.time, request.value_size)
-        replicas = self.ring.nodes_for(request.key, self.replication.factor)
-        for position, node_id in enumerate(replicas):
-            self._nodes[node_id].observe_write(request, owner=position == 0)
+        key = request.key
+        self.datastore.write(key, request.time, request.value_size)
+        replicas = self._route_map.get(key)
+        if replicas is None:
+            replicas = self._route(key, self._factor)
+        nodes = self._nodes
+        owner = True
+        for node_id in replicas:
+            nodes[node_id].observe_write(request, owner=owner)
+            owner = False
 
     def _process_read(self, request: Request) -> None:
-        replicas = self.ring.nodes_for(request.key, self.replication.factor)
-        node_id = self.router.choose_read_node(request.key, replicas)
+        key = request.key
+        replicas = self._route_map.get(key)
+        if replicas is None:
+            replicas = self._route(key, self._factor)
+        if self._read_primary or len(replicas) == 1:
+            # Primary-copy routing needs no router state; skip the call.
+            node_id = replicas[0]
+        else:
+            node_id = self.router.choose_read_node(key, replicas)
         self._nodes[node_id].handle_read(request)
 
     def _finalize(self, events: List[ScenarioEvent], event_index: int) -> ClusterResult:

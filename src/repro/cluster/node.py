@@ -19,6 +19,7 @@ policy for hot keys.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from repro.backend.buffer import WriteBuffer
@@ -27,14 +28,14 @@ from repro.backend.datastore import DataStore
 from repro.backend.invalidation_tracker import InvalidationTracker
 from repro.backend.messages import InvalidateMessage, Message, UpdateMessage
 from repro.cache.cache import Cache
-from repro.cache.entry import CacheEntry
+from repro.cache.entry import CacheEntry, EntryState
 from repro.cache.eviction import EvictionPolicy
 from repro.errors import ClusterError
 from repro.cluster.hotkey import HotKeyDetector
 from repro.cluster.results import NodeResult
 from repro.core.cost_model import CostModel
 from repro.core.policy import Action, FreshnessPolicy, PolicyContext
-from repro.core.ttl import TTLPollingPolicy
+from repro.core.ttl import TTLPollingPolicy, account_entry_polls
 from repro.sim.events import PendingDelivery
 from repro.tier.config import TierConfig
 from repro.tier.l1 import L1Tier
@@ -143,6 +144,47 @@ class CacheNode:
         self.policy.bind(context)
         if self.hot_policy is not None:
             self.hot_policy.bind(context)
+        # Hot-path precomputation (policies are fixed for the node's
+        # lifetime): observation hooks that are base-class no-ops are never
+        # called, TTL settling is skipped for non-TTL policies, the
+        # fixed-preset serve cost collapses to a constant, and flush actions
+        # dispatch through a handler table.
+        base_read = FreshnessPolicy.observe_read
+        base_write = FreshnessPolicy.observe_write
+        policies = [self.policy] + ([self.hot_policy] if self.hot_policy else [])
+        self._read_observers = tuple(
+            policy.observe_read
+            for policy in policies
+            if type(policy).observe_read is not base_read
+        )
+        self._write_observers = tuple(
+            policy.observe_write
+            for policy in policies
+            if type(policy).observe_write is not base_write
+        )
+        self._settles_ttl = self.policy.ttl_mode is not None
+        self._ttl_expiry = self.policy.ttl_mode == "expiry"
+        # TTL duration is fixed once bound (explicit override or the run's
+        # staleness bound), so resolve the property once.
+        self._ttl_value = (
+            self.policy.ttl if self.policy.ttl_mode is not None else math.inf
+        )
+        self._poll_ttl = (
+            self._ttl_value if isinstance(self.policy, TTLPollingPolicy) else None
+        )
+        self._reacts = self.reacts_to_writes
+        self._serve_cost_const = (
+            self.costs.serve_cost() if self.costs.breakdown is None else None
+        )
+        self._miss_cost_const = (
+            self.costs.miss_cost() if self.costs.breakdown is None else None
+        )
+        self._l2_peek = self.cache.raw_getter()
+        self._action_handlers = {
+            Action.NOTHING: None,
+            Action.INVALIDATE: self._send_invalidate,
+            Action.UPDATE: self._send_update,
+        }
 
     @property
     def reacts_to_writes(self) -> bool:
@@ -161,17 +203,17 @@ class CacheNode:
         fleet totals count each workload request exactly once; every replica
         observes it (estimators, detector) and dirties its buffer.
         """
+        key, time = request.key, request.time
         if owner:
             self.result.writes += 1
         if self.detector is not None:
-            self.detector.observe(request.key)
-        self.policy.observe_write(request.key, request.time)
-        if self.hot_policy is not None:
-            self.hot_policy.observe_write(request.key, request.time)
-        if self.reacts_to_writes:
+            self.detector.observe(key)
+        for observe in self._write_observers:
+            observe(key, time)
+        if self._reacts:
             self.buffer.record_write(
-                request.key,
-                request.time,
+                key,
+                time,
                 key_size=request.key_size,
                 value_size=request.value_size,
             )
@@ -185,40 +227,46 @@ class CacheNode:
         offered back to the L1 through its admission policy.  During an L2
         outage the node serves degraded straight from the L1.
         """
+        # Loop-local aliasing: reads dominate the routed stream, and every
+        # one of these attribute chains would otherwise re-resolve per call.
         result = self.result
+        datastore = self.datastore
+        l1 = self.l1
+        key, time, key_size = request.key, request.time, request.key_size
+
         result.reads += 1
         if self.detector is not None:
-            self.detector.observe(request.key)
-        self.policy.observe_read(request.key, request.time)
-        if self.hot_policy is not None:
-            self.hot_policy.observe_read(request.key, request.time)
-        value_size = self.datastore.value_size(request.key)
-        result.useful_work += self.costs.serve_cost(request.key_size, value_size)
+            self.detector.observe(key)
+        for observe in self._read_observers:
+            observe(key, time)
+        serve = self._serve_cost_const
+        if serve is None:
+            serve = self.costs.serve_cost(key_size, datastore.value_size(key))
+        result.useful_work += serve
 
-        if self.l1 is not None and self.l1.outage:
+        if l1 is not None and l1.outage:
             # The shared tier is partitioned away: the L1 is all there is.
-            if not self.l1.serve_degraded(request, self.datastore, self.staleness_bound):
+            if not l1.serve_degraded(request, datastore, self.staleness_bound):
                 result.failed_fetches += 1
                 result.cold_misses += 1
             return
 
-        self._settle_ttl_state(request.key, request.time)
-        if self.l1 is not None and self.l1.serve(
-            request, self.datastore, self.staleness_bound
-        ):
+        if self._settles_ttl:
+            self._settle_ttl_state(key, time)
+        if l1 is not None and l1.serve(request, datastore, self.staleness_bound):
             return
-        entry, outcome = self.cache.lookup(request.key, request.time)
+        entry, outcome = self.cache.lookup(key, time)
         if outcome == "hit":
             result.hits += 1
-            if not self.datastore.is_fresh(
-                request.key, entry.as_of, request.time, self.staleness_bound
+            bound = self.staleness_bound
+            # ``is_fresh`` is trivially true when the entry's view is within
+            # the bound; the precheck skips the call on that common case.
+            if time - bound > entry.as_of and not datastore.is_fresh(
+                key, entry.as_of, time, bound
             ):
                 result.staleness_violations += 1
-            if self.l1 is not None:
-                self.l1.offer(
-                    entry, request.time, self._ttl_headroom(entry, request.time),
-                    promotion=True,
-                )
+            if l1 is not None:
+                l1.offer(entry, time, self._ttl_headroom(entry, time), promotion=True)
             return
 
         if not self.reachable:
@@ -232,22 +280,18 @@ class CacheNode:
                 result.cold_misses += 1
             return
 
-        version, backend_value_size = self.datastore.read(request.key, request.time)
+        version, backend_value_size = datastore.read(key, time)
         if outcome == "stale_miss":
             result.stale_misses += 1
             result.stale_refetches += 1
-            result.freshness_cost += self.costs.miss_cost(
-                request.key_size, backend_value_size
-            )
+            result.freshness_cost += self.costs.miss_cost(key_size, backend_value_size)
         else:
             result.cold_misses += 1
-            result.cold_miss_cost += self.costs.miss_cost(
-                request.key_size, backend_value_size
-            )
+            result.cold_miss_cost += self.costs.miss_cost(key_size, backend_value_size)
         self._fill_after_fetch(request, version, backend_value_size)
-        self.tracker.mark_refetched(request.key)
-        if self.discard_buffer_on_miss_fill and self.reacts_to_writes:
-            self.buffer.discard(request.key)
+        self.tracker.mark_refetched(key)
+        if self.discard_buffer_on_miss_fill and self._reacts:
+            self.buffer.discard(key)
 
     def _fill_after_fetch(self, request: Request, version: int, value_size: int) -> None:
         """Install a backend fetch into the hierarchy.
@@ -293,14 +337,14 @@ class CacheNode:
             # Write-back flush first: the L2 sees the L1's dirty entries at
             # the same instant the freshness decisions for the interval land.
             self.l1.flush(flush_time)
+        handlers = self._action_handlers
+        decide = self._decide
         for buffered in self.buffer.drain():
-            action = self._decide(buffered.key, flush_time)
-            if action is Action.NOTHING:
+            handler = handlers[decide(buffered.key, flush_time)]
+            if handler is None:
                 self.result.decisions_nothing += 1
-            elif action is Action.INVALIDATE:
-                self._send_invalidate(buffered.key, buffered.key_size, flush_time)
-            elif action is Action.UPDATE:
-                self._send_update(buffered.key, buffered.key_size, flush_time)
+            else:
+                handler(buffered.key, buffered.key_size, flush_time)
         if self.detector is not None:
             self.detector.end_interval()
 
@@ -404,35 +448,38 @@ class CacheNode:
     # Lazy TTL accounting (same scheme as the single-cache simulator)
     # ------------------------------------------------------------------ #
     def _settle_ttl_state(self, key: str, now: float) -> None:
-        mode = self.policy.ttl_mode
-        if mode is None:
+        if self.policy.ttl_mode is None:
             return
-        entry = self.cache.peek(key)
+        entry = self._l2_peek(key)
         if entry is not None:
-            if mode == "expiry":
-                if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
+            if self._ttl_expiry:
+                # Inlined ``policy.is_expired`` against the TTL resolved at
+                # bind time (the duration is constant for the whole run).
+                if entry.state is EntryState.VALID and now >= entry.fetched_at + self._ttl_value:
                     self.cache.expire(key)
-            elif mode == "polling":
+            else:
                 self.account_polls(entry, now)
         if self.l1 is not None:
             self.l1.settle(key, now, self.policy, entry, self.account_polls)
 
     def account_polls(self, entry: CacheEntry, now: float) -> None:
-        """Charge the polls an entry performed since the last accounting point."""
-        policy = self.policy
-        if not isinstance(policy, TTLPollingPolicy):
+        """Charge the polls an entry performed since the last accounting point.
+
+        Delegates the poll arithmetic to
+        :func:`~repro.core.ttl.account_entry_polls` (the shared, bind-time-TTL
+        twin of the policy methods), then refreshes the entry's backend
+        version as of the last charged poll.
+        """
+        ttl = self._poll_ttl
+        if ttl is None:
             return
-        polls = policy.polls_between(entry.fetched_at, entry.last_poll_accounted, now)
-        if polls <= 0:
-            return
-        self.result.polls += polls
-        self.result.freshness_cost += polls * self.costs.miss_cost(
-            entry.key_size, entry.value_size
+        last_poll = account_entry_polls(
+            entry, now, ttl, self.result, self.costs, self._miss_cost_const
         )
-        last_poll = policy.last_poll_at_or_before(entry.fetched_at, now)
-        entry.last_poll_accounted = last_poll
-        entry.as_of = max(entry.as_of, last_poll)
-        entry.version = max(entry.version, self.datastore.version_at(entry.key, last_poll))
+        if last_poll is not None:
+            version = self.datastore.version_at(entry.key, last_poll)
+            if version > entry.version:
+                entry.version = version
 
     def _on_evict(self, entry: CacheEntry, time: float) -> None:
         if self.policy.ttl_mode == "polling":

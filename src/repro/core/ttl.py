@@ -116,3 +116,51 @@ class TTLPollingPolicy(_TTLPolicy):
         ttl = self.ttl
         k = int((now - anchor) / ttl)
         return anchor + k * ttl
+
+
+def account_entry_polls(
+    entry, now: float, ttl: float, result, costs, miss_const
+) -> Optional[float]:
+    """Settle one entry's lazily-accounted polls (the replay hot path).
+
+    The single shared implementation of the arithmetic in
+    :meth:`TTLPollingPolicy.polls_between` and
+    :meth:`TTLPollingPolicy.last_poll_at_or_before`, specialised for a TTL
+    resolved once at bind time — both the single-cache simulator and every
+    cluster node call this once per read under TTL-polling, so it avoids the
+    ``ttl`` property and ``isinstance`` checks of the policy methods.  The
+    equivalence with those methods is pinned by the tests.
+
+    Args:
+        entry: The cache entry being settled (mutated in place).
+        now: The settling instant.
+        ttl: The poll interval resolved at bind time.
+        result: Counter sink with ``polls`` / ``freshness_cost`` fields.
+        costs: The run's cost model.
+        miss_const: Precomputed fixed-preset miss cost, or ``None`` to charge
+            per-entry sizes through ``costs.miss_cost``.
+
+    Returns:
+        The most recent poll time when polls were charged, else ``None`` —
+        the caller refreshes the entry's backend version for that instant.
+    """
+    anchor = entry.fetched_at
+    if now <= anchor:
+        return None
+    accounted = entry.last_poll_accounted
+    k_now = int((now - anchor) / ttl)
+    polls = k_now - (int((accounted - anchor) / ttl) if accounted > anchor else 0)
+    if polls <= 0:
+        return None
+    result.polls += polls
+    miss = miss_const
+    if miss is None:
+        miss = costs.miss_cost(entry.key_size, entry.value_size)
+    result.freshness_cost += polls * miss
+    # Each poll refreshes the cached copy, so the entry now reflects the
+    # backend as of the most recent poll.
+    last_poll = anchor + k_now * ttl
+    entry.last_poll_accounted = last_poll
+    if last_poll > entry.as_of:
+        entry.as_of = last_poll
+    return last_poll

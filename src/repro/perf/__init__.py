@@ -1,0 +1,27 @@
+"""Performance measurement: microbenchmarks, timers, and profile hooks.
+
+The ``repro.perf`` package makes replay throughput a first-class, observable
+metric.  It complements ``python -m repro bench`` (end-to-end throughput,
+regression-gated against the committed ``BENCH_BASELINE.json`` by
+``scripts/check_bench.py``) with per-component microbenchmarks driven by
+``python -m repro perf``, so a regression is attributable to the layer that
+caused it.
+"""
+
+from repro.perf.perf import (
+    MICROBENCHES,
+    PhaseTimer,
+    Timer,
+    profile_call,
+    run_perf,
+    time_callable,
+)
+
+__all__ = [
+    "MICROBENCHES",
+    "PhaseTimer",
+    "Timer",
+    "profile_call",
+    "run_perf",
+    "time_callable",
+]

@@ -1,0 +1,338 @@
+"""Microbenchmark harness for the replay hot paths.
+
+``python -m repro bench`` measures the end product (full replay throughput);
+this module measures the *components* that replay is made of — fingerprinting,
+ring routing, request allocation, workload generation, sketch updates, cache
+operations, and small end-to-end replays — so a regression in any one layer
+is attributable before it drowns in an aggregate number.
+
+Three building blocks:
+
+* :class:`Timer` / :func:`time_callable` — wall-clock timing primitives.
+* :func:`profile_call` — a cProfile hook that returns the profile table as
+  text, for ``python -m repro perf --profile <name>``.
+* :data:`MICROBENCHES` — the registry of named component benchmarks driven
+  by :func:`run_perf` and the ``perf`` CLI subcommand.
+
+Every benchmark is deterministic in its *work* (fixed keys, fixed seeds);
+only the measured wall time varies between runs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import platform
+import pstats
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Example:
+
+        >>> with Timer() as timer:
+        ...     _ = sum(range(1000))
+        >>> timer.seconds > 0
+        True
+    """
+
+    __slots__ = ("started", "seconds")
+
+    def __init__(self) -> None:
+        self.started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.seconds = time.perf_counter() - self.started
+
+
+@dataclass(slots=True)
+class PhaseTimer:
+    """Accumulates named wall-clock phases (generation vs replay, etc.).
+
+    Example:
+
+        >>> phases = PhaseTimer()
+        >>> with phases.phase("work"):
+        ...     _ = sum(range(1000))
+        >>> list(phases.seconds) == ["work"]
+        True
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_Phase":
+        """Return a context manager adding its elapsed time to ``name``."""
+        return _Phase(self, name)
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into phase ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_started")
+
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._started)
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, float]:
+    """Time ``fn()`` ``repeats`` times; report best and mean wall seconds.
+
+    The *best* run is the least-noisy estimate of the code's cost (anything
+    slower was interference); the mean is reported for context.
+    """
+    runs: List[float] = []
+    for _ in range(max(1, repeats)):
+        with Timer() as timer:
+            fn()
+        runs.append(timer.seconds)
+    return {"best_seconds": min(runs), "mean_seconds": sum(runs) / len(runs)}
+
+
+def profile_call(fn: Callable[[], Any], limit: int = 25) -> str:
+    """Run ``fn()`` under cProfile and return the top-``limit`` table as text."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(limit)
+    return stream.getvalue()
+
+
+# --------------------------------------------------------------------- #
+# Component benchmarks
+# --------------------------------------------------------------------- #
+
+def _scaled(base: int, scale: float) -> int:
+    return max(1, int(base * scale))
+
+
+def bench_fingerprint(scale: float = 1.0) -> Dict[str, Any]:
+    """Memoized vs raw BLAKE2 fingerprint throughput."""
+    from repro.sketch.hashing import (
+        _compute_fingerprint,
+        fingerprint_cache_clear,
+        stable_fingerprint,
+    )
+
+    ops = _scaled(200_000, scale)
+    keys = [f"perf-key-{index % 10_000:06d}" for index in range(ops)]
+    fingerprint_cache_clear()
+
+    def cached() -> None:
+        for key in keys:
+            stable_fingerprint(key)
+
+    def raw() -> None:
+        for key in keys[: ops // 10]:
+            _compute_fingerprint(key)
+
+    cached_timing = time_callable(cached)
+    raw_timing = time_callable(raw)
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / cached_timing["best_seconds"],
+        "raw_ops_per_sec": (ops // 10) / raw_timing["best_seconds"],
+        **cached_timing,
+    }
+
+
+def bench_hashring_route(scale: float = 1.0) -> Dict[str, Any]:
+    """Cached consistent-hash routing throughput (8 nodes, factor 2)."""
+    from repro.cluster.hashring import ConsistentHashRing
+
+    ops = _scaled(200_000, scale)
+    ring = ConsistentHashRing(vnodes=64)
+    for index in range(8):
+        ring.add_node(f"node-{index:03d}")
+    keys = [f"perf-key-{index % 10_000:06d}" for index in range(ops)]
+    route = ring.route
+
+    def routed() -> None:
+        for key in keys:
+            route(key, 2)
+
+    timing = time_callable(routed)
+    return {"ops": ops, "ops_per_sec": ops / timing["best_seconds"], **timing}
+
+
+def bench_request_alloc(scale: float = 1.0) -> Dict[str, Any]:
+    """Request object construction throughput (the per-request floor)."""
+    from repro.workload.base import OpType, Request
+
+    ops = _scaled(200_000, scale)
+    read = OpType.READ
+
+    def build() -> None:
+        for index in range(ops):
+            Request(float(index), "key-000001", read, 16, 128)
+
+    timing = time_callable(build)
+    return {"ops": ops, "ops_per_sec": ops / timing["best_seconds"], **timing}
+
+
+def bench_workload_generation(scale: float = 1.0) -> Dict[str, Any]:
+    """Streamed Poisson/Zipf generation throughput (no replay attached)."""
+    from repro.workload.poisson import PoissonZipfWorkload
+
+    requests = _scaled(100_000, scale)
+    workload = PoissonZipfWorkload(num_keys=1000, rate_per_key=100.0, seed=0)
+    duration = requests / (100.0 * 1000)
+
+    def drain() -> None:
+        deque(workload.iter_requests(duration), maxlen=0)
+
+    timing = time_callable(drain)
+    return {"ops": requests, "ops_per_sec": requests / timing["best_seconds"], **timing}
+
+
+def bench_sketch_update(scale: float = 1.0) -> Dict[str, Any]:
+    """Count-min add/query throughput, scalar and vectorized batch paths."""
+    from repro.sketch.countmin import CountMinSketch
+
+    ops = _scaled(100_000, scale)
+    sketch = CountMinSketch(width=512, depth=4, seed=0)
+    batch_sketch = CountMinSketch(width=512, depth=4, seed=0)
+    keys = [f"perf-key-{index % 2_000:06d}" for index in range(ops)]
+
+    def update() -> None:
+        add = sketch.add
+        query = sketch.query
+        for index, key in enumerate(keys):
+            add(key)
+            if not index % 16:
+                query(key)
+
+    def update_batched() -> None:
+        # The vectorized path: one row_indices pass + np.add.at per chunk.
+        for start in range(0, ops, 4096):
+            batch_sketch.add_many(keys[start : start + 4096])
+
+    timing = time_callable(update)
+    batch_timing = time_callable(update_batched)
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / timing["best_seconds"],
+        "batch_ops_per_sec": ops / batch_timing["best_seconds"],
+        **timing,
+    }
+
+
+def bench_cache_ops(scale: float = 1.0) -> Dict[str, Any]:
+    """Cache fill + lookup throughput under LRU at capacity."""
+    from repro.cache.cache import Cache
+
+    ops = _scaled(100_000, scale)
+    cache = Cache(capacity=4096)
+    keys = [f"perf-key-{index % 8_000:06d}" for index in range(ops)]
+
+    def churn() -> None:
+        fill = cache.fill
+        lookup = cache.lookup
+        for index, key in enumerate(keys):
+            entry, outcome = lookup(key, float(index))
+            if entry is None:
+                fill(key, version=1, time=float(index))
+
+    timing = time_callable(churn)
+    return {"ops": ops, "ops_per_sec": ops / timing["best_seconds"], **timing}
+
+
+def bench_replay_single(scale: float = 1.0) -> Dict[str, Any]:
+    """End-to-end single-cache replay (generation + simulation)."""
+    from repro.experiments.bench import bench_policy
+
+    requests = _scaled(50_000, scale)
+    row = bench_policy("invalidate", num_requests=requests, num_keys=500)
+    return {
+        "ops": row["requests"],
+        "ops_per_sec": row["requests_per_sec"],
+        "best_seconds": row["wall_seconds"],
+        "mean_seconds": row["wall_seconds"],
+    }
+
+
+def bench_replay_cluster(scale: float = 1.0) -> Dict[str, Any]:
+    """End-to-end 3-node cluster replay (routing + fan-out included)."""
+    from repro.experiments.bench import bench_policy
+
+    requests = _scaled(50_000, scale)
+    row = bench_policy("invalidate", num_requests=requests, num_keys=500, num_nodes=3)
+    return {
+        "ops": row["requests"],
+        "ops_per_sec": row["requests_per_sec"],
+        "best_seconds": row["wall_seconds"],
+        "mean_seconds": row["wall_seconds"],
+    }
+
+
+#: Registry of component benchmarks, in report order.
+MICROBENCHES: Dict[str, Callable[[float], Dict[str, Any]]] = {
+    "fingerprint": bench_fingerprint,
+    "hashring-route": bench_hashring_route,
+    "request-alloc": bench_request_alloc,
+    "workload-generation": bench_workload_generation,
+    "sketch-update": bench_sketch_update,
+    "cache-ops": bench_cache_ops,
+    "replay-single": bench_replay_single,
+    "replay-cluster": bench_replay_cluster,
+}
+
+
+def run_perf(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+) -> Dict[str, Any]:
+    """Run the named microbenchmarks (default: all) and return the record.
+
+    Args:
+        names: Benchmark names from :data:`MICROBENCHES`; ``None`` runs all.
+        scale: Multiplier on every benchmark's operation count (CI smoke
+            passes a small value, local investigation a larger one).
+
+    Returns:
+        A JSON-ready record with one row per benchmark.
+
+    Raises:
+        KeyError: If a name is not in the registry.
+    """
+    selected = list(MICROBENCHES) if names is None else list(names)
+    unknown = [name for name in selected if name not in MICROBENCHES]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {unknown}; available: {sorted(MICROBENCHES)}"
+        )
+    results = []
+    for name in selected:
+        row = MICROBENCHES[name](scale)
+        row["name"] = name
+        results.append(row)
+    return {
+        "kind": "repro-perf",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": scale,
+        "results": results,
+    }

@@ -14,6 +14,8 @@ from repro.errors import SimulationError
 class SimulationClock:
     """Monotonically non-decreasing simulation time."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 

@@ -36,18 +36,18 @@ from repro.backend.datastore import DataStore
 from repro.backend.invalidation_tracker import InvalidationTracker
 from repro.backend.messages import InvalidateMessage, UpdateMessage
 from repro.cache.cache import Cache
-from repro.cache.entry import CacheEntry
+from repro.cache.entry import CacheEntry, EntryState
 from repro.cache.eviction import EvictionPolicy
 from repro.core.cost_model import CostModel
 from repro.core.policy import Action, FreshnessPolicy, FutureIndex, PolicyContext
-from repro.core.ttl import TTLPollingPolicy
-from repro.errors import ConfigurationError
+from repro.core.ttl import TTLPollingPolicy, account_entry_polls
+from repro.errors import ConfigurationError, WorkloadError
 from repro.sim.clock import SimulationClock
 from repro.sim.events import PendingDelivery
 from repro.sim.results import SimulationResult
 from repro.store.runtime import StoreRuntime
 from repro.store.snapshot import StoreConfig
-from repro.workload.base import Request, ensure_sorted
+from repro.workload.base import OpType, Request
 
 
 class Simulation:
@@ -157,24 +157,49 @@ class Simulation:
         )
         self._pending_deliveries: List[PendingDelivery] = []
         self._next_flush = self.staleness_bound
+        self._next_due = math.inf
         self._has_run = False
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Replay the whole request stream and return the accumulated result."""
+        """Replay the whole request stream and return the accumulated result.
+
+        The loop is the single-cache hot path: the time-ordering check of
+        :func:`~repro.workload.base.ensure_sorted` is inlined (one float
+        compare per request instead of an extra generator frame), background
+        work is only entered when a flush/snapshot is actually due or a
+        delivery is in flight, and the read/write dispatch avoids the
+        ``is_write`` property call.  Replay semantics are unchanged — the
+        pinned equivalence tests hold byte-for-byte.
+        """
         if self._has_run:
             raise ConfigurationError("a Simulation instance can only be run once")
         self._has_run = True
         self._bind_policy()
-        for request in ensure_sorted(self._stream):
-            self._advance_background_work(request.time)
-            self.clock.advance_to(request.time)
-            if request.is_write:
-                self._process_write(request)
+        self._refresh_next_due()
+        clock = self.clock
+        process_read = self._process_read
+        process_write = self._process_write
+        advance_background = self._advance_background_work
+        write_op = OpType.WRITE
+        previous = float("-inf")
+        for index, request in enumerate(self._stream):
+            time = request.time
+            if time < previous:
+                raise WorkloadError(
+                    f"request stream is not sorted by time at index {index}: "
+                    f"{time} < {previous}"
+                )
+            previous = time
+            if self._pending_deliveries or time >= self._next_due:
+                advance_background(time)
+            clock.advance_to(time)
+            if request.op is write_op:
+                process_write(request)
             else:
-                self._process_read(request)
+                process_read(request)
         self._finalize()
         return self.result
 
@@ -196,6 +221,49 @@ class Simulation:
             future=future,
         )
         self.policy.bind(context)
+        # Hot-path precomputation: observation hooks that are base-class
+        # no-ops are skipped entirely, the fixed-preset serve cost (which
+        # ignores its size arguments) collapses to a constant, and flush
+        # actions dispatch through a handler table.
+        policy_cls = type(self.policy)
+        self._observe_read = (
+            self.policy.observe_read
+            if policy_cls.observe_read is not FreshnessPolicy.observe_read
+            else None
+        )
+        self._observe_write = (
+            self.policy.observe_write
+            if policy_cls.observe_write is not FreshnessPolicy.observe_write
+            else None
+        )
+        self._settles_ttl = self.policy.ttl_mode is not None
+        self._ttl_expiry = self.policy.ttl_mode == "expiry"
+        # TTL duration is fixed once bound (explicit override or the run's
+        # staleness bound), so resolve the property once.
+        self._ttl_value = (
+            self.policy.ttl if self.policy.ttl_mode is not None else math.inf
+        )
+        self._poll_ttl = (
+            self._ttl_value if isinstance(self.policy, TTLPollingPolicy) else None
+        )
+        self._serve_cost_const = (
+            self.costs.serve_cost() if self.costs.breakdown is None else None
+        )
+        self._miss_cost_const = (
+            self.costs.miss_cost() if self.costs.breakdown is None else None
+        )
+        self._cache_peek = self.cache.raw_getter()
+        self._action_handlers = {
+            Action.NOTHING: None,
+            Action.INVALIDATE: self._send_invalidate,
+            Action.UPDATE: self._send_update,
+        }
+
+    def _refresh_next_due(self) -> None:
+        """Recompute the earliest time background work must run."""
+        next_flush = self._next_flush if self.policy.reacts_to_writes else math.inf
+        next_snapshot = self._store.next_snapshot if self._store else math.inf
+        self._next_due = next_flush if next_flush <= next_snapshot else next_snapshot
 
     # ------------------------------------------------------------------ #
     # Background work: interval flushes and delayed message delivery
@@ -218,18 +286,23 @@ class Simulation:
                 self._next_flush += self.staleness_bound
             else:
                 self._store.checkpoint(next_snapshot, self.datastore)
+        self._refresh_next_due()
         self._deliver_messages(until)
 
     def _flush(self, flush_time: float) -> None:
-        """Act on every key written during the interval ending at ``flush_time``."""
+        """Act on every key written during the interval ending at ``flush_time``.
+
+        Actions dispatch through the handler table built at bind time
+        (``None`` marks the do-nothing action, which only counts).
+        """
+        handlers = self._action_handlers
+        decide = self.policy.decide
         for buffered in self.buffer.drain():
-            action = self.policy.decide(buffered.key, flush_time)
-            if action is Action.NOTHING:
+            handler = handlers[decide(buffered.key, flush_time)]
+            if handler is None:
                 self.result.decisions_nothing += 1
-            elif action is Action.INVALIDATE:
-                self._send_invalidate(buffered.key, buffered.key_size, flush_time)
-            elif action is Action.UPDATE:
-                self._send_update(buffered.key, buffered.key_size, flush_time)
+            else:
+                handler(buffered.key, buffered.key_size, flush_time)
 
     def _send_invalidate(self, key: str, key_size: int, time: float) -> None:
         if self.tracker.is_invalidated(key):
@@ -308,93 +381,105 @@ class Simulation:
     # Request processing
     # ------------------------------------------------------------------ #
     def _process_write(self, request: Request) -> None:
+        key, time = request.key, request.time
         self.result.writes += 1
-        self.datastore.write(request.key, request.time, request.value_size)
-        self.policy.observe_write(request.key, request.time)
+        self.datastore.write(key, time, request.value_size)
+        if self._observe_write is not None:
+            self._observe_write(key, time)
         if self.policy.reacts_to_writes:
             self.buffer.record_write(
-                request.key,
-                request.time,
+                key,
+                time,
                 key_size=request.key_size,
                 value_size=request.value_size,
             )
 
     def _process_read(self, request: Request) -> None:
-        self.result.reads += 1
-        self.policy.observe_read(request.key, request.time)
-        value_size = self.datastore.value_size(request.key)
-        self.result.useful_work += self.costs.serve_cost(request.key_size, value_size)
+        # Loop-local aliasing: each of these attribute chains would otherwise
+        # be re-resolved per request, and reads dominate the stream.
+        result = self.result
+        datastore = self.datastore
+        key, time, key_size = request.key, request.time, request.key_size
 
-        self._settle_ttl_state(request.key, request.time)
-        entry, outcome = self.cache.lookup(request.key, request.time)
+        result.reads += 1
+        if self._observe_read is not None:
+            self._observe_read(key, time)
+        serve = self._serve_cost_const
+        if serve is None:
+            serve = self.costs.serve_cost(key_size, datastore.value_size(key))
+        result.useful_work += serve
+
+        if self._settles_ttl:
+            self._settle_ttl_state(key, time)
+        entry, outcome = self.cache.lookup(key, time)
         if outcome == "hit":
-            self.result.hits += 1
-            if not self.datastore.is_fresh(
-                request.key, entry.as_of, request.time, self.staleness_bound
+            result.hits += 1
+            bound = self.staleness_bound
+            # ``is_fresh`` is trivially true when the entry's view is within
+            # the bound; the precheck skips the call on that common case.
+            if time - bound > entry.as_of and not datastore.is_fresh(
+                key, entry.as_of, time, bound
             ):
-                self.result.staleness_violations += 1
+                result.staleness_violations += 1
             return
 
-        version, backend_value_size = self.datastore.read(request.key, request.time)
+        version, backend_value_size = datastore.read(key, time)
         if outcome == "stale_miss":
-            self.result.stale_misses += 1
-            self.result.stale_refetches += 1
-            self.result.freshness_cost += self.costs.miss_cost(
-                request.key_size, backend_value_size
-            )
+            result.stale_misses += 1
+            result.stale_refetches += 1
+            result.freshness_cost += self.costs.miss_cost(key_size, backend_value_size)
         else:
-            self.result.cold_misses += 1
-            self.result.cold_miss_cost += self.costs.miss_cost(
-                request.key_size, backend_value_size
-            )
+            result.cold_misses += 1
+            result.cold_miss_cost += self.costs.miss_cost(key_size, backend_value_size)
         self.cache.fill(
-            request.key,
+            key,
             version=version,
-            time=request.time,
-            key_size=request.key_size,
+            time=time,
+            key_size=key_size,
             value_size=backend_value_size,
         )
-        self.tracker.mark_refetched(request.key)
+        self.tracker.mark_refetched(key)
         if self.discard_buffer_on_miss_fill and self.policy.reacts_to_writes:
             # The backend just served this key's latest value; any write
             # buffered earlier in the interval no longer needs a message.
-            self.buffer.discard(request.key)
+            self.buffer.discard(key)
 
     # ------------------------------------------------------------------ #
     # Lazy TTL accounting
     # ------------------------------------------------------------------ #
     def _settle_ttl_state(self, key: str, now: float) -> None:
         """Settle lazy TTL expiry or polling costs for ``key`` before a lookup."""
-        mode = self.policy.ttl_mode
-        if mode is None:
+        if self.policy.ttl_mode is None:
             return
-        entry = self.cache.peek(key)
+        entry = self._cache_peek(key)
         if entry is None:
             return
-        if mode == "expiry":
-            if entry.is_valid and self.policy.is_expired(entry.fetched_at, now):
+        if self._ttl_expiry:
+            # Inlined ``policy.is_expired`` against the TTL resolved at bind
+            # time (the duration is constant for the whole run).
+            if entry.state is EntryState.VALID and now >= entry.fetched_at + self._ttl_value:
                 self.cache.expire(key)
-        elif mode == "polling":
+        else:
             self._account_polls(entry, now)
 
     def _account_polls(self, entry: CacheEntry, now: float) -> None:
-        """Charge the polls an entry performed since the last accounting point."""
-        policy = self.policy
-        if not isinstance(policy, TTLPollingPolicy):
+        """Charge the polls an entry performed since the last accounting point.
+
+        Delegates the poll arithmetic to
+        :func:`~repro.core.ttl.account_entry_polls` (the shared, bind-time-TTL
+        twin of the policy methods), then refreshes the entry's backend
+        version as of the last charged poll.
+        """
+        ttl = self._poll_ttl
+        if ttl is None:
             return
-        polls = policy.polls_between(entry.fetched_at, entry.last_poll_accounted, now)
-        if polls <= 0:
-            return
-        self.result.polls += polls
-        self.result.freshness_cost += polls * self.costs.miss_cost(
-            entry.key_size, entry.value_size
+        last_poll = account_entry_polls(
+            entry, now, ttl, self.result, self.costs, self._miss_cost_const
         )
-        last_poll = policy.last_poll_at_or_before(entry.fetched_at, now)
-        entry.last_poll_accounted = last_poll
-        # Each poll refreshes the cached copy, so the entry now reflects the
-        # backend as of the most recent poll.
-        entry.as_of = max(entry.as_of, last_poll)
-        entry.version = max(entry.version, self.datastore.version_at(entry.key, last_poll))
+        if last_poll is not None:
+            version = self.datastore.version_at(entry.key, last_poll)
+            if version > entry.version:
+                entry.version = version
 
     def _on_evict(self, entry: CacheEntry, time: float) -> None:
         """Settle outstanding polling costs when an entry is evicted."""

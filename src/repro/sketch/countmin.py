@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.errors import ConfigurationError
 from repro.sketch.base import EWEstimator
-from repro.sketch.hashing import HashFamily
+from repro.sketch.hashing import HashFamily, stable_fingerprint
 
 
 class CountMinSketch:
@@ -47,6 +49,23 @@ class CountMinSketch:
         for row, column in enumerate(self._hashes.indices(key)):
             self._table[row, column] += count
         self.total += count
+
+    def add_many(self, keys: Sequence[str], count: int = 1) -> None:
+        """Add ``count`` occurrences of every key in ``keys`` in one pass.
+
+        Column indices for the whole batch are computed with one vectorized
+        :meth:`~repro.sketch.hashing.HashFamily.row_indices` call and applied
+        with ``np.add.at`` (which accumulates duplicate cells correctly), so
+        the result is identical to calling :meth:`add` per key.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if not keys:
+            return
+        columns = self._hashes.row_indices([stable_fingerprint(key) for key in keys])
+        rows = np.broadcast_to(np.arange(self.depth)[:, None], columns.shape)
+        np.add.at(self._table, (rows, columns), count)
+        self.total += count * len(keys)
 
     def query(self, key: str) -> int:
         """Return the (over-)estimated count of ``key``."""

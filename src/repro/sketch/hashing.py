@@ -4,12 +4,19 @@ Count-min sketches need one hash function per row.  We use the classic
 multiply-shift construction over a stable 64-bit fingerprint of the key so
 that results are deterministic across processes (Python's built-in ``hash``
 is salted per process and would make experiments unreproducible).
+
+Fingerprinting is the single hottest pure-Python helper in the whole stack —
+every routing decision, sketch update, and sketch query starts from it — so
+:func:`stable_fingerprint` memoizes digests in a process-wide bounded LRU
+cache: each key pays for BLAKE2 once per process, and the bound keeps RSS
+flat even on streams of millions of distinct keys.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 import numpy as np
 
@@ -17,11 +24,61 @@ from repro.errors import ConfigurationError
 
 _MASK64 = (1 << 64) - 1
 
+#: Default bound (entries) of the process-wide fingerprint memo cache.  At
+#: ~250 bytes per entry (key string + boxed int + LRU bookkeeping) the
+#: default tops out around 30 MiB.
+DEFAULT_FINGERPRINT_CACHE_SIZE = 1 << 17
 
-def stable_fingerprint(key: str) -> int:
-    """Return a stable 64-bit fingerprint of ``key``."""
+#: Bound of each :class:`HashFamily` instance's per-key column memo.
+_FAMILY_MEMO_CAP = 1 << 16
+
+
+def _compute_fingerprint(key: str) -> int:
+    """BLAKE2-hash ``key`` to 64 bits (the uncached ground truth)."""
     digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
+
+
+_cached_fingerprint = lru_cache(maxsize=DEFAULT_FINGERPRINT_CACHE_SIZE)(
+    _compute_fingerprint
+)
+
+
+def stable_fingerprint(key: str) -> int:
+    """Return a stable 64-bit fingerprint of ``key``.
+
+    Results are memoized in a bounded process-wide LRU cache so each key is
+    BLAKE2-hashed once per process (until evicted).  The cache is purely an
+    optimization: hits and misses return identical values.  Resize it with
+    :func:`set_fingerprint_cache_size`.
+    """
+    return _cached_fingerprint(key)
+
+
+def set_fingerprint_cache_size(size: int) -> None:
+    """Rebuild the fingerprint memo cache with a new bound.
+
+    Args:
+        size: Maximum number of cached fingerprints; ``0`` disables caching
+            entirely (every call recomputes the digest).
+
+    The existing cache contents are discarded — harmless, since cached and
+    recomputed fingerprints are identical.
+    """
+    if size < 0:
+        raise ConfigurationError(f"fingerprint cache size must be >= 0, got {size}")
+    global _cached_fingerprint
+    _cached_fingerprint = lru_cache(maxsize=int(size))(_compute_fingerprint)
+
+
+def fingerprint_cache_info():
+    """Hit/miss/size statistics of the fingerprint memo (``CacheInfo``)."""
+    return _cached_fingerprint.cache_info()
+
+
+def fingerprint_cache_clear() -> None:
+    """Drop every memoized fingerprint (keeps the configured bound)."""
+    _cached_fingerprint.cache_clear()
 
 
 class HashFamily:
@@ -30,7 +87,23 @@ class HashFamily:
     Each function is ``h_i(x) = ((a_i * x + b_i) mod 2^64) >> shift mod width``
     with odd multipliers drawn from a seeded generator, giving deterministic,
     well-spread row indices.
+
+    Per-key column tuples are memoized (bounded) so repeated sketch updates
+    and queries for the same key skip the multiply-shift arithmetic, and
+    :meth:`row_indices` computes the whole family over a *batch* of
+    fingerprints in one vectorized numpy pass.
     """
+
+    __slots__ = (
+        "depth",
+        "width",
+        "_multipliers",
+        "_offsets",
+        "_params",
+        "_mul_arr",
+        "_off_arr",
+        "_memo",
+    )
 
     def __init__(self, depth: int, width: int, seed: int = 0) -> None:
         if depth < 1:
@@ -45,12 +118,38 @@ class HashFamily:
             int(rng.integers(1, _MASK64, dtype=np.uint64)) | 1 for _ in range(depth)
         ]
         self._offsets = [int(rng.integers(0, _MASK64, dtype=np.uint64)) for _ in range(depth)]
+        self._params = list(zip(self._multipliers, self._offsets))
+        self._mul_arr = np.array(self._multipliers, dtype=np.uint64)
+        self._off_arr = np.array(self._offsets, dtype=np.uint64)
+        self._memo: dict[str, Tuple[int, ...]] = {}
 
-    def indices(self, key: str) -> List[int]:
-        """Return the column index of ``key`` in each row."""
-        fingerprint = stable_fingerprint(key)
-        columns = []
-        for row in range(self.depth):
-            mixed = (self._multipliers[row] * fingerprint + self._offsets[row]) & _MASK64
-            columns.append((mixed >> 16) % self.width)
+    def indices(self, key: str) -> Tuple[int, ...]:
+        """Return the column index of ``key`` in each row (memoized)."""
+        columns = self._memo.get(key)
+        if columns is None:
+            fingerprint = stable_fingerprint(key)
+            width = self.width
+            columns = tuple(
+                (((multiplier * fingerprint + offset) & _MASK64) >> 16) % width
+                for multiplier, offset in self._params
+            )
+            if len(self._memo) >= _FAMILY_MEMO_CAP:
+                self._memo.clear()
+            self._memo[key] = columns
         return columns
+
+    def row_indices(self, fingerprints: "np.ndarray | List[int]") -> np.ndarray:
+        """Vectorized column indices for a batch of fingerprints.
+
+        Args:
+            fingerprints: 64-bit key fingerprints (``stable_fingerprint``
+                values), any array-like.
+
+        Returns:
+            An int64 array of shape ``(depth, len(fingerprints))`` whose
+            ``[row, i]`` element equals ``indices(key_i)[row]`` — numpy's
+            uint64 arithmetic wraps mod 2^64 exactly like the scalar path.
+        """
+        fps = np.asarray(fingerprints, dtype=np.uint64)
+        mixed = self._mul_arr[:, None] * fps[None, :] + self._off_arr[:, None]
+        return ((mixed >> np.uint64(16)) % np.uint64(self.width)).astype(np.int64)

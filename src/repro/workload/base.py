@@ -41,9 +41,17 @@ class OpType(Enum):
         return self.value
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Request:
     """A single application request.
+
+    Requests are treated as immutable by convention: generators build them
+    once and nothing downstream mutates them (scenarios that rewrite a
+    request use :func:`dataclasses.replace` to build a new one).  The class
+    is deliberately *not* ``frozen=True`` — the generated frozen ``__init__``
+    assigns every field through ``object.__setattr__`` and is ~3.5x slower,
+    which is pure overhead on the replay hot path where millions of requests
+    are constructed per run.
 
     Attributes:
         time: Arrival time in seconds from the start of the workload.

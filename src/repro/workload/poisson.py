@@ -87,6 +87,9 @@ class PoissonZipfWorkload(Workload):
         self.key_prefix = key_prefix
         self.seed = seed
         self._sampler = ZipfSampler(num_keys=num_keys, exponent=zipf_exponent, seed=seed)
+        # Lazily filled rank -> key-name table: each name is formatted once
+        # per workload instead of once per request on the streaming hot path.
+        self._key_names: List[str | None] = [None] * self.num_keys
 
     def key_name(self, rank: int) -> str:
         """Return the key name for a popularity rank (0 is the hottest key)."""
@@ -115,23 +118,34 @@ class PoissonZipfWorkload(Workload):
         return self._iter_requests(validate_duration(duration))
 
     def _iter_requests(self, duration: float) -> Iterator[Request]:
+        # The per-chunk draw sequence (exponential gaps, Zipf ranks, read
+        # coin flips — in that order, always STREAM_CHUNK_SIZE wide) is pinned
+        # by the equivalence tests: optimizations below only change how the
+        # drawn chunk is turned into Request objects, never what is drawn.
         rng = np.random.default_rng(self.seed)
         mean_gap = 1.0 / (self.rate_per_key * self.num_keys)
+        sampler = self._sampler
+        names = self._key_names
+        key_name = self.key_name
+        key_size = self.key_size
+        value_size = self.value_size
+        read_op, write_op, request = OpType.READ, OpType.WRITE, Request
         now = 0.0
         while now < duration:
             gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
             times = now + np.cumsum(gaps)
             now = float(times[-1])
-            ranks = self._sampler.sample_using(rng, STREAM_CHUNK_SIZE)
+            ranks = sampler.sample_using(rng, STREAM_CHUNK_SIZE)
             is_read = rng.random(STREAM_CHUNK_SIZE) < self.read_ratio
             if now >= duration:
-                inside = times < duration
-                times, ranks, is_read = times[inside], ranks[inside], is_read[inside]
-            for i in range(times.size):
-                yield Request(
-                    time=float(times[i]),
-                    key=self.key_name(int(ranks[i])),
-                    op=OpType.READ if is_read[i] else OpType.WRITE,
-                    key_size=self.key_size,
-                    value_size=self.value_size,
-                )
+                # ``times`` ascends (gaps are non-negative), so the in-horizon
+                # subset is exactly the prefix before ``duration``.
+                keep = int(np.searchsorted(times, duration, side="left"))
+                times, ranks, is_read = times[:keep], ranks[:keep], is_read[:keep]
+            # One C-level conversion per chunk instead of three boxed numpy
+            # scalar conversions per request.
+            for time, rank, is_r in zip(times.tolist(), ranks.tolist(), is_read.tolist()):
+                name = names[rank]
+                if name is None:
+                    name = names[rank] = key_name(rank)
+                yield request(time, name, read_op if is_r else write_op, key_size, value_size)

@@ -95,6 +95,9 @@ class TwitterWorkload(Workload):
         self.value_size = int(value_size)
         self.seed = seed
         self._sampler = ZipfSampler(num_keys=num_keys, exponent=zipf_exponent, seed=seed)
+        # Lazily filled rank -> key-name table (one format per key, not one
+        # per request), mirroring :class:`~repro.workload.poisson.PoissonZipfWorkload`.
+        self._key_names: list[str | None] = [None] * self.num_keys
 
     def key_name(self, rank: int) -> str:
         """Return the key name for a popularity rank (0 is the hottest key)."""
@@ -137,9 +140,16 @@ class TwitterWorkload(Workload):
         return self._iter_requests(validate_duration(duration))
 
     def _iter_requests(self, duration: float) -> Iterator[Request]:
+        # The draw sequence (gaps, accept flips, ranks, read flips, value
+        # sizes — in that order) is pinned by the equivalence tests; the
+        # optimizations below only change Request materialization.
         rng = np.random.default_rng(self.seed)
         peak_rate = self.total_rate * (1.0 + self.diurnal_amplitude)
         mean_gap = 1.0 / peak_rate
+        names = self._key_names
+        key_name = self.key_name
+        key_size = self.key_size
+        read_op, write_op, request = OpType.READ, OpType.WRITE, Request
         now = 0.0
         while now < duration:
             gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
@@ -158,11 +168,10 @@ class TwitterWorkload(Workload):
             value_sizes = np.maximum(
                 8, rng.lognormal(mean=np.log(self.value_size), sigma=0.6, size=count)
             ).astype(np.int64)
-            for i in range(count):
-                yield Request(
-                    time=float(times[i]),
-                    key=self.key_name(int(ranks[i])),
-                    op=OpType.READ if is_read[i] else OpType.WRITE,
-                    key_size=self.key_size,
-                    value_size=int(value_sizes[i]),
-                )
+            for time, rank, is_r, size in zip(
+                times.tolist(), ranks.tolist(), is_read.tolist(), value_sizes.tolist()
+            ):
+                name = names[rank]
+                if name is None:
+                    name = names[rank] = key_name(rank)
+                yield request(time, name, read_op if is_r else write_op, key_size, size)

@@ -72,7 +72,10 @@ class ZipfSampler:
         if count == 0:
             return np.empty(0, dtype=np.int64)
         uniform = rng.random(count)
-        return np.searchsorted(self._cdf, uniform, side="left").astype(np.int64)
+        # Inverse-CDF lookup against the table precomputed at construction;
+        # ``copy=False`` skips the defensive copy when searchsorted already
+        # returned int64 (every 64-bit platform).
+        return np.searchsorted(self._cdf, uniform, side="left").astype(np.int64, copy=False)
 
     def sample_one(self) -> int:
         """Draw a single key rank (0-based)."""

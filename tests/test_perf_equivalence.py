@@ -1,0 +1,333 @@
+"""Pinning tests: the hot-path optimizations change *speed*, never *results*.
+
+Each test keeps a deliberately naive reference implementation (the pre-PR-5
+code shape) next to the optimized one and asserts byte-identical output:
+request streams, ring routing, fingerprints, sketch counts, and the inlined
+TTL poll arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import resource
+from bisect import bisect_right, insort
+
+import numpy as np
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.core.ttl import TTLPollingPolicy
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashing import (
+    DEFAULT_FINGERPRINT_CACHE_SIZE,
+    HashFamily,
+    fingerprint_cache_clear,
+    fingerprint_cache_info,
+    set_fingerprint_cache_size,
+    stable_fingerprint,
+)
+from repro.workload.base import STREAM_CHUNK_SIZE, OpType, Request
+from repro.workload.poisson import PoissonZipfWorkload
+from repro.workload.twitter import TwitterWorkload
+from repro.workload.zipf import ZipfSampler
+
+
+def as_tuples(requests):
+    return [
+        (request.time, request.key, request.op, request.key_size, request.value_size)
+        for request in requests
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Workload generators vs the naive reference loop
+# --------------------------------------------------------------------- #
+
+def naive_poisson_stream(workload: PoissonZipfWorkload, duration: float):
+    """The pre-optimization generation loop: per-request boxed conversions,
+    per-request key formatting, boolean-mask trimming."""
+    rng = np.random.default_rng(workload.seed)
+    mean_gap = 1.0 / (workload.rate_per_key * workload.num_keys)
+    now = 0.0
+    while now < duration:
+        gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+        times = now + np.cumsum(gaps)
+        now = float(times[-1])
+        ranks = workload._sampler.sample_using(rng, STREAM_CHUNK_SIZE)
+        is_read = rng.random(STREAM_CHUNK_SIZE) < workload.read_ratio
+        if now >= duration:
+            inside = times < duration
+            times, ranks, is_read = times[inside], ranks[inside], is_read[inside]
+        for i in range(times.size):
+            yield Request(
+                time=float(times[i]),
+                key=workload.key_name(int(ranks[i])),
+                op=OpType.READ if is_read[i] else OpType.WRITE,
+                key_size=workload.key_size,
+                value_size=workload.value_size,
+            )
+
+
+def naive_twitter_stream(workload: TwitterWorkload, duration: float):
+    rng = np.random.default_rng(workload.seed)
+    peak_rate = workload.total_rate * (1.0 + workload.diurnal_amplitude)
+    mean_gap = 1.0 / peak_rate
+    now = 0.0
+    while now < duration:
+        gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+        candidate = now + np.cumsum(gaps)
+        now = float(candidate[-1])
+        envelope = 1.0 + workload.diurnal_amplitude * np.sin(
+            2.0 * np.pi * candidate / workload.diurnal_period
+        )
+        accept = rng.random(STREAM_CHUNK_SIZE) < (workload.total_rate * envelope) / peak_rate
+        if now >= duration:
+            accept &= candidate < duration
+        times = candidate[accept]
+        count = times.size
+        ranks = workload._sampler.sample_using(rng, count)
+        is_read = rng.random(count) < workload._read_probabilities(ranks)
+        value_sizes = np.maximum(
+            8, rng.lognormal(mean=np.log(workload.value_size), sigma=0.6, size=count)
+        ).astype(np.int64)
+        for i in range(count):
+            yield Request(
+                time=float(times[i]),
+                key=workload.key_name(int(ranks[i])),
+                op=OpType.READ if is_read[i] else OpType.WRITE,
+                key_size=workload.key_size,
+                value_size=int(value_sizes[i]),
+            )
+
+
+def test_poisson_stream_matches_naive_reference() -> None:
+    """Optimized generation is byte-identical, including the trimmed tail."""
+    workload = PoissonZipfWorkload(num_keys=50, rate_per_key=100.0, seed=7)
+    # Long enough to cross several chunk boundaries and trim the last chunk.
+    duration = (2.5 * STREAM_CHUNK_SIZE) / (100.0 * 50)
+    optimized = as_tuples(workload.iter_requests(duration))
+    reference = as_tuples(naive_poisson_stream(workload, duration))
+    assert optimized == reference
+    assert len(optimized) > 2 * STREAM_CHUNK_SIZE
+
+
+def test_twitter_stream_matches_naive_reference() -> None:
+    workload = TwitterWorkload(num_keys=80, total_rate=2000.0, seed=11)
+    duration = (2.5 * STREAM_CHUNK_SIZE) / (2000.0 * (1.0 + workload.diurnal_amplitude))
+    optimized = as_tuples(workload.iter_requests(duration))
+    reference = as_tuples(naive_twitter_stream(workload, duration))
+    assert optimized == reference
+    assert len(optimized) > STREAM_CHUNK_SIZE
+
+
+def test_zipf_sampler_astype_is_not_a_draw_change() -> None:
+    """The copy-free astype returns the same ranks as a fresh int64 copy."""
+    sampler = ZipfSampler(num_keys=100, exponent=1.3, seed=3)
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    ranks = sampler.sample_using(rng_a, 10_000)
+    reference = np.searchsorted(sampler._cdf, rng_b.random(10_000), side="left")
+    assert ranks.dtype == np.int64
+    np.testing.assert_array_equal(ranks, reference.astype(np.int64))
+
+
+# --------------------------------------------------------------------- #
+# Fingerprint memo vs direct BLAKE2
+# --------------------------------------------------------------------- #
+
+def direct_blake2_fingerprint(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def test_fingerprint_cache_returns_exact_blake2_values() -> None:
+    fingerprint_cache_clear()
+    keys = [f"fp-key-{index}" for index in range(5_000)]
+    # Twice: the second pass is served from cache and must agree.
+    first = [stable_fingerprint(key) for key in keys]
+    second = [stable_fingerprint(key) for key in keys]
+    reference = [direct_blake2_fingerprint(key) for key in keys]
+    assert first == reference
+    assert second == reference
+    info = fingerprint_cache_info()
+    assert info.hits >= len(keys)
+
+
+def test_fingerprint_cache_is_bounded_and_configurable() -> None:
+    try:
+        set_fingerprint_cache_size(1024)
+        for index in range(10_000):
+            stable_fingerprint(f"bounded-{index}")
+        info = fingerprint_cache_info()
+        assert info.currsize <= 1024
+        assert info.maxsize == 1024
+        with pytest.raises(Exception):
+            set_fingerprint_cache_size(-1)
+    finally:
+        set_fingerprint_cache_size(DEFAULT_FINGERPRINT_CACHE_SIZE)
+
+
+def test_fingerprint_rss_stays_flat_on_a_million_distinct_keys() -> None:
+    """The memo cannot grow without bound: 1M distinct keys, flat RSS.
+
+    An unbounded memo would retain every key string and boxed fingerprint
+    (~250 MiB for a million keys); the bounded LRU keeps the footprint at
+    the cache cap.  The generous threshold keeps the test robust to
+    allocator noise while still catching an unbounded cache by an order of
+    magnitude.
+    """
+    fingerprint_cache_clear()
+    before_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    for index in range(1_000_000):
+        stable_fingerprint(f"rss-key-{index:09d}")
+    after_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    info = fingerprint_cache_info()
+    assert info.currsize <= DEFAULT_FINGERPRINT_CACHE_SIZE
+    grown_mib = (after_kib - before_kib) / 1024
+    assert grown_mib < 100, f"RSS grew by {grown_mib:.0f} MiB over 1M distinct keys"
+
+
+# --------------------------------------------------------------------- #
+# Ring routing vs the naive reference walk
+# --------------------------------------------------------------------- #
+
+class NaiveRing:
+    """The pre-optimization ring: tuple-list bisect, no caching."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []
+        self._nodes: dict[str, list[int]] = {}
+
+    def add_node(self, node_id: str) -> None:
+        points = []
+        for vnode in range(self.vnodes):
+            point = direct_blake2_fingerprint(f"{node_id}#{vnode}")
+            insort(self._points, (point, node_id))
+            points.append(point)
+        self._nodes[node_id] = points
+
+    def remove_node(self, node_id: str) -> None:
+        self._nodes.pop(node_id)
+        self._points = [pair for pair in self._points if pair[1] != node_id]
+
+    def nodes_for(self, key: str, count: int) -> list[str]:
+        start = bisect_right(self._points, (direct_blake2_fingerprint(key), ""))
+        chosen: list[str] = []
+        seen = set()
+        total = len(self._points)
+        for offset in range(total):
+            _, node_id = self._points[(start + offset) % total]
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            chosen.append(node_id)
+            if len(chosen) == count:
+                break
+        return chosen
+
+
+def test_ring_routing_matches_naive_reference_across_membership_changes() -> None:
+    ring = ConsistentHashRing(vnodes=32)
+    naive = NaiveRing(vnodes=32)
+    for index in range(6):
+        ring.add_node(f"node-{index:03d}")
+        naive.add_node(f"node-{index:03d}")
+    keys = [f"route-key-{index:05d}" for index in range(2_000)]
+
+    for count in (1, 2, 3):
+        for key in keys:
+            assert ring.nodes_for(key, count) == naive.nodes_for(key, count)
+
+    # Membership change must invalidate every cached route.
+    ring.remove_node("node-002")
+    naive.remove_node("node-002")
+    for count in (1, 2, 3):
+        for key in keys:
+            assert ring.nodes_for(key, count) == naive.nodes_for(key, count)
+
+    ring.add_node("node-006")
+    naive.add_node("node-006")
+    for key in keys:
+        assert ring.nodes_for(key, 2) == naive.nodes_for(key, 2)
+
+
+def test_route_cache_alias_survives_membership_change() -> None:
+    ring = ConsistentHashRing(vnodes=16)
+    for index in range(3):
+        ring.add_node(f"node-{index:03d}")
+    alias = ring.route_cache_for(2)
+    ring.route("some-key", 2)
+    assert "some-key" in alias
+    ring.remove_node("node-001")
+    # Cleared in place: same dict object, cached routes gone.
+    assert alias is ring.route_cache_for(2)
+    assert "some-key" not in alias
+
+
+# --------------------------------------------------------------------- #
+# Sketches: memoized + vectorized index computation
+# --------------------------------------------------------------------- #
+
+def test_hash_family_memoized_indices_match_fresh_computation() -> None:
+    family = HashFamily(depth=4, width=512, seed=9)
+    fresh = HashFamily(depth=4, width=512, seed=9)
+    keys = [f"sketch-key-{index}" for index in range(1_000)]
+    for key in keys:
+        first = family.indices(key)
+        second = family.indices(key)  # memo hit
+        assert first == second == fresh.indices(key)
+
+
+def test_hash_family_vectorized_rows_match_scalar_path() -> None:
+    family = HashFamily(depth=5, width=257, seed=4)
+    keys = [f"vec-key-{index}" for index in range(500)]
+    fingerprints = [stable_fingerprint(key) for key in keys]
+    matrix = family.row_indices(fingerprints)
+    assert matrix.shape == (5, len(keys))
+    for column, key in enumerate(keys):
+        assert tuple(matrix[:, column]) == family.indices(key)
+
+
+def test_countmin_add_many_matches_repeated_add() -> None:
+    vectorized = CountMinSketch(width=128, depth=4, seed=2)
+    scalar = CountMinSketch(width=128, depth=4, seed=2)
+    keys = [f"cm-key-{index % 37}" for index in range(400)]
+    vectorized.add_many(keys)
+    for key in keys:
+        scalar.add(key)
+    assert vectorized.total == scalar.total
+    np.testing.assert_array_equal(vectorized._table, scalar._table)
+    for key in set(keys):
+        assert vectorized.query(key) == scalar.query(key)
+
+
+# --------------------------------------------------------------------- #
+# Inlined TTL poll arithmetic vs the policy methods
+# --------------------------------------------------------------------- #
+
+def test_inlined_poll_arithmetic_matches_policy_methods() -> None:
+    """The simulator inlines polls_between/last_poll_at_or_before against a
+    bind-time TTL; the arithmetic must agree on every grid point."""
+    policy = TTLPollingPolicy(ttl=0.75)
+    ttl = 0.75
+    anchors = [0.0, 0.3, 1.0]
+    for anchor in anchors:
+        for accounted in np.arange(anchor, anchor + 4.0, 0.19):
+            for now in np.arange(accounted, accounted + 3.0, 0.23):
+                accounted_f, now_f = float(accounted), float(now)
+                expected = policy.polls_between(anchor, accounted_f, now_f)
+                if now_f <= anchor:
+                    inlined = 0
+                else:
+                    k_now = int((now_f - anchor) / ttl)
+                    k_acc = (
+                        int((accounted_f - anchor) / ttl) if accounted_f > anchor else 0
+                    )
+                    inlined = max(k_now - k_acc, 0)
+                assert inlined == expected, (anchor, accounted_f, now_f)
+                if expected > 0:
+                    k_now = int((now_f - anchor) / ttl)
+                    assert anchor + k_now * ttl == policy.last_poll_at_or_before(
+                        anchor, now_f
+                    )
