@@ -8,9 +8,15 @@ Usage::
     python scripts/check_bench.py --baseline BENCH_BASELINE.json \
         BENCH_fresh.json --update   # rewrite the baseline from the records
 
-Each bench row is keyed ``<mode>/<policy>`` where mode is ``single`` or
-``cluster<N>``.  A fresh row regresses when its requests/sec falls more than
-``--max-regression`` (default 25%) below the baseline's expectation.
+Each bench row is keyed ``<mode>/<policy>`` where mode encodes the measured
+pipeline: ``single`` / ``cluster<N>`` for the scalar engine, ``vector`` for
+the single-cache columnar engine, and ``cluster<N>-vec`` /
+``cluster<N>-par`` for the columnar fleet replay (in-process / shard-
+parallel on workers).  Entries record the engine and worker count alongside
+requests/sec; a fresh record claiming a baseline entry with a different
+engine or worker count is refused (exit 2) rather than compared.  A fresh
+row regresses when its requests/sec falls more than ``--max-regression``
+(default 25%) below the baseline's expectation.
 
 Because throughput is machine-dependent, the baseline stores a *calibration
 score* — a fixed pure-Python workload timed on the machine that recorded the
@@ -63,16 +69,47 @@ def calibrate(rounds: int = 3) -> float:
 _WORKLOAD_CONFIG_KEYS = ("num_requests", "num_keys", "staleness_bound", "seed")
 
 
-def bench_entries(record: Dict[str, Any]) -> Dict[str, float]:
-    """Flatten one ``repro-bench`` record into ``mode/policy -> rps``."""
+def record_mode(config: Dict[str, Any]) -> str:
+    """Derive the entry-key mode from a bench record's config."""
+    nodes = config.get("num_nodes")
+    engine = config.get("engine", "scalar")
+    workers = int(config.get("workers") or 1)
+    if not nodes:
+        return "single" if engine == "scalar" else "vector"
+    base = f"cluster{nodes}"
+    if engine == "scalar":
+        return base
+    return f"{base}-par" if workers > 1 else f"{base}-vec"
+
+
+def bench_entries(record: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Flatten one ``repro-bench`` record into ``mode/policy -> entry``.
+
+    Each entry carries ``requests_per_sec`` plus the ``engine`` and
+    ``workers`` that produced it, so the gate can refuse a record that
+    claims a baseline entry while measuring a different pipeline.
+    """
     if record.get("kind") != BENCH_KIND:
         raise ValueError(f"not a repro-bench record (kind={record.get('kind')!r})")
-    nodes = record.get("config", {}).get("num_nodes")
-    mode = "single" if not nodes else f"cluster{nodes}"
+    config = record.get("config", {})
+    mode = record_mode(config)
+    engine = config.get("engine", "scalar")
+    workers = int(config.get("workers") or 1)
     return {
-        f"{mode}/{row['policy']}": float(row["requests_per_sec"])
+        f"{mode}/{row['policy']}": {
+            "requests_per_sec": float(row["requests_per_sec"]),
+            "engine": engine,
+            "workers": workers,
+        }
         for row in record["results"]
     }
+
+
+def entry_rps(entry: Any) -> float:
+    """Requests/sec of a baseline or fresh entry (floats are legacy form)."""
+    if isinstance(entry, dict):
+        return float(entry["requests_per_sec"])
+    return float(entry)
 
 
 def workload_config(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -86,7 +123,9 @@ def load_json(path: Path) -> Dict[str, Any]:
         return json.load(handle)
 
 
-def collect_fresh(paths: List[Path]) -> Tuple[Dict[str, float], Dict[str, Any]]:
+def collect_fresh(
+    paths: List[Path],
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Any]]:
     """Flatten fresh records into entries plus their shared workload config.
 
     Raises:
@@ -95,7 +134,7 @@ def collect_fresh(paths: List[Path]) -> Tuple[Dict[str, float], Dict[str, Any]]:
             ``mode/policy`` entry (silently keeping one would make the gate
             depend on argument order).
     """
-    entries: Dict[str, float] = {}
+    entries: Dict[str, Dict[str, Any]] = {}
     config: Dict[str, Any] = {}
     for path in paths:
         record = load_json(path)
@@ -120,21 +159,36 @@ def collect_fresh(paths: List[Path]) -> Tuple[Dict[str, float], Dict[str, Any]]:
 
 def compare(
     baseline: Dict[str, Any],
-    fresh: Dict[str, float],
+    fresh: Dict[str, Dict[str, Any]],
     max_regression: float,
     scale: float,
-) -> Tuple[List[str], List[str], List[str]]:
-    """Return (report lines, regressions, unmeasured baseline entries)."""
+) -> Tuple[List[str], List[str], List[str], List[str]]:
+    """Return (report lines, regressions, unmeasured entries, mismatches).
+
+    A *mismatch* is a fresh row whose engine or worker count disagrees with
+    the baseline entry of the same key — a config error, not a regression.
+    """
     lines: List[str] = []
     regressions: List[str] = []
+    mismatches: List[str] = []
     base_entries = baseline.get("entries", {})
     unmeasured = sorted(set(base_entries) - set(fresh))
-    for key, fresh_rps in sorted(fresh.items()):
-        base_rps = base_entries.get(key)
-        if base_rps is None:
+    for key, fresh_entry in sorted(fresh.items()):
+        base_entry = base_entries.get(key)
+        fresh_rps = entry_rps(fresh_entry)
+        if base_entry is None:
             lines.append(f"  {key:>24}: {fresh_rps:>12,.0f} req/s (no baseline entry)")
             continue
-        expected = float(base_rps) * scale
+        if isinstance(base_entry, dict):
+            for field in ("engine", "workers"):
+                expected_field = base_entry.get(field)
+                measured_field = fresh_entry.get(field)
+                if expected_field is not None and measured_field != expected_field:
+                    mismatches.append(
+                        f"{key}: baseline records {field}={expected_field!r} "
+                        f"but the fresh record measured {measured_field!r}"
+                    )
+        expected = entry_rps(base_entry) * scale
         floor = expected * (1.0 - max_regression)
         ratio = fresh_rps / expected if expected > 0 else float("inf")
         verdict = "ok" if fresh_rps >= floor else "REGRESSION"
@@ -144,12 +198,12 @@ def compare(
         )
         if fresh_rps < floor:
             regressions.append(key)
-    return lines, regressions, unmeasured
+    return lines, regressions, unmeasured, mismatches
 
 
 def update_baseline(
     path: Path,
-    fresh: Dict[str, float],
+    fresh: Dict[str, Dict[str, Any]],
     config: Dict[str, Any],
     max_regression: float,
     previous: Dict[str, Any],
@@ -247,10 +301,21 @@ def main(argv: List[str] | None = None) -> int:
                 f"{float(base_cal):,.0f} ops/s -> scaling expectations by {scale:.2f}x"
             )
 
-    lines, regressions, unmeasured = compare(baseline, fresh, max_regression, scale)
+    lines, regressions, unmeasured, mismatches = compare(
+        baseline, fresh, max_regression, scale
+    )
     print(f"bench check vs {args.baseline} (max regression {max_regression:.0%}):")
     for line in lines:
         print(line)
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"error: {mismatch}", file=sys.stderr)
+        print(
+            "error: engine/worker mismatch is a bench-invocation error, not a "
+            "regression; re-run the bench with the baseline's pipeline flags",
+            file=sys.stderr,
+        )
+        return 2
     matched = [line for line in lines if "no baseline entry" not in line]
     if not matched:
         print("error: no fresh row matched a baseline entry", file=sys.stderr)

@@ -58,6 +58,7 @@ from repro.cluster.replication import READ_POLICIES
 from repro.cluster.scenarios import SCENARIO_FACTORIES
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
+    BENCH_ENGINES,
     DEFAULT_BENCH_POLICIES,
     ExperimentSpec,
     ScenarioSpec,
@@ -167,6 +168,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         base_seed=args.seed,
         cost_preset=args.cost_preset,
+        engine=args.engine,
     )
     print(f"sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
     rows = run_experiment(spec, processes=args.processes)
@@ -312,6 +314,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tier = TierConfig(
             l1_capacity=args.l1_capacity, mode=args.tier_mode, admission="always"
         )
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1 and args.nodes <= 0:
+        raise SystemExit("--workers > 1 shards a cluster replay: pass --nodes too")
+    if args.workers > 1 and args.engine != "vector":
+        raise SystemExit(
+            "--workers > 1 is a vector-engine feature: pass --engine vector"
+        )
     record = run_bench(
         policies=_csv_list(args.policies),
         num_requests=args.requests,
@@ -324,6 +334,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         replication=args.replication,
         store=args.store,
         tier=tier,
+        engine=args.engine,
+        workers=args.workers,
     )
     for result in record["results"]:
         print(
@@ -566,6 +578,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--snapshot-interval", type=_positive_float, default=None,
                        help="snapshot cadence for --persist cells (default: final only)")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--engine", default="scalar", choices=BENCH_ENGINES,
+                       help="replay engine for every cell: streamed scalar or "
+                            "compiled columnar (byte-identical rows)")
     sweep.add_argument("--cost-preset", default="fixed",
                        choices=["fixed", "cpu", "network", "latency"])
     sweep.add_argument("--processes", type=int, default=None,
@@ -673,6 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="L1 objects per node for --tier mode")
     bench.add_argument("--tier-mode", default="write-through", choices=TIER_MODES,
                        help="tier fill mode for --tier mode")
+    bench.add_argument("--engine", default="scalar", choices=BENCH_ENGINES,
+                       help="replay engine: the streamed scalar pipeline or the "
+                            "columnar vector one (byte-identical results)")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="shard-parallel worker processes for --engine vector "
+                            "cluster benches (requires --nodes)")
     bench.add_argument("--output-dir", default=".")
     bench.add_argument("--label", default=None, help="suffix for the BENCH_<label>.json record")
     bench.set_defaults(func=_cmd_bench)

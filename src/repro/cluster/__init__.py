@@ -18,7 +18,11 @@ The pieces:
   key detection that can switch hot keys to a different policy per shard,
 * :class:`~repro.cluster.scenarios.Scenario` — deterministic failure /
   flash-crowd / partition scripts,
-* :class:`~repro.cluster.cluster.ClusterSimulation` — the routing loop, and
+* :class:`~repro.cluster.cluster.ClusterSimulation` — the routing loop,
+* :class:`~repro.cluster.vector.VectorClusterSimulation` — the columnar
+  replay engine over a compiled trace (byte-identical, much faster),
+* :func:`~repro.cluster.parallel.replay_cluster_parallel` — shard-parallel
+  replay on worker processes with a deterministic merge, and
 * :class:`~repro.cluster.results.ClusterResult` — per-node and fleet-level
   aggregation sharing the single-cache result schema.
 
@@ -48,6 +52,7 @@ from repro.cluster.cluster import ClusterSimulation
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.hotkey import HotKeyConfig, HotKeyDetector
 from repro.cluster.node import CacheNode
+from repro.cluster.parallel import partition_nodes, replay_cluster_parallel
 from repro.cluster.replication import ReplicaRouter, ReplicationConfig
 from repro.cluster.results import ClusterResult, NodeResult
 from repro.cluster.scenarios import (
@@ -61,6 +66,7 @@ from repro.cluster.scenarios import (
     Scenario,
     make_scenario,
 )
+from repro.cluster.vector import VectorClusterSimulation
 
 __all__ = [
     "CacheNode",
@@ -80,5 +86,8 @@ __all__ = [
     "ReplicationConfig",
     "SCENARIO_FACTORIES",
     "Scenario",
+    "VectorClusterSimulation",
     "make_scenario",
+    "partition_nodes",
+    "replay_cluster_parallel",
 ]

@@ -26,7 +26,7 @@ a fixed seed no matter how many worker processes executed the grid.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.backend.channel import Channel
 from repro.backend.datastore import DataStore
@@ -122,6 +122,20 @@ class ClusterSimulation:
             front of every node's cache (the node cache then acts as the
             sharded L2).  A disabled config (``l1_capacity=0``) is normalised
             to ``None`` and reproduces single-tier results byte-for-byte.
+        owned_nodes: Optional node indices this process replays *for*.  The
+            full fleet is still constructed and the shared state — datastore
+            writes, ring membership, scenario events, read-router counters —
+            advances identically to an unfiltered run, but only the owned
+            nodes perform cache work (reads, write observation, flushes,
+            finalize).  Because nodes never message each other (they interact
+            only through the shared datastore and ring) the owned nodes'
+            :class:`~repro.cluster.results.NodeResult` rows come out
+            byte-identical to the same rows of a full run; non-owned rows are
+            meaningless and discarded by the shard merge.  This is the
+            substrate for shard-parallel replay
+            (:func:`repro.cluster.parallel.replay_cluster_parallel`).
+            Incompatible with ``store`` (a checkpoint must capture the whole
+            fleet).
     """
 
     def __init__(
@@ -147,6 +161,7 @@ class ClusterSimulation:
         store: Optional[StoreConfig] = None,
         history_retention: Optional[float] = None,
         tier: Optional[TierConfig] = None,
+        owned_nodes: Optional[Sequence[int]] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -251,6 +266,24 @@ class ClusterSimulation:
             self._nodes[node_id] = node
             self._node_list.append(node)
             self.ring.add_node(node_id)
+
+        self._owned_ids: Optional[frozenset[str]] = None
+        self._flush_nodes: List[CacheNode] = self._node_list
+        if owned_nodes is not None:
+            if store is not None:
+                raise ClusterError(
+                    "owned_nodes is incompatible with a store: a checkpoint "
+                    "must capture the whole fleet"
+                )
+            indices = sorted(set(int(index) for index in owned_nodes))
+            if not indices:
+                raise ClusterError("owned_nodes must name at least one node")
+            if indices[0] < 0 or indices[-1] >= num_nodes:
+                raise ClusterError(
+                    f"owned_nodes entries must be in [0, {num_nodes}), got {indices}"
+                )
+            self._flush_nodes = [self._node_list[index] for index in indices]
+            self._owned_ids = frozenset(node.node_id for node in self._flush_nodes)
 
         self._next_flush = self.staleness_bound
         self._next_due = self.staleness_bound
@@ -492,7 +525,7 @@ class ClusterSimulation:
             if min(next_flush, next_snapshot) > until:
                 break
             if next_flush <= next_snapshot:
-                for node in self._node_list:
+                for node in self._flush_nodes:
                     node.deliver_until(next_flush)
                     node.flush(next_flush)
                 self._next_flush += self.staleness_bound
@@ -657,9 +690,11 @@ class ClusterSimulation:
         if replicas is None:
             replicas = self._route(key, self._factor)
         nodes = self._nodes
+        owned = self._owned_ids
         owner = True
         for node_id in replicas:
-            nodes[node_id].observe_write(request, owner=owner)
+            if owned is None or node_id in owned:
+                nodes[node_id].observe_write(request, owner=owner)
             owner = False
 
     def _process_read(self, request: Request) -> None:
@@ -671,8 +706,12 @@ class ClusterSimulation:
             # Primary-copy routing needs no router state; skip the call.
             node_id = replicas[0]
         else:
+            # The router counter advances for every read regardless of
+            # ownership so each shard sees the same routing sequence.
             node_id = self.router.choose_read_node(key, replicas)
-        self._nodes[node_id].handle_read(request)
+        owned = self._owned_ids
+        if owned is None or node_id in owned:
+            self._nodes[node_id].handle_read(request)
 
     def _finalize(self, events: List[ScenarioEvent], event_index: int) -> ClusterResult:
         end_time = max(self.duration, self.clock.now)
@@ -680,7 +719,7 @@ class ClusterSimulation:
             event_index = self._apply_event(events, event_index)
         self.clock.advance_to(end_time)
         self._advance_background(end_time)
-        for node in self._node_list:
+        for node in self._flush_nodes:
             node.finalize(end_time, self.final_flush)
 
         result = ClusterResult(

@@ -1,0 +1,153 @@
+"""Shard-parallel cluster replay: one worker process per node partition.
+
+Because fleet nodes never message each other — they interact only through
+the shared datastore, the hash ring, and the deterministic read router — a
+cluster replay decomposes along *node* lines: each worker rebuilds the full
+fleet, streams the whole compiled trace, and advances every piece of shared
+state exactly like a full run (datastore writes, router counters, scenario
+events, ring membership), but performs cache work only for the nodes it owns
+(``ClusterSimulation(owned_nodes=...)``).  Each owned node's
+:class:`~repro.cluster.results.NodeResult` row is then byte-identical to the
+same row of a full single-process run, so the merge just reassembles the
+per-node rows and re-finalises the totals — results are identical for any
+worker count, including 1.
+
+The trace is shipped to workers by ``fork`` inheritance (no per-task
+serialization of the columns); on platforms without ``fork`` the shards run
+sequentially in-process, slower but still byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as time_module
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.results import ClusterResult
+from repro.cluster.vector import VectorClusterSimulation, _ClusterPlan
+from repro.errors import ClusterError
+from repro.workload.compiled import CompiledTrace
+
+#: ``(trace, cluster_kwargs, plan)`` stashed before the pool forks; workers
+#: inherit it through copy-on-write instead of unpickling the columns (and
+#: the precomputed routing plan) per shard.
+_SHARD_CONTEXT: Optional[Tuple[CompiledTrace, dict, Optional[_ClusterPlan]]] = None
+
+
+def partition_nodes(num_nodes: int, workers: int) -> List[Tuple[int, ...]]:
+    """Round-robin node indices across ``workers`` shards.
+
+    Striding (instead of contiguous blocks) keeps shard load even under the
+    ring's placement skew.  Partition 0 always owns node 0, which the merge
+    uses as its result template.
+    """
+    if num_nodes < 1:
+        raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
+    if workers < 1:
+        raise ClusterError(f"workers must be >= 1, got {workers}")
+    shards = min(workers, num_nodes)
+    return [tuple(range(shard, num_nodes, shards)) for shard in range(shards)]
+
+
+def _replay_shard(owned: Tuple[int, ...]) -> ClusterResult:
+    """Worker body: replay the stashed trace for one node partition."""
+    trace, cluster_kwargs, plan = _SHARD_CONTEXT
+    simulation = VectorClusterSimulation(trace, owned_nodes=owned, **cluster_kwargs)
+    if plan is not None:
+        simulation._shared_plan = plan
+    return simulation.run()
+
+
+def replay_cluster_parallel(
+    trace: CompiledTrace,
+    *,
+    workers: int = 1,
+    timings: Optional[Dict[str, float]] = None,
+    **cluster_kwargs,
+) -> ClusterResult:
+    """Replay a compiled trace across the fleet on ``workers`` processes.
+
+    Args:
+        trace: The compiled request stream (shared by every shard).
+        workers: Worker process count; clamped to the fleet size.  ``1``
+            replays in-process with no partitioning overhead.
+        timings: Optional dict that receives ``merge_seconds`` (the wall time
+            of the deterministic shard merge; ``0.0`` when nothing merged).
+        **cluster_kwargs: Forwarded to :class:`VectorClusterSimulation` /
+            :class:`~repro.cluster.cluster.ClusterSimulation` — ``policy``
+            must be a registry *name* (worker processes cannot be handed live
+            policy objects), and ``store`` is refused for ``workers > 1``
+            (a checkpoint must capture the whole fleet in one process).
+
+    Returns:
+        The merged :class:`~repro.cluster.results.ClusterResult`,
+        byte-identical for any worker count.
+    """
+    global _SHARD_CONTEXT
+    if "owned_nodes" in cluster_kwargs:
+        raise ClusterError(
+            "owned_nodes is managed by replay_cluster_parallel; pass workers=N"
+        )
+    num_nodes = int(cluster_kwargs.get("num_nodes", 0))
+    if num_nodes < 1:
+        raise ClusterError("replay_cluster_parallel needs num_nodes >= 1")
+    workers = min(int(workers), num_nodes)
+    if workers <= 1:
+        simulation = VectorClusterSimulation(trace, **cluster_kwargs)
+        result = simulation.run()
+        if timings is not None:
+            timings["merge_seconds"] = 0.0
+        return result
+    if cluster_kwargs.get("store") is not None:
+        raise ClusterError(
+            "persistence needs the whole fleet in one process: "
+            "a store is incompatible with workers > 1"
+        )
+    if not isinstance(cluster_kwargs.get("policy"), str):
+        raise ClusterError(
+            "parallel replay ships the policy to workers by registry name; "
+            "pass policy as a string"
+        )
+
+    partitions = partition_nodes(num_nodes, workers)
+    # Route the whole trace once in the parent; forked shards inherit the
+    # plan copy-on-write instead of recomputing it per worker.  On the
+    # scalar-fallback path (plan is None) workers route as they stream.
+    planner = VectorClusterSimulation(trace, **cluster_kwargs)
+    plan = planner.build_plan() if planner.vector_eligible() else None
+    _SHARD_CONTEXT = (trace, cluster_kwargs, plan)
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=len(partitions)) as pool:
+                shard_results = pool.map(_replay_shard, partitions)
+        else:  # pragma: no cover - platform without fork
+            shard_results = [_replay_shard(owned) for owned in partitions]
+    finally:
+        _SHARD_CONTEXT = None
+
+    merge_start = time_module.perf_counter()
+    result = _merge_shard_results(partitions, shard_results)
+    if timings is not None:
+        timings["merge_seconds"] = time_module.perf_counter() - merge_start
+    return result
+
+
+def _merge_shard_results(
+    partitions: Sequence[Tuple[int, ...]], shard_results: Sequence[ClusterResult]
+) -> ClusterResult:
+    """Reassemble per-shard node rows into one fleet result.
+
+    Shard 0's result is the template (it owns node 0, and every shard agrees
+    on the run metadata — duration, rebalances, scenario — because each one
+    advanced the full shared timeline).  Each node row is taken from the
+    shard that owned the node, then the totals are re-finalised, which walks
+    the rows in node order exactly like a single-process finalize.
+    """
+    merged = shard_results[0]
+    nodes = merged.nodes
+    for owned, shard in zip(partitions[1:], shard_results[1:]):
+        for index in owned:
+            nodes[index] = shard.nodes[index]
+    merged.finalize()
+    return merged

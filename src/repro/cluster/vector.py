@@ -1,0 +1,466 @@
+"""Vectorized (columnar) replay of a compiled trace across a cache fleet.
+
+:class:`VectorClusterSimulation` is the fleet twin of
+:class:`~repro.sim.vector.VectorSimulation`: it consumes a
+:class:`~repro.workload.compiled.CompiledTrace`, routes each span's reads to
+replicas with the exact scalar routing rules (primary / hash / round-robin,
+including the per-key round-robin counters), and replays each **(node, key)**
+subsequence through the same per-key kernels the single-cache engine uses —
+every node's cache, buffer, tracker, and estimator are real objects, and all
+simulation *events* (interval flushes, freshness message fan-out, delivery,
+finalisation) run through the unmodified scalar :class:`CacheNode` machinery
+between spans.
+
+The byte-identity argument carries over from the single-cache engine because
+nodes never talk to each other — they interact only through the shared
+datastore, the hash ring, and the read router:
+
+* a node's observable inputs are the global write stream (identical once the
+  span's writes are pre-applied) plus the subsequence of reads routed to it,
+  and routing is deterministic and independent of node-local cache state;
+* within one (node, key) group the single-cache kernel invariants hold
+  unchanged — spans never outlive a staleness interval, miss versions are
+  positional against the *global* write columns, and per-node tallies replay
+  order-sensitive effects position-sorted;
+* the kernels only mutate node-local state plus two order-free global
+  accumulators (``DataStore.total_writes``/``total_reads``), so the order in
+  which nodes' kernels run within a span is immaterial.
+
+The same argument is what makes **shard-parallel replay** sound: a worker
+that owns a subset of nodes (``owned_nodes``) advances all the shared state —
+datastore writes, router counters, ring membership — exactly like a full run
+but only performs cache work for its nodes, so its owned
+:class:`~repro.cluster.results.NodeResult` rows are byte-identical to a full
+run's and :func:`~repro.cluster.parallel.replay_cluster_parallel` can merge
+per-shard rows into one result.
+
+Configurations outside the vectorizable envelope (scenarios, lossy or delayed
+channels, tiers, capacity bounds, persistence, hot-key detection, per-size
+cost breakdowns) transparently fall back to the scalar cluster loop over the
+decompiled stream — identical by construction, just slower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSimulation
+from repro.cluster.results import ClusterResult
+from repro.cluster.scenarios import Scenario
+from repro.core.adaptive import AdaptivePolicy, CacheStateAdaptivePolicy
+from repro.errors import ClusterError, ConfigurationError, WorkloadError
+from repro.sim.vector import (
+    _EMPTY_INDEX,
+    _VECTOR_POLICIES,
+    _HostState,
+    _ReplayContext,
+    _SpanTally,
+    _TraceColumns,
+    _apply_span_writes,
+    _flush_tally,
+    _group_by_key,
+    _kernel_reactive,
+    _kernel_ttl_expiry,
+    _kernel_ttl_polling,
+)
+from repro.sketch.exact import ExactEWTracker
+from repro.sketch.hashing import stable_fingerprint
+from repro.workload.compiled import CompiledTrace
+
+
+class _ClusterPlan:
+    """Trace-wide precomputation shared by every shard of a parallel replay.
+
+    Everything here is a pure function of the compiled trace and the cluster
+    *configuration* (ring placement, replication, read policy) — no node
+    state — so a parent process can build it once and let forked workers
+    inherit it copy-on-write instead of each re-deriving it.
+
+    Attributes:
+        columns: Per-key write columns (:class:`_TraceColumns`).
+        read_node: Per-request serving node index (``-1`` for writes),
+            aligned with the trace arrays.  Encodes the exact scalar routing:
+            primary, static hash choice, or per-key round-robin rank.
+        replicas: Key id -> replica node indices (primary first) for every
+            key that occurs in the trace.
+    """
+
+    __slots__ = ("columns", "read_node", "replicas")
+
+    def __init__(
+        self,
+        columns: _TraceColumns,
+        read_node: np.ndarray,
+        replicas: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        self.columns = columns
+        self.read_node = read_node
+        self.replicas = replicas
+
+
+class VectorClusterSimulation(ClusterSimulation):
+    """Drop-in :class:`ClusterSimulation` that replays a compiled trace in spans.
+
+    Accepts the same configuration as :class:`ClusterSimulation` but takes a
+    :class:`~repro.workload.compiled.CompiledTrace` instead of a request
+    iterable.  ``run()`` picks the vectorized path when the configuration is
+    inside the vectorizable envelope (see :meth:`vector_eligible`) and
+    otherwise replays the decompiled stream through the inherited scalar
+    loop — either way the results are byte-identical to the scalar engine.
+    """
+
+    def __init__(self, trace: CompiledTrace, *args, **kwargs) -> None:
+        if not isinstance(trace, CompiledTrace):
+            raise ConfigurationError(
+                "VectorClusterSimulation requires a CompiledTrace; use "
+                "compile_workload(workload, duration) first"
+            )
+        self.trace = trace
+        super().__init__(trace.iter_requests(), *args, **kwargs)
+        self.used_vector_path = False
+
+    def vector_eligible(self) -> bool:
+        """Whether this configuration can take the vectorized path.
+
+        The fleet envelope is the single-cache one applied to every node —
+        one of the six kernel policies (adaptive on the exact tracker, TTLs
+        within the bound), unbounded caches and trackers, fixed cost preset,
+        ideal channels — plus the cluster-only constraints: steady state
+        (no scenario), no persistence, no tier, and no hot-key detection.
+        Everything else falls back to the scalar fleet loop.
+        """
+        if type(self.scenario) is not Scenario:
+            return False
+        if self._store is not None:
+            return False
+        if self.tier is not None:
+            return False
+        if self.costs.breakdown is not None:
+            return False
+        if self.datastore.retention is not None:
+            return False
+        policy = self._node_list[0].policy
+        policy_type = type(policy)
+        if policy_type not in _VECTOR_POLICIES:
+            return False
+        if policy_type in (AdaptivePolicy, CacheStateAdaptivePolicy):
+            if type(policy.estimator) is not ExactEWTracker:
+                return False
+        if policy.ttl_mode is not None:
+            ttl = policy._ttl_override
+            if ttl is not None and ttl > self.staleness_bound:
+                return False
+        for node in self._node_list:
+            if node.detector is not None or node.hot_policy is not None:
+                return False
+            if node.l1 is not None:
+                return False
+            if not node.channel.is_ideal:
+                return False
+            if node.cache.capacity is not None:
+                return False
+            if node.tracker.capacity is not None:
+                return False
+        return True
+
+    def run(self, stop_at: Optional[float] = None) -> ClusterResult:
+        """Replay the trace; vectorized when eligible, scalar otherwise."""
+        if stop_at is not None or not self.vector_eligible():
+            return super().run(stop_at)
+        if self._has_run:
+            raise ClusterError("a ClusterSimulation instance can only be run once")
+        self._has_run = True
+        self.used_vector_path = True
+        self.scenario.bind(
+            duration=self.duration,
+            staleness_bound=self.staleness_bound,
+            num_nodes=len(self._node_list),
+        )
+        self._refresh_next_due()
+        self._run_spans()
+        # The scalar finaliser runs the trailing flush boundaries, node
+        # finalisation, and result aggregation (there are no scenario events
+        # on the vector path).
+        return self._finalize([], 0)
+
+    # ------------------------------------------------------------------ #
+    # Trace-wide routing plan
+    # ------------------------------------------------------------------ #
+    def build_plan(self) -> _ClusterPlan:
+        """Precompute the write columns and the per-read serving node.
+
+        Routing is a pure function of the static ring, the replication
+        config, and the read stream — independent of any node's cache state —
+        so the whole trace routes in a few array operations instead of a
+        Python call per request.  Round-robin advances the read router's
+        per-key counters to their end-of-run values here (the vector path
+        never consults them mid-run; there are no checkpoints without a
+        store).  A parallel replay builds the plan once in the parent and
+        shares it with every forked shard.
+        """
+        trace = self.trace
+        columns = _TraceColumns(trace)
+        node_index = {
+            node.node_id: index for index, node in enumerate(self._node_list)
+        }
+        replicas: Dict[int, Tuple[int, ...]] = {}
+        factor = self._factor
+        names = trace.key_names
+        read_policy = self.replication.read_policy
+        hash_reads = not self._read_primary and factor > 1 and read_policy == "hash"
+        hash_choice: Dict[int, int] = {}
+        for key_id in np.unique(trace.key_ids).tolist():
+            name = names[key_id]
+            route = self._route_map.get(name)
+            if route is None:
+                route = self._route(name, factor)
+            replicas[key_id] = tuple(node_index[node_id] for node_id in route)
+            if hash_reads:
+                hash_choice[key_id] = replicas[key_id][
+                    stable_fingerprint(name + "#read") % len(route)
+                ]
+        read_node = np.full(len(trace), -1, dtype=np.int64)
+        read_positions = np.flatnonzero(trace.is_read)
+        if read_positions.size:
+            key_ids = trace.key_ids[read_positions]
+            if self._read_primary or factor == 1:
+                primary_of = np.full(len(names), -1, dtype=np.int64)
+                for key_id, nodes in replicas.items():
+                    primary_of[key_id] = nodes[0]
+                read_node[read_positions] = primary_of[key_ids]
+            elif hash_reads:
+                choice_of = np.full(len(names), -1, dtype=np.int64)
+                for key_id, node_idx in hash_choice.items():
+                    choice_of[key_id] = node_idx
+                read_node[read_positions] = choice_of[key_ids]
+            else:
+                # Round-robin: a read's replica slot is its global per-key
+                # read rank mod the replica count (counters start at zero).
+                replica_table = np.full((len(names), factor), -1, dtype=np.int64)
+                for key_id, nodes in replicas.items():
+                    replica_table[key_id, : len(nodes)] = nodes
+                order = np.argsort(key_ids, kind="stable")
+                sorted_keys = key_ids[order]
+                boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+                starts = np.concatenate(([0], boundaries))
+                counts = np.diff(np.append(starts, sorted_keys.size))
+                ranks = np.arange(sorted_keys.size) - np.repeat(starts, counts)
+                read_node[read_positions[order]] = replica_table[
+                    sorted_keys, ranks % factor
+                ]
+                # The scalar router bumped the counter once per routed read.
+                counter = self.router._round_robin
+                for key_id, count in zip(
+                    sorted_keys[starts].tolist(), counts.tolist()
+                ):
+                    counter[names[key_id]] = int(count)
+        return _ClusterPlan(columns, read_node, replicas)
+
+    # ------------------------------------------------------------------ #
+    # Span replay
+    # ------------------------------------------------------------------ #
+    def _run_spans(self) -> None:
+        trace = self.trace
+        total = len(trace)
+        if total == 0:
+            return
+        times = trace.times
+        if times.size > 1 and bool(np.any(np.diff(times) < 0)):
+            # Same contract as the scalar loop's inlined ordering check.
+            raise WorkloadError("request stream is not sorted by time")
+        plan: Optional[_ClusterPlan] = getattr(self, "_shared_plan", None)
+        if plan is None:
+            plan = self.build_plan()
+        node0 = self._node_list[0]
+        self._ctx = _ReplayContext(
+            columns=plan.columns,
+            datastore=self.datastore,
+            bound=self.staleness_bound,
+            ttl=node0._ttl_value,
+            serve_const=node0._serve_cost_const,
+            miss_const=node0._miss_cost_const,
+        )
+        self._hosts = [
+            _HostState(
+                result=node.result,
+                cache=node.cache,
+                buffer=node.buffer,
+                tracker=node.tracker,
+                estimator=(
+                    node.policy.estimator
+                    if isinstance(node.policy, AdaptivePolicy)
+                    else None
+                ),
+                reacts=node._reacts,
+                discard_on_miss_fill=node.discard_buffer_on_miss_fill,
+            )
+            for node in self._node_list
+        ]
+        owned_ids = self._owned_ids
+        self._owned_flags = [
+            owned_ids is None or node.node_id in owned_ids
+            for node in self._node_list
+        ]
+        self._replicas = plan.replicas
+        self._read_node = plan.read_node
+        self._num_keys = len(trace.key_names)
+        # A shard only groups and kernels what it owns: reads routed to an
+        # owned node, and write streams of keys with an owned replica.  The
+        # shared state (datastore versions via _apply_span_writes, router
+        # counters via the plan, background flushes) still advances globally.
+        self._owned_read_mask: Optional[np.ndarray] = None
+        self._owned_key_mask: Optional[np.ndarray] = None
+        if owned_ids is not None:
+            owned_lookup = np.array(self._owned_flags, dtype=np.bool_)
+            mask = np.zeros(total, dtype=np.bool_)
+            routed = plan.read_node >= 0
+            mask[routed] = owned_lookup[plan.read_node[routed]]
+            self._owned_read_mask = mask
+            key_owned = np.zeros(self._num_keys, dtype=np.bool_)
+            for key_id, nodes in plan.replicas.items():
+                key_owned[key_id] = any(
+                    self._owned_flags[node_idx] for node_idx in nodes
+                )
+            self._owned_key_mask = key_owned
+        if node0._reacts:
+            start = 0
+            while start < total:
+                end = int(np.searchsorted(times, self._next_flush, side="left"))
+                if end > start:
+                    self._replay_reactive_span(start, end)
+                    start = end
+                    if start >= total:
+                        break
+                # The next request is at or past the flush boundary: run the
+                # due background work exactly where the scalar loop would.
+                self._advance_background(float(times[start]))
+        else:
+            self._replay_ttl_trace()
+        self.clock.advance_to(float(times[-1]))
+
+    def _group_reads_by_node_key(
+        self, read_positions: np.ndarray
+    ) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Group routed reads by ``(node, key)`` in one composite sort.
+
+        Yields ``(node_index, key_id, positions)`` with positions ascending
+        (the sort is stable over an ascending input).
+        """
+        if read_positions.size == 0:
+            return
+        num_keys = self._num_keys
+        composite = (
+            self._read_node[read_positions] * num_keys
+            + self.trace.key_ids[read_positions]
+        )
+        order = np.argsort(composite, kind="stable")
+        sorted_comp = composite[order]
+        boundaries = np.flatnonzero(sorted_comp[1:] != sorted_comp[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        bounds = np.append(boundaries, sorted_comp.size)
+        sorted_positions = read_positions[order]
+        for index in range(starts.size):
+            lo = int(starts[index])
+            comp = int(sorted_comp[lo])
+            yield comp // num_keys, comp % num_keys, sorted_positions[
+                lo : int(bounds[index])
+            ]
+
+    def _replay_reactive_span(self, start: int, end: int) -> None:
+        ctx = self._ctx
+        trace = ctx.trace
+        span_is_read = trace.is_read[start:end]
+        write_positions = np.flatnonzero(~span_is_read) + start
+        _apply_span_writes(ctx, write_positions)
+        if self._owned_read_mask is None:
+            read_positions = np.flatnonzero(span_is_read) + start
+        else:
+            read_positions = (
+                np.flatnonzero(span_is_read & self._owned_read_mask[start:end])
+                + start
+            )
+        kernel_writes = write_positions
+        if self._owned_key_mask is not None:
+            kernel_writes = write_positions[
+                self._owned_key_mask[trace.key_ids[write_positions]]
+            ]
+        hosts, owned = self._hosts, self._owned_flags
+        tallies = [_SpanTally() for _ in hosts]
+        # Route first: a (node, key) with both routed reads and replicated
+        # writes must reach its kernel in ONE call (the miss/buffer/estimator
+        # interleaving is per (node, key) group).
+        pending: List[Dict[int, np.ndarray]] = [{} for _ in hosts]
+        for node_idx, key_id, sub in self._group_reads_by_node_key(read_positions):
+            pending[node_idx][key_id] = sub
+        names = trace.key_names
+        for key_id, writes in _group_by_key(trace, kernel_writes):
+            replicas = self._replicas[key_id]
+            if owned[replicas[0]]:
+                # Only the primary counts the write in its result, like
+                # ``observe_write(owner=True)``.
+                tallies[replicas[0]].writes += int(writes.size)
+            name = names[key_id]
+            for node_idx in replicas:
+                if owned[node_idx]:
+                    _kernel_reactive(
+                        ctx,
+                        hosts[node_idx],
+                        tallies[node_idx],
+                        key_id,
+                        name,
+                        pending[node_idx].pop(key_id, _EMPTY_INDEX),
+                        writes,
+                    )
+        for node_idx, leftovers in enumerate(pending):
+            if not owned[node_idx]:
+                continue
+            for key_id, reads in leftovers.items():
+                _kernel_reactive(
+                    ctx,
+                    hosts[node_idx],
+                    tallies[node_idx],
+                    key_id,
+                    names[key_id],
+                    reads,
+                    _EMPTY_INDEX,
+                )
+            _flush_tally(ctx, hosts[node_idx], tallies[node_idx])
+
+    def _replay_ttl_trace(self) -> None:
+        # A non-reacting fleet's interval flushes are no-ops (nothing is ever
+        # buffered, there is no detector and no tier on this path), so the
+        # whole trace is a single span per (node, key).
+        ctx = self._ctx
+        trace = ctx.trace
+        write_positions = np.flatnonzero(~trace.is_read)
+        _apply_span_writes(ctx, write_positions)
+        if self._owned_read_mask is None:
+            read_positions = np.flatnonzero(trace.is_read)
+        else:
+            read_positions = np.flatnonzero(trace.is_read & self._owned_read_mask)
+        if self._owned_key_mask is not None:
+            write_positions = write_positions[
+                self._owned_key_mask[trace.key_ids[write_positions]]
+            ]
+        hosts, owned = self._hosts, self._owned_flags
+        tallies = [_SpanTally() for _ in hosts]
+        names = trace.key_names
+        for key_id, writes in _group_by_key(trace, write_positions):
+            primary = self._replicas[key_id][0]
+            if owned[primary]:
+                tallies[primary].writes += int(writes.size)
+        expiry = self._node_list[0]._ttl_expiry
+        for node_idx, key_id, sub in self._group_reads_by_node_key(read_positions):
+            if expiry:
+                _kernel_ttl_expiry(
+                    ctx, hosts[node_idx], tallies[node_idx], key_id, names[key_id], sub
+                )
+            else:
+                _kernel_ttl_polling(
+                    ctx, hosts[node_idx], tallies[node_idx], key_id, names[key_id], sub
+                )
+        for node_idx, tally in enumerate(tallies):
+            if owned[node_idx]:
+                _flush_tally(ctx, hosts[node_idx], tally)

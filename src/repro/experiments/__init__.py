@@ -23,7 +23,12 @@ Typical usage::
     write_results_csv(rows, "figure5.csv")
 """
 
-from repro.experiments.bench import DEFAULT_BENCH_POLICIES, bench_policy, run_bench
+from repro.experiments.bench import (
+    BENCH_ENGINES,
+    DEFAULT_BENCH_POLICIES,
+    bench_policy,
+    run_bench,
+)
 from repro.experiments.export import write_results_csv, write_results_json
 from repro.experiments.registry import (
     COST_PRESETS,
@@ -46,6 +51,7 @@ from repro.experiments.spec import (
 __all__ = [
     "COST_PRESETS",
     "ChannelSpec",
+    "BENCH_ENGINES",
     "DEFAULT_BENCH_POLICIES",
     "ExperimentSpec",
     "POLICY_FACTORIES",

@@ -20,15 +20,20 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
-from repro.cluster import ClusterSimulation, ReplicationConfig
+from repro.cluster import ClusterSimulation, ReplicationConfig, replay_cluster_parallel
+from repro.errors import ConfigurationError
 from repro.experiments.registry import make_policy
 from repro.sim.simulation import Simulation
+from repro.sim.vector import VectorSimulation
 from repro.store.format import KIND_WRITE, WalScan
 from repro.store.wal import WriteAheadLog
 from repro.tier.config import TierConfig
+from repro.workload.compiled import compile_workload
 from repro.workload.poisson import PoissonZipfWorkload
 
 DEFAULT_BENCH_POLICIES = ("ttl-expiry", "ttl-polling", "invalidate", "update", "adaptive")
+
+BENCH_ENGINES = ("scalar", "vector")
 
 
 def peak_rss_kib() -> int:
@@ -52,6 +57,8 @@ def bench_policy(
     num_nodes: Optional[int] = None,
     replication: int = 1,
     tier: Optional[TierConfig] = None,
+    engine: str = "scalar",
+    workers: int = 1,
 ) -> Dict[str, Any]:
     """Replay a streamed trace of roughly ``num_requests`` under one policy.
 
@@ -61,48 +68,106 @@ def bench_policy(
     fleet path (cluster replay throughput).  ``tier`` additionally fronts
     every node with an L1, measuring the tiered read path.
 
+    ``engine="vector"`` swaps the streamed pipeline for the columnar one:
+    the trace is compiled to arrays (:func:`compile_workload`) and replayed
+    through :class:`~repro.sim.vector.VectorSimulation` (single cache) or
+    :func:`~repro.cluster.parallel.replay_cluster_parallel` (fleet, on
+    ``workers`` processes).  Results are byte-identical to the scalar
+    engine; only the wall clock changes.
+
     Timing is reported per phase so regressions are attributable:
-    ``wall_seconds`` times the full streamed pipeline first (generation
-    interleaved with replay, exactly like production), then
-    ``generation_seconds`` times a generation-only drain of the identical
-    stream, and ``replay_seconds`` is their difference — the cost the
-    simulator itself adds on top of generation.  The generation pass runs
-    *after* the replay so both measure the same warm per-workload caches
-    (key-name tables): running it first would attribute the one-time warm-up
-    to the replay phase and could mask a real replay-layer regression of the
-    same size.
+    ``wall_seconds`` times the full pipeline first (generation interleaved
+    with replay for the scalar engine, trace compilation + columnar replay
+    for the vector one), then ``generation_seconds`` times a
+    generation-only pass of the identical stream (a drain, or a
+    re-compilation), ``merge_seconds`` is the shard-merge cost of parallel
+    cluster replay (``0.0`` elsewhere), and ``replay_seconds`` is the
+    remainder — the cost the simulator itself adds on top of generation.
+    The generation pass runs *after* the replay so both measure the same
+    warm per-workload caches (key-name tables): running it first would
+    attribute the one-time warm-up to the replay phase and could mask a
+    real replay-layer regression of the same size.
     """
+    if engine not in BENCH_ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {BENCH_ENGINES}, got {engine!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and num_nodes is None:
+        raise ConfigurationError(
+            "workers > 1 needs a cluster bench: pass num_nodes"
+        )
+    if workers > 1 and engine != "vector":
+        raise ConfigurationError(
+            "shard-parallel replay is a vector-engine feature: "
+            "pass engine='vector' with workers > 1"
+        )
     rate_per_key = 100.0
     duration = num_requests / (rate_per_key * num_keys)
     workload = PoissonZipfWorkload(
         num_keys=num_keys, rate_per_key=rate_per_key, read_ratio=read_ratio, seed=seed
     )
-    if num_nodes is None:
-        simulation = Simulation(
-            workload=workload.iter_requests(duration),
-            policy=make_policy(policy_name),
-            staleness_bound=staleness_bound,
-            duration=duration,
-            workload_name=workload.name,
-        )
+    merge_seconds = 0.0
+    if engine == "vector":
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+        trace = compile_workload(workload, duration)
+        if num_nodes is None:
+            simulation = VectorSimulation(
+                trace,
+                policy=make_policy(policy_name),
+                staleness_bound=staleness_bound,
+                duration=duration,
+                workload_name=workload.name,
+            )
+            raw = simulation.run()
+        else:
+            raw = replay_cluster_parallel(
+                trace,
+                workers=workers,
+                timings=timings,
+                policy=policy_name,
+                num_nodes=num_nodes,
+                staleness_bound=staleness_bound,
+                replication=ReplicationConfig(factor=replication),
+                duration=duration,
+                workload_name=workload.name,
+                seed=seed,
+                tier=tier,
+            )
+        elapsed = time.perf_counter() - started
+        merge_seconds = timings.get("merge_seconds", 0.0)
+        started = time.perf_counter()
+        compile_workload(workload, duration)
+        generation_seconds = time.perf_counter() - started
     else:
-        simulation = ClusterSimulation(
-            workload=workload.iter_requests(duration),
-            policy=policy_name,
-            num_nodes=num_nodes,
-            staleness_bound=staleness_bound,
-            replication=ReplicationConfig(factor=replication),
-            duration=duration,
-            workload_name=workload.name,
-            seed=seed,
-            tier=tier,
-        )
-    started = time.perf_counter()
-    raw = simulation.run()
-    elapsed = time.perf_counter() - started
-    started = time.perf_counter()
-    deque(workload.iter_requests(duration), maxlen=0)
-    generation_seconds = time.perf_counter() - started
+        if num_nodes is None:
+            simulation = Simulation(
+                workload=workload.iter_requests(duration),
+                policy=make_policy(policy_name),
+                staleness_bound=staleness_bound,
+                duration=duration,
+                workload_name=workload.name,
+            )
+        else:
+            simulation = ClusterSimulation(
+                workload=workload.iter_requests(duration),
+                policy=policy_name,
+                num_nodes=num_nodes,
+                staleness_bound=staleness_bound,
+                replication=ReplicationConfig(factor=replication),
+                duration=duration,
+                workload_name=workload.name,
+                seed=seed,
+                tier=tier,
+            )
+        started = time.perf_counter()
+        raw = simulation.run()
+        elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        deque(workload.iter_requests(duration), maxlen=0)
+        generation_seconds = time.perf_counter() - started
     result = raw.totals if num_nodes is not None else raw
     replayed = result.total_requests
     # Peak RSS is reported once per bench run, not per policy: ru_maxrss is a
@@ -110,10 +175,13 @@ def bench_policy(
     # include every earlier policy's footprint.
     row = {
         "policy": policy_name,
+        "engine": engine,
+        "workers": workers if num_nodes is not None else 1,
         "requests": replayed,
         "wall_seconds": elapsed,
         "generation_seconds": generation_seconds,
-        "replay_seconds": max(elapsed - generation_seconds, 0.0),
+        "merge_seconds": merge_seconds,
+        "replay_seconds": max(elapsed - generation_seconds - merge_seconds, 0.0),
         "requests_per_sec": replayed / elapsed if elapsed > 0 else 0.0,
         "normalized_freshness_cost": result.normalized_freshness_cost,
         "normalized_staleness_cost": result.normalized_staleness_cost,
@@ -183,12 +251,16 @@ def run_bench(
     replication: int = 1,
     store: bool = False,
     tier: Optional[TierConfig] = None,
+    engine: str = "scalar",
+    workers: int = 1,
 ) -> Dict[str, Any]:
     """Benchmark the streaming pipeline under several policies.
 
     With ``num_nodes`` set, benchmarks the cluster replay path instead of the
     single-cache path; ``tier`` additionally benchmarks the tiered (L1/L2)
-    read path.  With ``store`` set, a :func:`bench_wal` pass is added and
+    read path.  ``engine="vector"`` benchmarks the columnar replay engine,
+    optionally shard-parallel across ``workers`` processes for cluster
+    benches.  With ``store`` set, a :func:`bench_wal` pass is added and
     recorded under the ``"store"`` key (WAL append + replay throughput).
     Writes a ``BENCH_<label>.json`` record into ``output_dir`` and returns
     its contents (including the output path under ``"path"``).
@@ -203,6 +275,8 @@ def run_bench(
             num_nodes=num_nodes,
             replication=replication,
             tier=tier,
+            engine=engine,
+            workers=workers,
         )
         for policy in policies
     ]
@@ -221,6 +295,8 @@ def run_bench(
             "replication": replication,
             "store": store,
             "tier": tier.as_dict() if tier is not None else None,
+            "engine": engine,
+            "workers": workers,
         },
         "peak_rss_kib": peak_rss_kib(),
         "results": results,

@@ -20,12 +20,20 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.backend.channel import Channel
-from repro.cluster import ClusterSimulation, HotKeyConfig, ReplicationConfig, make_scenario
+from repro.cluster import (
+    ClusterSimulation,
+    HotKeyConfig,
+    ReplicationConfig,
+    VectorClusterSimulation,
+    make_scenario,
+)
 from repro.experiments.registry import make_cost_model, make_policy, make_workload
 from repro.experiments.spec import ExperimentSpec, RunCell
 from repro.sim.simulation import Simulation
+from repro.sim.vector import VectorSimulation
 from repro.store.snapshot import StoreConfig
 from repro.tier.config import TierConfig
+from repro.workload.compiled import compile_workload
 
 
 @contextmanager
@@ -65,8 +73,7 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             seed=cell.seed,
         )
     with _cell_store(cell) as store:
-        simulation = Simulation(
-            workload=workload.iter_requests(cell.duration),
+        shared = dict(
             policy=policy,
             staleness_bound=cell.staleness_bound,
             costs=costs,
@@ -76,6 +83,18 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             workload_name=workload.name,
             store=store,
         )
+        if cell.engine == "vector":
+            # The vector simulation replays ineligible configurations (e.g.
+            # capacity-bounded or persistent cells) through the inherited
+            # scalar loop, so every cell stays byte-identical to a scalar
+            # sweep of the same grid.
+            simulation = VectorSimulation(
+                compile_workload(workload, cell.duration), **shared
+            )
+        else:
+            simulation = Simulation(
+                workload=workload.iter_requests(cell.duration), **shared
+            )
         row = dict(cell.describe())
         row.update(simulation.run().as_dict())
         if store is not None:
@@ -105,8 +124,7 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
         admission=cell.tier_admission,
     )
     with _cell_store(cell) as store:
-        cluster = ClusterSimulation(
-            workload=workload.iter_requests(cell.duration),
+        shared = dict(
             policy=cell.policy,
             num_nodes=cell.num_nodes,
             staleness_bound=cell.staleness_bound,
@@ -123,6 +141,17 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             store=store,
             tier=tier,
         )
+        if cell.engine == "vector":
+            # Falls back to the scalar routing loop for configurations the
+            # columnar fleet engine cannot replay (scenarios, lossy
+            # channels, tiers, persistence) — rows stay byte-identical.
+            cluster = VectorClusterSimulation(
+                compile_workload(workload, cell.duration), **shared
+            )
+        else:
+            cluster = ClusterSimulation(
+                workload=workload.iter_requests(cell.duration), **shared
+            )
         row = dict(cell.describe())
         row.update(cluster.run().as_dict())
     return row

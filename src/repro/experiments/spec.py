@@ -130,6 +130,12 @@ class RunCell:
     l1_capacity: int = 0
     tier_mode: str = "write-through"
     tier_admission: str = "second-hit"
+    # Replay engine.  ``"scalar"`` streams the workload through the classic
+    # loop; ``"vector"`` compiles it to columnar arrays first and replays
+    # through the vector engine (byte-identical results, different wall
+    # clock) — cells outside the vectorizable envelope fall back to the
+    # scalar loop automatically.
+    engine: str = "scalar"
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -156,6 +162,7 @@ class RunCell:
             "l1_capacity": self.l1_capacity,
             "tier_mode": self.tier_mode,
             "tier_admission": self.tier_admission,
+            "engine": self.engine,
         }
 
 
@@ -220,6 +227,9 @@ class ExperimentSpec:
             ``"write-back"``); non-default entries require a positive
             ``l1_capacities`` axis.
         tier_admission: L1 admission policy for tiered cells (not an axis).
+        engine: Replay engine for every cell (not an axis): ``"scalar"``
+            streams, ``"vector"`` compiles the trace and replays columnar
+            (byte-identical rows; ineligible cells fall back to scalar).
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -244,6 +254,7 @@ class ExperimentSpec:
     l1_capacities: Sequence[int] = (0,)
     tier_modes: Sequence[str] = ("write-through",)
     tier_admission: str = "second-hit"
+    engine: str = "scalar"
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -258,6 +269,10 @@ class ExperimentSpec:
             raise ConfigurationError("an experiment needs at least one staleness bound")
         if self.duration <= 0:
             raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.engine not in ("scalar", "vector"):
+            raise ConfigurationError(
+                f"engine must be 'scalar' or 'vector', got {self.engine!r}"
+            )
         for nodes in self.num_nodes:
             if nodes is not None and nodes < 1:
                 raise ConfigurationError(f"num_nodes entries must be >= 1, got {nodes}")
@@ -501,6 +516,7 @@ class ExperimentSpec:
                     l1_capacity=int(l1_capacity),
                     tier_mode=tier_mode,
                     tier_admission=self.tier_admission,
+                    engine=self.engine,
                 )
             )
         return cells

@@ -287,6 +287,88 @@ def bench_replay_cluster(scale: float = 1.0) -> Dict[str, Any]:
     }
 
 
+def bench_vector_kernels(scale: float = 1.0) -> Dict[str, Any]:
+    """Columnar replay of a precompiled trace (kernels only, no compile).
+
+    Compiles the trace once outside the timed region, then replays it
+    through :class:`~repro.sim.vector.VectorSimulation` — the isolated cost
+    of the span/kernel machinery that ``bench`` folds into ``wall_seconds``.
+    """
+    from repro.experiments.registry import make_policy
+    from repro.sim.vector import VectorSimulation
+    from repro.workload.compiled import compile_workload
+    from repro.workload.poisson import PoissonZipfWorkload
+
+    requests = _scaled(100_000, scale)
+    workload = PoissonZipfWorkload(num_keys=500, rate_per_key=100.0, seed=0)
+    duration = requests / (100.0 * 500)
+    trace = compile_workload(workload, duration)
+
+    def replay() -> None:
+        # A simulation instance is single-shot; construction is cheap next
+        # to the replay itself.
+        VectorSimulation(
+            trace,
+            policy=make_policy("invalidate"),
+            staleness_bound=1.0,
+            duration=duration,
+            workload_name=workload.name,
+        ).run()
+
+    timing = time_callable(replay)
+    return {
+        "ops": len(trace),
+        "ops_per_sec": len(trace) / timing["best_seconds"],
+        **timing,
+    }
+
+
+def bench_shard_merge(scale: float = 1.0) -> Dict[str, Any]:
+    """Deterministic merge of per-shard cluster results.
+
+    Replays two node partitions of a 4-node fleet once (untimed), then
+    times :func:`~repro.cluster.parallel._merge_shard_results` — the serial
+    tail every parallel replay pays after its workers finish.  The merge is
+    idempotent (row reassignment plus a totals re-finalise), so re-merging
+    the same shard results is sound.
+    """
+    from repro.cluster.parallel import _merge_shard_results, partition_nodes
+    from repro.cluster.vector import VectorClusterSimulation
+    from repro.workload.compiled import compile_workload
+    from repro.workload.poisson import PoissonZipfWorkload
+
+    requests = _scaled(20_000, scale)
+    workload = PoissonZipfWorkload(num_keys=500, rate_per_key=100.0, seed=0)
+    duration = requests / (100.0 * 500)
+    trace = compile_workload(workload, duration)
+    partitions = partition_nodes(4, 2)
+    shard_results = [
+        VectorClusterSimulation(
+            trace,
+            owned_nodes=owned,
+            policy="invalidate",
+            num_nodes=4,
+            staleness_bound=1.0,
+            duration=duration,
+            workload_name=workload.name,
+            seed=0,
+        ).run()
+        for owned in partitions
+    ]
+    merges = _scaled(200, scale)
+
+    def merge() -> None:
+        for _ in range(merges):
+            _merge_shard_results(partitions, shard_results)
+
+    timing = time_callable(merge)
+    return {
+        "ops": merges,
+        "ops_per_sec": merges / timing["best_seconds"],
+        **timing,
+    }
+
+
 #: Registry of component benchmarks, in report order.
 MICROBENCHES: Dict[str, Callable[[float], Dict[str, Any]]] = {
     "fingerprint": bench_fingerprint,
@@ -297,6 +379,8 @@ MICROBENCHES: Dict[str, Callable[[float], Dict[str, Any]]] = {
     "cache-ops": bench_cache_ops,
     "replay-single": bench_replay_single,
     "replay-cluster": bench_replay_cluster,
+    "vector-kernels": bench_vector_kernels,
+    "shard-merge": bench_shard_merge,
 }
 
 

@@ -11,6 +11,7 @@ from repro.sim.clock import SimulationClock
 from repro.sim.events import FlushEvent, PendingDelivery
 from repro.sim.results import SimulationResult
 from repro.sim.simulation import Simulation
+from repro.sim.vector import VectorSimulation
 from repro.sim.runner import PolicyRun, compare_policies, sweep_staleness_bounds
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "Simulation",
     "SimulationClock",
     "SimulationResult",
+    "VectorSimulation",
     "compare_policies",
     "sweep_staleness_bounds",
 ]

@@ -1,0 +1,775 @@
+"""Vectorized (columnar) replay of a compiled trace.
+
+The scalar :class:`~repro.sim.simulation.Simulation` pays Python-interpreter
+overhead per request.  For the policies the paper sweeps most, almost nothing
+*happens* per request: between two simulation events (interval flushes,
+message deliveries) a key's entry changes state at most once, so the hit/miss
+classification, the staleness check, and the cost accumulation over a whole
+span of requests collapse into a handful of numpy operations per (key, span).
+
+:class:`VectorSimulation` exploits exactly that.  It consumes a
+:class:`~repro.workload.compiled.CompiledTrace` and replays the spans between
+flush boundaries with per-key kernels, while every simulation *event* — the
+interval flush, policy decisions, message sends and deliveries, finalisation —
+runs through the unmodified scalar machinery inherited from
+:class:`Simulation`, against real :class:`Cache` / :class:`DataStore` /
+:class:`WriteBuffer` objects that the kernels keep in sync at span ends.  The
+result is byte-for-byte identical to the scalar engine: same counters, same
+float accumulation order, same dict insertion orders, same
+:class:`DataStore` history (the equivalence suite pins this for every
+policy/workload combination).
+
+Why byte-identity is achievable at all:
+
+* **Span writes are safe to pre-apply.**  A span never outlives one staleness
+  interval ``T``, so any in-span hit's staleness horizon ``t - T`` lies before
+  the span start — freshness checks only ever consult writes from *earlier*
+  spans, which are all applied in both engines.
+* **Miss versions are positional.**  ``DataStore.read`` at a scalar read sees
+  exactly the writes that precede the read in stream order, so the version a
+  miss fetches equals the count of that key's writes with smaller stream
+  position — computable from the compiled columns regardless of pre-applied
+  writes (and robust to timestamp ties).
+* **Uniform-cost folds are order-free.**  With a fixed cost preset the per-read
+  serve cost and the per-miss cost are constants; accumulating ``n`` of them
+  left-to-right gives the same float regardless of which keys they came from.
+  Varying-order sums (TTL poll charges) are replayed in global stream order.
+
+When a configuration falls outside the vectorizable envelope (capacity-bounded
+caches, per-size cost breakdowns, lossy or delayed channels, persistence,
+clairvoyant policies, TTLs above the bound, ...) ``run()`` transparently falls
+back to the scalar engine over the decompiled stream — identical by
+construction, just slower.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import repeat
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.buffer import BufferedWrite
+from repro.backend.datastore import DataStore, KeyHistory
+from repro.cache.entry import CacheEntry, EntryState
+from repro.core.adaptive import AdaptivePolicy, CacheStateAdaptivePolicy
+from repro.core.ttl import TTLExpiryPolicy, TTLPollingPolicy
+from repro.core.write_reactive import AlwaysInvalidatePolicy, AlwaysUpdatePolicy
+from repro.errors import ConfigurationError, WorkloadError
+from repro.sim.simulation import Simulation
+from repro.sketch.exact import ExactEWTracker
+from repro.workload.compiled import CompiledTrace
+
+#: Policy classes with a vectorized kernel.  Exact types only: a subclass may
+#: override hooks in ways the kernels would not reproduce.
+_VECTOR_POLICIES = (
+    AlwaysInvalidatePolicy,
+    AlwaysUpdatePolicy,
+    AdaptivePolicy,
+    CacheStateAdaptivePolicy,
+    TTLExpiryPolicy,
+    TTLPollingPolicy,
+)
+
+_EMPTY_INDEX = np.empty(0, dtype=np.int64)
+
+
+class _TraceColumns:
+    """Per-key write columns precomputed once from a compiled trace.
+
+    For each key: the stream positions, commit times, and value sizes of its
+    writes, in stream order.  Every positional/temporal version query the
+    kernels make (miss versions, staleness windows, poll refreshes) is a
+    ``searchsorted`` against these arrays.
+    """
+
+    __slots__ = ("trace", "_pos", "_times", "_vsz", "_bounds")
+
+    def __init__(self, trace: CompiledTrace) -> None:
+        self.trace = trace
+        write_idx = np.flatnonzero(~trace.is_read)
+        write_keys = trace.key_ids[write_idx]
+        order = np.argsort(write_keys, kind="stable")
+        self._pos = write_idx[order]
+        self._times = trace.times[self._pos]
+        self._vsz = trace.value_sizes[self._pos]
+        unique, starts = np.unique(write_keys[order], return_index=True)
+        ends = np.append(starts[1:], write_keys.size)
+        self._bounds: Dict[int, Tuple[int, int]] = {
+            int(key): (int(start), int(end))
+            for key, start, end in zip(unique.tolist(), starts.tolist(), ends.tolist())
+        }
+
+    def writes_of(self, key_id: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(times, positions, value_sizes)`` of the key's writes."""
+        bounds = self._bounds.get(key_id)
+        if bounds is None:
+            return _EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_INDEX
+        start, end = bounds
+        return self._times[start:end], self._pos[start:end], self._vsz[start:end]
+
+
+class _ReplayContext:
+    """Everything the per-key kernels need, resolved once per run."""
+
+    __slots__ = (
+        "trace",
+        "columns",
+        "datastore",
+        "bound",
+        "ttl",
+        "serve_const",
+        "miss_const",
+        "default_value_size",
+    )
+
+    def __init__(
+        self,
+        columns: _TraceColumns,
+        datastore: DataStore,
+        bound: float,
+        ttl: float,
+        serve_const: float,
+        miss_const: float,
+    ) -> None:
+        self.trace = columns.trace
+        self.columns = columns
+        self.datastore = datastore
+        self.bound = bound
+        self.ttl = ttl
+        self.serve_const = serve_const
+        self.miss_const = miss_const
+        self.default_value_size = datastore.default_value_size
+
+
+class _HostState:
+    """One cache's mutable replay state (the single cache, or one cluster node).
+
+    The kernels are written against this narrow view so the cluster engine can
+    reuse them per node; for :class:`VectorSimulation` there is exactly one.
+    """
+
+    __slots__ = (
+        "result",
+        "cache",
+        "entries",
+        "buffer",
+        "tracker",
+        "estimator",
+        "reacts",
+        "discard_on_miss_fill",
+    )
+
+    def __init__(
+        self,
+        result,
+        cache,
+        buffer,
+        tracker,
+        estimator: Optional[ExactEWTracker],
+        reacts: bool,
+        discard_on_miss_fill: bool,
+    ) -> None:
+        self.result = result
+        self.cache = cache
+        self.entries = cache._entries
+        self.buffer = buffer
+        self.tracker = tracker
+        self.estimator = estimator
+        self.reacts = reacts
+        self.discard_on_miss_fill = discard_on_miss_fill
+
+
+class _SpanTally:
+    """Deferred per-span effects for one host.
+
+    Counter deltas are applied in bulk; order-sensitive effects (new cache
+    entries, buffer entries, estimator folds, poll charges) are collected with
+    their stream positions and replayed position-sorted, which reproduces the
+    scalar engine's dict insertion orders and float accumulation order.
+    """
+
+    __slots__ = (
+        "reads",
+        "hits",
+        "stale_misses",
+        "cold_misses",
+        "violations",
+        "expirations",
+        "writes",
+        "buffered_writes",
+        "new_fills",
+        "buffer_entries",
+        "estimator_ops",
+        "poll_events",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.hits = 0
+        self.stale_misses = 0
+        self.cold_misses = 0
+        self.violations = 0
+        self.expirations = 0
+        self.writes = 0
+        self.buffered_writes = 0
+        self.new_fills: List[Tuple[int, CacheEntry]] = []
+        self.buffer_entries: List[Tuple[int, BufferedWrite]] = []
+        self.estimator_ops: List[Tuple[int, str, np.ndarray, np.ndarray]] = []
+        self.poll_events: List[Tuple[int, int]] = []
+
+
+def _group_by_key(
+    trace: CompiledTrace, positions: np.ndarray
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Group stream ``positions`` by key, yielding ascending position arrays.
+
+    Positions within each group stay ascending (the key sort is stable).
+    """
+    if positions.size == 0:
+        return
+    keys = trace.key_ids[positions]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    bounds = np.append(boundaries, sorted_keys.size)
+    sorted_positions = positions[order]
+    for index in range(starts.size):
+        lo = int(starts[index])
+        yield int(sorted_keys[lo]), sorted_positions[lo : int(bounds[index])]
+
+
+def _apply_span_writes(ctx: _ReplayContext, write_positions: np.ndarray) -> None:
+    """Commit a span's writes to the datastore, byte-identical to the scalar loop.
+
+    Histories are created in first-write order (the scalar engine's dict
+    insertion order); per-key write times extend in stream order and the
+    history's value size ends at the key's last span write.
+    """
+    if write_positions.size == 0:
+        return
+    trace = ctx.trace
+    keys = trace.key_ids[write_positions]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    bounds = np.append(boundaries, sorted_keys.size)
+    sorted_positions = write_positions[order]
+    times = trace.times[sorted_positions]
+    value_sizes = trace.value_sizes[sorted_positions]
+    histories = ctx.datastore._histories
+    names = trace.key_names
+    # New histories must be created in first-write order, not key-id order.
+    creation_order = np.argsort(sorted_positions[starts], kind="stable")
+    for index in creation_order.tolist():
+        name = names[int(sorted_keys[int(starts[index])])]
+        if name not in histories:
+            histories[name] = KeyHistory(key=name, value_size=ctx.default_value_size)
+    for index in range(starts.size):
+        lo, hi = int(starts[index]), int(bounds[index])
+        history = histories[names[int(sorted_keys[lo])]]
+        history.write_times.extend(times[lo:hi].tolist())
+        history.value_size = int(value_sizes[hi - 1])
+    ctx.datastore.total_writes += int(write_positions.size)
+
+
+def _miss_version(
+    ctx: _ReplayContext, key_id: int, position: int
+) -> Tuple[int, int]:
+    """Version and value size a backend read at stream ``position`` returns.
+
+    Exactly the writes preceding the read in stream order are visible, so the
+    version is the count of the key's writes with smaller position and the
+    value size is the latest such write's (or the backend default).
+    """
+    _, write_pos, write_vsz = ctx.columns.writes_of(key_id)
+    version = int(write_pos.searchsorted(position, side="left"))
+    if version:
+        return version, int(write_vsz[version - 1])
+    return 0, ctx.default_value_size
+
+
+def _fold_estimator(
+    estimator: ExactEWTracker, name: str, reads: np.ndarray, writes: np.ndarray
+) -> None:
+    """Fold one key's span of interleaved observations into the E[W] counters.
+
+    Closed form of replaying ``observe_read`` / ``observe_write`` in stream
+    order: each read closes the run of writes since the previous read, the
+    first run absorbing the carried ``writes_since_read``.
+    """
+    counters = estimator._counters_for(name)
+    if reads.size == 0:
+        counters.writes_since_read += int(writes.size)
+        return
+    if writes.size:
+        before = np.searchsorted(writes, reads, side="left")
+        total_closed = int(before[-1])
+    else:
+        before = None
+        total_closed = 0
+    carry = counters.writes_since_read
+    if estimator.count_zero_runs:
+        counters.sample_sum += total_closed + carry
+        counters.sample_count += int(reads.size)
+    else:
+        if before is None:
+            runs_closed = 0
+            first_run = carry
+        else:
+            per_read = np.diff(before, prepend=0)
+            runs_closed = int(np.count_nonzero(per_read[1:]))
+            first_run = int(per_read[0]) + carry
+        counters.sample_sum += total_closed + carry
+        counters.sample_count += runs_closed + (1 if first_run > 0 else 0)
+    counters.writes_since_read = int(writes.size) - total_closed
+
+
+def _kernel_reactive(
+    ctx: _ReplayContext,
+    host: _HostState,
+    tally: _SpanTally,
+    key_id: int,
+    name: str,
+    reads: np.ndarray,
+    writes: np.ndarray,
+) -> None:
+    """One key's span under a write-reactive policy (invalidate/update/adaptive).
+
+    Within a span no messages arrive and nothing expires, so the key's entry
+    changes state at most once: the first read of an absent/invalid entry
+    misses and re-fetches, after which every read is a hit.  A key valid at
+    span start serves only hits, with the staleness-violation candidates
+    checked in bulk.
+    """
+    trace = ctx.trace
+    miss_position = -1
+    if reads.size:
+        tally.reads += int(reads.size)
+        entry = host.entries.get(name)
+        if entry is not None and entry.state is EntryState.VALID:
+            hits = int(reads.size)
+            tally.hits += hits
+            entry.hits += hits
+            as_of = entry.as_of
+            read_times = trace.times[reads]
+            horizons = read_times - ctx.bound
+            candidates = horizons > as_of
+            if candidates.any():
+                key_write_times, _, _ = ctx.columns.writes_of(key_id)
+                stale_writes = key_write_times.searchsorted(
+                    horizons[candidates], side="right"
+                ) - key_write_times.searchsorted(as_of, side="right")
+                tally.violations += int(np.count_nonzero(stale_writes))
+        else:
+            miss_position = int(reads[0])
+            miss_time = float(trace.times[miss_position])
+            version, value_size = _miss_version(ctx, key_id, miss_position)
+            if entry is None:
+                tally.cold_misses += 1
+                entry = CacheEntry(
+                    key=name,
+                    version=version,
+                    as_of=miss_time,
+                    fetched_at=miss_time,
+                    key_size=int(trace.key_sizes[miss_position]),
+                    value_size=value_size,
+                    last_poll_accounted=miss_time,
+                )
+                tally.new_fills.append((miss_position, entry))
+            else:
+                tally.stale_misses += 1
+                entry.refresh(version=version, time=miss_time, value_size=value_size)
+                entry.last_poll_accounted = miss_time
+            hits = int(reads.size) - 1
+            tally.hits += hits
+            entry.hits += hits
+            host.tracker.mark_refetched(name)
+    if writes.size and host.reacts:
+        tally.buffered_writes += int(writes.size)
+        if miss_position >= 0 and host.discard_on_miss_fill:
+            surviving = writes[writes > miss_position]
+        else:
+            surviving = writes
+        if surviving.size:
+            first = int(surviving[0])
+            last = int(surviving[-1])
+            tally.buffer_entries.append(
+                (
+                    first,
+                    BufferedWrite(
+                        key=name,
+                        first_write_time=float(trace.times[first]),
+                        last_write_time=float(trace.times[last]),
+                        write_count=int(surviving.size),
+                        key_size=int(trace.key_sizes[first]),
+                        value_size=int(trace.value_sizes[last]),
+                    ),
+                )
+            )
+    if host.estimator is not None and (reads.size or writes.size):
+        first_obs = int(reads[0]) if reads.size else int(writes[0])
+        if writes.size and (not reads.size or int(writes[0]) < first_obs):
+            first_obs = int(writes[0])
+        tally.estimator_ops.append((first_obs, name, reads, writes))
+
+
+def _kernel_ttl_expiry(
+    ctx: _ReplayContext,
+    host: _HostState,
+    tally: _SpanTally,
+    key_id: int,
+    name: str,
+    reads: np.ndarray,
+) -> None:
+    """One key's whole trace under TTL-expiry (the policy never reacts).
+
+    The entry's life is a sequence of epochs: a fill anchors a timer, the
+    first read at or past ``fetched_at + ttl`` expires and re-fetches.  With
+    ``ttl <= bound`` no hit can violate the staleness bound, so the walk only
+    needs the epoch boundaries — ``O(epochs)`` searchsorted jumps.
+    """
+    trace = ctx.trace
+    read_times = trace.times[reads]
+    first_position = int(reads[0])
+    fetch_time = float(read_times[0])
+    last_fill_position = first_position
+    ttl = ctx.ttl
+    refetches = 0
+    cursor = 0
+    total = int(reads.size)
+    while True:
+        cursor = int(read_times.searchsorted(fetch_time + ttl, side="left"))
+        if cursor >= total:
+            break
+        refetches += 1
+        fetch_time = float(read_times[cursor])
+        last_fill_position = int(reads[cursor])
+    version, value_size = _miss_version(ctx, key_id, last_fill_position)
+    entry = CacheEntry(
+        key=name,
+        version=version,
+        as_of=fetch_time,
+        fetched_at=fetch_time,
+        key_size=int(trace.key_sizes[first_position]),
+        value_size=value_size,
+        last_poll_accounted=fetch_time,
+    )
+    hits = total - 1 - refetches
+    entry.hits = hits
+    tally.new_fills.append((first_position, entry))
+    tally.reads += total
+    tally.cold_misses += 1
+    tally.stale_misses += refetches
+    tally.expirations += refetches
+    tally.hits += hits
+
+
+def _kernel_ttl_polling(
+    ctx: _ReplayContext,
+    host: _HostState,
+    tally: _SpanTally,
+    key_id: int,
+    name: str,
+    reads: np.ndarray,
+) -> None:
+    """One key's whole trace under TTL-polling (the policy never reacts).
+
+    The cold fill anchors the poll timer; every later read settles the polls
+    since the last accounting point with the scalar engine's exact integer
+    arithmetic.  The walk below jumps straight between reads that charge a
+    positive number of polls, recomputing the accounting baseline with the
+    same float expressions as :func:`repro.core.ttl.account_entry_polls` (the
+    baseline is *not* always the previous poll count — float rounding of
+    ``anchor + k * ttl`` can land it one lower, and the walk reproduces that).
+    """
+    trace = ctx.trace
+    first_position = int(reads[0])
+    anchor = float(trace.times[first_position])
+    version, value_size = _miss_version(ctx, key_id, first_position)
+    entry = CacheEntry(
+        key=name,
+        version=version,
+        as_of=anchor,
+        fetched_at=anchor,
+        key_size=int(trace.key_sizes[first_position]),
+        value_size=value_size,
+        last_poll_accounted=anchor,
+    )
+    hits = int(reads.size) - 1
+    entry.hits = hits
+    tally.new_fills.append((first_position, entry))
+    tally.reads += int(reads.size)
+    tally.cold_misses += 1
+    tally.hits += hits
+    if reads.size < 2:
+        return
+    ttl = ctx.ttl
+    read_times = trace.times[reads]
+    poll_counts = ((read_times - anchor) / ttl).astype(np.int64)
+    baseline = 0
+    cursor = 1  # the fill read itself never settles (no entry existed yet)
+    total = int(reads.size)
+    last_position = -1
+    last_poll = anchor
+    events = tally.poll_events
+    while True:
+        jump = int(poll_counts.searchsorted(baseline, side="right"))
+        cursor = jump if jump > cursor else cursor
+        if cursor >= total:
+            break
+        k_now = int(poll_counts[cursor])
+        polls = k_now - baseline
+        if polls > 0:
+            last_poll = anchor + k_now * ttl
+            last_position = int(reads[cursor])
+            events.append((last_position, polls))
+            baseline = int((last_poll - anchor) / ttl) if last_poll > anchor else 0
+        cursor += 1
+    if last_position >= 0:
+        # Only the key's *final* settled state is observable between spans —
+        # polls refresh the entry monotonically, so collapse the per-event
+        # entry updates of the scalar engine into the last one.
+        entry.last_poll_accounted = last_poll
+        if last_poll > entry.as_of:
+            entry.as_of = last_poll
+        key_write_times, key_write_pos, _ = ctx.columns.writes_of(key_id)
+        # version_at(last_poll) over the writes applied before the settling
+        # read: both constraints are prefixes of the same sorted column, so
+        # the visible version is the shorter prefix.
+        refreshed = min(
+            int(key_write_times.searchsorted(last_poll, side="right")),
+            int(key_write_pos.searchsorted(last_position, side="left")),
+        )
+        if refreshed > entry.version:
+            entry.version = refreshed
+
+
+def _flush_tally(ctx: _ReplayContext, host: _HostState, tally: _SpanTally) -> None:
+    """Apply a span's deferred effects to the host, in scalar-identical order."""
+    result = host.result
+    stats = host.cache.stats
+    result.reads += tally.reads
+    result.writes += tally.writes
+    result.hits += tally.hits
+    result.stale_misses += tally.stale_misses
+    result.stale_refetches += tally.stale_misses
+    result.cold_misses += tally.cold_misses
+    result.staleness_violations += tally.violations
+    stats.lookups += tally.reads
+    stats.hits += tally.hits
+    stats.stale_misses += tally.stale_misses
+    stats.cold_misses += tally.cold_misses
+    stats.expirations += tally.expirations
+    misses = tally.stale_misses + tally.cold_misses
+    ctx.datastore.total_reads += misses
+    # Constant-cost accumulations: a left fold of n equal addends is
+    # float-identical to the scalar engine's n in-order additions.
+    if tally.reads:
+        result.useful_work = sum(repeat(ctx.serve_const, tally.reads), result.useful_work)
+    if tally.stale_misses:
+        result.freshness_cost = sum(
+            repeat(ctx.miss_const, tally.stale_misses), result.freshness_cost
+        )
+    if tally.cold_misses:
+        result.cold_miss_cost = sum(
+            repeat(ctx.miss_const, tally.cold_misses), result.cold_miss_cost
+        )
+    if tally.new_fills:
+        # Insert new entries in stream order of their cold fill: the scalar
+        # engine's cache dict insertion order, which TTL-polling finalisation
+        # (and result serialisation) observe.
+        tally.new_fills.sort(key=lambda item: item[0])
+        entries = host.entries
+        for _, entry in tally.new_fills:
+            entries[entry.key] = entry
+        stats.insertions += len(tally.new_fills)
+    if tally.buffer_entries:
+        # Same story for the write buffer: drain order at the flush is the
+        # order keys (re-)established their buffered entry.
+        tally.buffer_entries.sort(key=lambda item: item[0])
+        pending = host.buffer._pending
+        for _, buffered in tally.buffer_entries:
+            pending[buffered.key] = buffered
+    if tally.buffered_writes:
+        host.buffer.total_buffered += tally.buffered_writes
+    if tally.estimator_ops:
+        # Fold in first-observation order so new counter rows are created in
+        # the scalar engine's dict order.
+        tally.estimator_ops.sort(key=lambda item: item[0])
+        estimator = host.estimator
+        for _, name, reads, writes in tally.estimator_ops:
+            _fold_estimator(estimator, name, reads, writes)
+    if tally.poll_events:
+        # Poll charges are the one varying-order float sum: replay them in
+        # global stream order against a running accumulator (the per-entry
+        # state those charges refresh was already settled by the kernel).
+        tally.poll_events.sort()
+        freshness = result.freshness_cost
+        miss_const = ctx.miss_const
+        polls_total = 0
+        for _, polls in tally.poll_events:
+            polls_total += polls
+            freshness += polls * miss_const
+        result.polls += polls_total
+        result.freshness_cost = freshness
+
+
+class VectorSimulation(Simulation):
+    """Drop-in :class:`Simulation` that replays a compiled trace in spans.
+
+    Accepts the same configuration as :class:`Simulation` but takes a
+    :class:`~repro.workload.compiled.CompiledTrace` instead of a request
+    iterable.  ``run()`` picks the vectorized path when the configuration is
+    inside the vectorizable envelope (see :meth:`vector_eligible`) and
+    otherwise replays the decompiled stream through the inherited scalar
+    loop — either way the results are byte-identical to the scalar engine.
+    """
+
+    def __init__(self, trace: CompiledTrace, *args, **kwargs) -> None:
+        if not isinstance(trace, CompiledTrace):
+            raise ConfigurationError(
+                "VectorSimulation requires a CompiledTrace; use "
+                "compile_workload(workload, duration) first"
+            )
+        self.trace = trace
+        super().__init__(trace.iter_requests(), *args, **kwargs)
+        self.used_vector_path = False
+
+    def vector_eligible(self) -> bool:
+        """Whether this configuration can take the vectorized path.
+
+        The envelope covers the paper's main sweeps: unbounded cache and
+        tracker, fixed cost preset, ideal (or no) channel, no persistence or
+        history retention, and one of the six kernel policies — with the
+        adaptive policies on the exact tracker and TTLs within the staleness
+        bound.  Everything else falls back to the scalar engine.
+        """
+        policy = self.policy
+        policy_type = type(policy)
+        if policy_type not in _VECTOR_POLICIES:
+            return False
+        if policy_type in (AdaptivePolicy, CacheStateAdaptivePolicy):
+            if type(policy.estimator) is not ExactEWTracker:
+                return False
+        if policy.needs_future:
+            return False
+        if policy.ttl_mode is not None:
+            ttl = policy._ttl_override
+            if ttl is not None and ttl > self.staleness_bound:
+                return False
+        if self.cache.capacity is not None:
+            return False
+        if self.costs.breakdown is not None:
+            return False
+        if self.channel is not None and not self.channel.is_ideal:
+            return False
+        if self.tracker.capacity is not None:
+            return False
+        if self.datastore.retention is not None:
+            return False
+        if self._store is not None:
+            return False
+        return True
+
+    def run(self):
+        """Replay the trace; vectorized when eligible, scalar otherwise."""
+        if not self.vector_eligible():
+            return super().run()
+        if self._has_run:
+            raise ConfigurationError("a Simulation instance can only be run once")
+        self._has_run = True
+        self.used_vector_path = True
+        self._bind_policy()
+        self._refresh_next_due()
+        self._run_spans()
+        self._finalize()
+        return self.result
+
+    # ------------------------------------------------------------------ #
+    # Span replay
+    # ------------------------------------------------------------------ #
+    def _run_spans(self) -> None:
+        trace = self.trace
+        total = len(trace)
+        if total == 0:
+            return
+        times = trace.times
+        if times.size > 1 and bool(np.any(np.diff(times) < 0)):
+            # Same contract as the scalar loop's inlined ordering check.
+            raise WorkloadError("request stream is not sorted by time")
+        columns = _TraceColumns(trace)
+        ctx = _ReplayContext(
+            columns=columns,
+            datastore=self.datastore,
+            bound=self.staleness_bound,
+            ttl=self._ttl_value,
+            serve_const=self._serve_cost_const,
+            miss_const=self._miss_cost_const,
+        )
+        host = _HostState(
+            result=self.result,
+            cache=self.cache,
+            buffer=self.buffer,
+            tracker=self.tracker,
+            estimator=(
+                self.policy.estimator if isinstance(self.policy, AdaptivePolicy) else None
+            ),
+            reacts=self.policy.reacts_to_writes,
+            discard_on_miss_fill=self.discard_buffer_on_miss_fill,
+        )
+        if self.policy.reacts_to_writes:
+            start = 0
+            while start < total:
+                end = int(np.searchsorted(times, self._next_flush, side="left"))
+                if end > start:
+                    self._replay_reactive_span(ctx, host, start, end)
+                    start = end
+                    if start >= total:
+                        break
+                # The next request is at or past the flush boundary: run the
+                # due background work exactly where the scalar loop would.
+                self._advance_background_work(float(times[start]))
+        else:
+            self._replay_ttl_trace(ctx, host)
+        self.clock.advance_to(float(times[-1]))
+
+    def _replay_reactive_span(
+        self, ctx: _ReplayContext, host: _HostState, start: int, end: int
+    ) -> None:
+        trace = ctx.trace
+        span_is_read = trace.is_read[start:end]
+        write_positions = np.flatnonzero(~span_is_read) + start
+        read_positions = np.flatnonzero(span_is_read) + start
+        _apply_span_writes(ctx, write_positions)
+        tally = _SpanTally()
+        tally.writes = int(write_positions.size)
+        names = trace.key_names
+        span_writes = dict(_group_by_key(trace, write_positions))
+        for key_id, reads in _group_by_key(trace, read_positions):
+            writes = span_writes.pop(key_id, _EMPTY_INDEX)
+            _kernel_reactive(ctx, host, tally, key_id, names[key_id], reads, writes)
+        for key_id, writes in span_writes.items():
+            _kernel_reactive(ctx, host, tally, key_id, names[key_id], _EMPTY_INDEX, writes)
+        _flush_tally(ctx, host, tally)
+
+    def _replay_ttl_trace(self, ctx: _ReplayContext, host: _HostState) -> None:
+        # A non-reacting policy has no flush boundaries and (here) no store,
+        # so the whole trace is a single span.
+        trace = ctx.trace
+        write_positions = np.flatnonzero(~trace.is_read)
+        read_positions = np.flatnonzero(trace.is_read)
+        _apply_span_writes(ctx, write_positions)
+        tally = _SpanTally()
+        tally.writes = int(write_positions.size)
+        names = trace.key_names
+        expiry = self._ttl_expiry
+        for key_id, reads in _group_by_key(trace, read_positions):
+            if expiry:
+                _kernel_ttl_expiry(ctx, host, tally, key_id, names[key_id], reads)
+            else:
+                _kernel_ttl_polling(ctx, host, tally, key_id, names[key_id], reads)
+        _flush_tally(ctx, host, tally)

@@ -19,6 +19,7 @@ from repro.workload.base import (
     merge_streams,
 )
 from repro.workload.zipf import ZipfSampler
+from repro.workload.compiled import CompiledTrace, compile_workload
 from repro.workload.poisson import PoissonZipfWorkload
 from repro.workload.mixed import PoissonMixWorkload
 from repro.workload.meta import MetaWorkload
@@ -27,6 +28,7 @@ from repro.workload.trace import TraceWorkload, iter_trace, read_trace, write_tr
 from repro.workload.stats import WorkloadStats, characterize
 
 __all__ = [
+    "CompiledTrace",
     "MetaWorkload",
     "OpType",
     "PoissonMixWorkload",
@@ -39,6 +41,7 @@ __all__ = [
     "ZipfSampler",
     "characterize",
     "check_sorted",
+    "compile_workload",
     "ensure_sorted",
     "iter_trace",
     "merge_streams",

@@ -1,0 +1,259 @@
+"""Columnar trace compilation: request streams as parallel numpy arrays.
+
+The scalar replay path materializes one :class:`~repro.workload.base.Request`
+object per request — fine for streaming, but object construction and
+per-request attribute access dominate the replay wall clock long before any
+policy arithmetic does.  The vectorized engine (``repro.sim.vector``) instead
+consumes a :class:`CompiledTrace`: the same stream laid out as parallel
+arrays (timestamps, key ids, op flags, sizes) plus a key-id -> key-name
+table.
+
+Compilation is draw-for-draw identical to the generators: the native
+compilers below replicate each workload's pinned per-chunk RNG sequence
+(exponential gaps, Zipf ranks, read coin flips, ... — the exact order the
+equivalence tests pin), so ``compile_workload(w, d).iter_requests()`` yields
+a stream byte-identical to ``w.iter_requests(d)``.  Workloads without a
+native compiler fall back to batching their object stream, which is slower
+to compile but identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.workload.base import (
+    STREAM_CHUNK_SIZE,
+    OpType,
+    Request,
+    Workload,
+    validate_duration,
+)
+from repro.workload.mixed import PoissonMixWorkload
+from repro.workload.poisson import PoissonZipfWorkload
+from repro.workload.twitter import TwitterWorkload
+
+
+@dataclass(slots=True)
+class CompiledTrace:
+    """A request stream as parallel columnar arrays.
+
+    Attributes:
+        times: Arrival times, ascending (``float64``).
+        key_ids: Per-request index into :attr:`key_names` (``int64``).
+        is_read: ``True`` where the request is a read (``bool``).
+        key_sizes: Per-request key size in bytes (``int64``).
+        value_sizes: Per-request value size in bytes (``int64``).
+        key_names: Key-id -> key-name table.  Ids are dense but the table may
+            contain names that never occur in the trace (e.g. cold ranks of a
+            Zipf population).
+    """
+
+    times: np.ndarray
+    key_ids: np.ndarray
+    is_read: np.ndarray
+    key_sizes: np.ndarray
+    value_sizes: np.ndarray
+    key_names: List[str]
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the trace."""
+        return int(self.times.size)
+
+    def iter_requests(self) -> Iterator[Request]:
+        """Decompile back into the scalar :class:`Request` stream.
+
+        The yielded stream is byte-identical to the generator stream the
+        trace was compiled from: same floats, same interned key strings,
+        same op objects.  Used by the scalar-fallback path of the vectorized
+        engine and by the equivalence tests.
+        """
+        read_op, write_op, request = OpType.READ, OpType.WRITE, Request
+        names = self.key_names
+        total = int(self.times.size)
+        for start in range(0, total, STREAM_CHUNK_SIZE):
+            stop = min(start + STREAM_CHUNK_SIZE, total)
+            for time, key_id, is_r, key_size, value_size in zip(
+                self.times[start:stop].tolist(),
+                self.key_ids[start:stop].tolist(),
+                self.is_read[start:stop].tolist(),
+                self.key_sizes[start:stop].tolist(),
+                self.value_sizes[start:stop].tolist(),
+            ):
+                yield request(
+                    time,
+                    names[key_id],
+                    read_op if is_r else write_op,
+                    key_size,
+                    value_size,
+                )
+
+
+def _concatenate(parts: List[np.ndarray], dtype: type) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+def _compile_poisson(workload: PoissonZipfWorkload, duration: float) -> CompiledTrace:
+    """Native compiler replicating :meth:`PoissonZipfWorkload._iter_requests`."""
+    rng = np.random.default_rng(workload.seed)
+    mean_gap = 1.0 / (workload.rate_per_key * workload.num_keys)
+    sampler = workload._sampler
+    time_parts: List[np.ndarray] = []
+    rank_parts: List[np.ndarray] = []
+    read_parts: List[np.ndarray] = []
+    now = 0.0
+    while now < duration:
+        gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+        times = now + np.cumsum(gaps)
+        now = float(times[-1])
+        ranks = sampler.sample_using(rng, STREAM_CHUNK_SIZE)
+        is_read = rng.random(STREAM_CHUNK_SIZE) < workload.read_ratio
+        if now >= duration:
+            keep = int(np.searchsorted(times, duration, side="left"))
+            times, ranks, is_read = times[:keep], ranks[:keep], is_read[:keep]
+        time_parts.append(times)
+        rank_parts.append(ranks)
+        read_parts.append(is_read)
+    times = _concatenate(time_parts, np.float64)
+    count = times.size
+    return CompiledTrace(
+        times=times,
+        key_ids=_concatenate(rank_parts, np.int64),
+        is_read=_concatenate(read_parts, np.bool_),
+        key_sizes=np.full(count, workload.key_size, dtype=np.int64),
+        value_sizes=np.full(count, workload.value_size, dtype=np.int64),
+        key_names=[workload.key_name(rank) for rank in range(workload.num_keys)],
+    )
+
+
+def _compile_twitter(workload: TwitterWorkload, duration: float) -> CompiledTrace:
+    """Native compiler replicating :meth:`TwitterWorkload._iter_requests`."""
+    rng = np.random.default_rng(workload.seed)
+    peak_rate = workload.total_rate * (1.0 + workload.diurnal_amplitude)
+    mean_gap = 1.0 / peak_rate
+    time_parts: List[np.ndarray] = []
+    rank_parts: List[np.ndarray] = []
+    read_parts: List[np.ndarray] = []
+    size_parts: List[np.ndarray] = []
+    now = 0.0
+    while now < duration:
+        gaps = rng.exponential(mean_gap, size=STREAM_CHUNK_SIZE)
+        candidate = now + np.cumsum(gaps)
+        now = float(candidate[-1])
+        envelope = 1.0 + workload.diurnal_amplitude * np.sin(
+            2.0 * np.pi * candidate / workload.diurnal_period
+        )
+        accept = rng.random(STREAM_CHUNK_SIZE) < (workload.total_rate * envelope) / peak_rate
+        if now >= duration:
+            accept &= candidate < duration
+        times = candidate[accept]
+        count = times.size
+        ranks = workload._sampler.sample_using(rng, count)
+        is_read = rng.random(count) < workload._read_probabilities(ranks)
+        value_sizes = np.maximum(
+            8, rng.lognormal(mean=np.log(workload.value_size), sigma=0.6, size=count)
+        ).astype(np.int64)
+        time_parts.append(times)
+        rank_parts.append(ranks)
+        read_parts.append(is_read)
+        size_parts.append(value_sizes)
+    times = _concatenate(time_parts, np.float64)
+    return CompiledTrace(
+        times=times,
+        key_ids=_concatenate(rank_parts, np.int64),
+        is_read=_concatenate(read_parts, np.bool_),
+        key_sizes=np.full(times.size, workload.key_size, dtype=np.int64),
+        value_sizes=_concatenate(size_parts, np.int64),
+        key_names=[workload.key_name(rank) for rank in range(workload.num_keys)],
+    )
+
+
+def _compile_mix(workload: PoissonMixWorkload, duration: float) -> CompiledTrace:
+    """Native compiler for the two-component mixture.
+
+    Compiles both Poisson halves natively, offsets the write-heavy key ids
+    past the read-heavy table, and interleaves by time with a *stable* sort —
+    which reproduces :func:`heapq.merge` tie-breaking exactly (the read-heavy
+    stream is listed first, so it wins timestamp ties).
+    """
+    read_heavy, write_heavy = workload.components
+    first = _compile_poisson(read_heavy, duration)
+    second = _compile_poisson(write_heavy, duration)
+    offset = len(first.key_names)
+    times = np.concatenate([first.times, second.times])
+    order = np.argsort(times, kind="stable")
+    return CompiledTrace(
+        times=times[order],
+        key_ids=np.concatenate([first.key_ids, second.key_ids + offset])[order],
+        is_read=np.concatenate([first.is_read, second.is_read])[order],
+        key_sizes=np.concatenate([first.key_sizes, second.key_sizes])[order],
+        value_sizes=np.concatenate([first.value_sizes, second.value_sizes])[order],
+        key_names=first.key_names + second.key_names,
+    )
+
+
+def _compile_generic(workload: Workload, duration: float) -> CompiledTrace:
+    """Fallback compiler: batch the scalar object stream into columns.
+
+    Identical by construction (it consumes ``iter_requests`` itself); used
+    for trace-backed and third-party workloads that have no native columnar
+    path.  Key names are interned in first-appearance order.
+    """
+    key_ids: dict[str, int] = {}
+    names: List[str] = []
+    times: List[float] = []
+    ids: List[int] = []
+    is_read: List[bool] = []
+    key_sizes: List[int] = []
+    value_sizes: List[int] = []
+    for request in workload.iter_requests(duration):
+        key_id = key_ids.get(request.key)
+        if key_id is None:
+            key_id = key_ids[request.key] = len(names)
+            names.append(request.key)
+        times.append(request.time)
+        ids.append(key_id)
+        is_read.append(request.op is OpType.READ)
+        key_sizes.append(request.key_size)
+        value_sizes.append(request.value_size)
+    return CompiledTrace(
+        times=np.asarray(times, dtype=np.float64),
+        key_ids=np.asarray(ids, dtype=np.int64),
+        is_read=np.asarray(is_read, dtype=np.bool_),
+        key_sizes=np.asarray(key_sizes, dtype=np.int64),
+        value_sizes=np.asarray(value_sizes, dtype=np.int64),
+        key_names=names,
+    )
+
+
+def compile_workload(workload: Workload, duration: float) -> CompiledTrace:
+    """Compile a workload's request stream into columnar arrays.
+
+    Dispatches to a native draw-for-draw compiler when the workload type has
+    one (the synthetic Poisson, mixture, and Twitter generators), otherwise
+    batches the scalar stream.  Either way the result decompiles to a stream
+    byte-identical to ``workload.iter_requests(duration)``.
+
+    Raises:
+        WorkloadError: If ``duration`` is not positive and finite.
+    """
+    duration = validate_duration(duration)
+    # Exact-type dispatch: a subclass may override ``iter_requests`` in ways
+    # the native compilers would not reproduce, so only the known generator
+    # classes take the fast path.
+    workload_type = type(workload)
+    if workload_type is PoissonZipfWorkload:
+        return _compile_poisson(workload, duration)
+    if workload_type is TwitterWorkload:
+        return _compile_twitter(workload, duration)
+    if workload_type is PoissonMixWorkload:
+        return _compile_mix(workload, duration)
+    return _compile_generic(workload, duration)

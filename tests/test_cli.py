@@ -344,3 +344,88 @@ def test_bench_emits_bench_json_for_three_plus_policies(tmp_path, capsys) -> Non
         assert result["requests_per_sec"] > 0
         assert result["requests"] > 0
     assert record["peak_rss_kib"] > 0
+
+
+def test_bench_vector_engine_writes_engine_tagged_record(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "invalidate",
+            "--requests", "3000",
+            "--keys", "100",
+            "--engine", "vector",
+            "--output-dir", str(tmp_path),
+            "--label", "vec",
+        ]
+    )
+    assert exit_code == 0
+    record = json.loads((tmp_path / "BENCH_vec.json").read_text())
+    assert record["config"]["engine"] == "vector"
+    row = record["results"][0]
+    assert row["engine"] == "vector"
+    assert row["merge_seconds"] == 0.0
+    assert row["requests_per_sec"] > 0
+
+
+def test_bench_parallel_cluster_records_workers(tmp_path, capsys) -> None:
+    exit_code = main(
+        [
+            "bench",
+            "--policies", "invalidate",
+            "--requests", "3000",
+            "--keys", "100",
+            "--nodes", "3",
+            "--engine", "vector",
+            "--workers", "2",
+            "--output-dir", str(tmp_path),
+            "--label", "par",
+        ]
+    )
+    assert exit_code == 0
+    record = json.loads((tmp_path / "BENCH_par.json").read_text())
+    assert record["config"]["workers"] == 2
+    assert record["results"][0]["workers"] == 2
+
+
+def test_bench_engine_and_worker_flag_error_paths(capsys) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--engine", "numpy"])
+    assert excinfo.value.code != 0
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--workers", "2", "--requests", "100"])
+    assert excinfo.value.code != 0
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--workers", "2", "--nodes", "3", "--requests", "100"])
+    assert excinfo.value.code != 0
+    assert "--engine vector" in str(excinfo.value.code)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--workers", "0", "--requests", "100"])
+    assert excinfo.value.code != 0
+
+
+def test_sweep_vector_engine_rows_match_scalar_rows(tmp_path, capsys) -> None:
+    argv = [
+        "sweep",
+        "--policies", "invalidate,adaptive",
+        "--workloads", "poisson",
+        "--bounds", "1.0",
+        "--duration", "2.0",
+        "--param", "num_keys=15",
+        "--processes", "1",
+    ]
+    scalar_json = tmp_path / "scalar.json"
+    vector_json = tmp_path / "vector.json"
+    assert main(argv + ["--json", str(scalar_json)]) == 0
+    assert main(argv + ["--engine", "vector", "--json", str(vector_json)]) == 0
+    scalar_rows = json.loads(scalar_json.read_text())["results"]
+    vector_rows = json.loads(vector_json.read_text())["results"]
+    for scalar_row, vector_row in zip(scalar_rows, vector_rows):
+        assert scalar_row.pop("engine") == "scalar"
+        assert vector_row.pop("engine") == "vector"
+        assert scalar_row == vector_row
+
+
+def test_sweep_rejects_unknown_engine(capsys) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--engine", "bogus"])
+    assert excinfo.value.code != 0

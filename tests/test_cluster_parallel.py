@@ -1,0 +1,305 @@
+"""Shard-parallel cluster replay: byte-identity for any worker count.
+
+``replay_cluster_parallel`` must return the exact ``ClusterResult`` a
+single-process ``ClusterSimulation`` produces — same per-node rows, same
+fleet totals, same serialised floats — for any ``--workers`` value,
+including configurations the columnar engine cannot vectorize (scenarios,
+lossy channels, tiers), where each shard falls back to the ownership-
+filtered scalar loop.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulation,
+    ReplicationConfig,
+    VectorClusterSimulation,
+    make_scenario,
+    partition_nodes,
+    replay_cluster_parallel,
+)
+from repro.errors import ClusterError, ConfigurationError
+from repro.tier.config import TierConfig
+from repro.workload.compiled import compile_workload
+from repro.workload.poisson import PoissonZipfWorkload
+
+DURATION = 5.0
+
+
+def make_workload(seed: int = 17) -> PoissonZipfWorkload:
+    return PoissonZipfWorkload(num_keys=90, rate_per_key=25.0, seed=seed)
+
+
+def scalar_result(policy: str, **kwargs) -> dict:
+    simulation = ClusterSimulation(
+        workload=make_workload().iter_requests(DURATION),
+        policy=policy,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+        **kwargs,
+    )
+    return simulation.run().as_dict()
+
+
+def parallel_result(policy: str, workers: int, **kwargs) -> dict:
+    trace = compile_workload(make_workload(), DURATION)
+    result = replay_cluster_parallel(
+        trace,
+        workers=workers,
+        policy=policy,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+        **kwargs,
+    )
+    return result.as_dict()
+
+
+def assert_identical(scalar: dict, parallel: dict) -> None:
+    assert scalar == parallel
+    assert json.dumps(scalar, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------- #
+
+def test_partition_nodes_strides_and_covers_every_node() -> None:
+    partitions = partition_nodes(7, 3)
+    assert partitions == [(0, 3, 6), (1, 4), (2, 5)]
+    covered = sorted(index for owned in partitions for index in owned)
+    assert covered == list(range(7))
+    # Shard 0 must own node 0: the merge uses its result as the template.
+    assert partitions[0][0] == 0
+
+
+def test_partition_nodes_clamps_workers_to_fleet_size() -> None:
+    assert partition_nodes(2, 8) == [(0,), (1,)]
+
+
+def test_partition_nodes_validates_inputs() -> None:
+    with pytest.raises(ClusterError):
+        partition_nodes(0, 2)
+    with pytest.raises(ClusterError):
+        partition_nodes(4, 0)
+
+
+# --------------------------------------------------------------------- #
+# Vector fleet engine (in-process)
+# --------------------------------------------------------------------- #
+
+def test_vector_cluster_replay_matches_scalar_fleet() -> None:
+    kwargs = dict(
+        num_nodes=4,
+        replication=ReplicationConfig(factor=2, read_policy="round-robin"),
+    )
+    for policy in ("invalidate", "update", "adaptive", "ttl-polling"):
+        scalar = scalar_result(policy, **kwargs)
+        trace = compile_workload(make_workload(), DURATION)
+        simulation = VectorClusterSimulation(
+            trace,
+            policy=policy,
+            staleness_bound=1.0,
+            duration=DURATION,
+            workload_name="parcheck",
+            seed=9,
+            **kwargs,
+        )
+        vector = simulation.run().as_dict()
+        assert simulation.used_vector_path, policy
+        assert_identical(scalar, vector)
+
+
+def test_vector_cluster_requires_a_compiled_trace() -> None:
+    with pytest.raises(ConfigurationError):
+        VectorClusterSimulation(
+            make_workload().iter_requests(DURATION),
+            policy="invalidate",
+            num_nodes=2,
+            staleness_bound=1.0,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Shard-parallel identity
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_replay_identical_for_any_worker_count(workers: int) -> None:
+    kwargs = dict(num_nodes=4)
+    scalar = scalar_result("invalidate", **kwargs)
+    assert_identical(scalar, parallel_result("invalidate", workers, **kwargs))
+
+
+@pytest.mark.parametrize("read_policy", ["primary", "round-robin", "hash"])
+def test_parallel_replay_identical_under_replication(read_policy: str) -> None:
+    kwargs = dict(
+        num_nodes=5,
+        replication=ReplicationConfig(factor=3, read_policy=read_policy),
+    )
+    scalar = scalar_result("adaptive", **kwargs)
+    for workers in (2, 4):
+        assert_identical(scalar, parallel_result("adaptive", workers, **kwargs))
+
+
+def test_parallel_replay_identical_with_scenario_fallback() -> None:
+    """Scenario runs are not vectorizable; shards replay the scalar loop."""
+    kwargs = dict(num_nodes=4)
+    scalar = scalar_result("update", scenario=make_scenario("node-failure"), **kwargs)
+    for workers in (1, 3):
+        got = parallel_result(
+            "update", workers, scenario=make_scenario("node-failure"), **kwargs
+        )
+        assert_identical(scalar, got)
+
+
+def test_parallel_replay_identical_with_lossy_channel() -> None:
+    class LossyChannel:
+        loss_probability = 0.15
+        delay = 0.05
+        jitter = 0.02
+
+    kwargs = dict(num_nodes=3, channel=LossyChannel())
+    scalar = scalar_result("invalidate", **kwargs)
+    assert_identical(scalar, parallel_result("invalidate", 2, **kwargs))
+
+
+def test_parallel_replay_identical_with_tiered_nodes() -> None:
+    kwargs = dict(num_nodes=3, tier=TierConfig(l1_capacity=16))
+    scalar = scalar_result("invalidate", **kwargs)
+    assert_identical(scalar, parallel_result("invalidate", 3, **kwargs))
+
+
+# --------------------------------------------------------------------- #
+# Refusals and ownership validation
+# --------------------------------------------------------------------- #
+
+def test_parallel_replay_refuses_store_with_multiple_workers(tmp_path) -> None:
+    from repro.store.snapshot import StoreConfig
+
+    trace = compile_workload(make_workload(), DURATION)
+    with pytest.raises(ClusterError, match="store"):
+        replay_cluster_parallel(
+            trace,
+            workers=2,
+            policy="invalidate",
+            num_nodes=2,
+            staleness_bound=1.0,
+            duration=DURATION,
+            store=StoreConfig(root=str(tmp_path)),
+        )
+
+
+def test_parallel_replay_refuses_policy_objects_and_owned_nodes() -> None:
+    from repro.experiments.registry import make_policy
+
+    trace = compile_workload(make_workload(), DURATION)
+    with pytest.raises(ClusterError, match="registry name"):
+        replay_cluster_parallel(
+            trace,
+            workers=2,
+            policy=make_policy("invalidate"),
+            num_nodes=2,
+            staleness_bound=1.0,
+            duration=DURATION,
+        )
+    with pytest.raises(ClusterError, match="owned_nodes"):
+        replay_cluster_parallel(
+            trace,
+            workers=2,
+            policy="invalidate",
+            num_nodes=2,
+            staleness_bound=1.0,
+            duration=DURATION,
+            owned_nodes=(0,),
+        )
+    with pytest.raises(ClusterError, match="num_nodes"):
+        replay_cluster_parallel(
+            trace, workers=2, policy="invalidate", staleness_bound=1.0
+        )
+
+
+def test_owned_nodes_validation_on_the_cluster_simulation(tmp_path) -> None:
+    from repro.store.snapshot import StoreConfig
+
+    def build(**kwargs):
+        return ClusterSimulation(
+            workload=make_workload().iter_requests(DURATION),
+            policy="invalidate",
+            num_nodes=3,
+            staleness_bound=1.0,
+            duration=DURATION,
+            **kwargs,
+        )
+
+    with pytest.raises(ClusterError, match="at least one"):
+        build(owned_nodes=())
+    with pytest.raises(ClusterError, match="must be in"):
+        build(owned_nodes=(0, 3))
+    with pytest.raises(ClusterError, match="must be in"):
+        build(owned_nodes=(-1,))
+    with pytest.raises(ClusterError, match="whole fleet"):
+        build(owned_nodes=(0,), store=StoreConfig(root=str(tmp_path)))
+
+
+def test_ownership_filtered_rows_match_the_full_run() -> None:
+    """An owned node's result row is byte-identical to the full fleet's."""
+    full = ClusterSimulation(
+        workload=make_workload().iter_requests(DURATION),
+        policy="adaptive",
+        num_nodes=3,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+    )
+    full_result = full.run()
+    shard = ClusterSimulation(
+        workload=make_workload().iter_requests(DURATION),
+        policy="adaptive",
+        num_nodes=3,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+        owned_nodes=(1,),
+    )
+    shard_result = shard.run()
+    assert json.dumps(full_result.nodes[1].as_dict(), sort_keys=True) == json.dumps(
+        shard_result.nodes[1].as_dict(), sort_keys=True
+    )
+
+
+def test_parallel_timings_report_merge_seconds() -> None:
+    trace = compile_workload(make_workload(), DURATION)
+    timings: dict = {}
+    replay_cluster_parallel(
+        trace,
+        workers=2,
+        timings=timings,
+        policy="invalidate",
+        num_nodes=2,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+    )
+    assert timings["merge_seconds"] >= 0.0
+    timings.clear()
+    replay_cluster_parallel(
+        trace,
+        workers=1,
+        timings=timings,
+        policy="invalidate",
+        num_nodes=2,
+        staleness_bound=1.0,
+        duration=DURATION,
+        workload_name="parcheck",
+        seed=9,
+    )
+    assert timings["merge_seconds"] == 0.0

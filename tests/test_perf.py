@@ -152,7 +152,11 @@ def test_check_bench_passes_within_bounds_and_fails_on_regression(tmp_path) -> N
     assert check_bench.main([str(fresh), "--baseline", str(baseline), "--update"]) == 0
     data = json.loads(baseline.read_text())
     assert data["kind"] == "repro-bench-baseline"
-    assert data["entries"]["single/invalidate"] == 500_000.0
+    assert data["entries"]["single/invalidate"] == {
+        "requests_per_sec": 500_000.0,
+        "engine": "scalar",
+        "workers": 1,
+    }
 
     # Identical numbers pass (raw comparison: no calibration scaling).
     assert check_bench.main(
@@ -208,7 +212,62 @@ def test_check_bench_cluster_rows_are_keyed_by_fleet_size(tmp_path) -> None:
         tmp_path / "BENCH_c.json", {"invalidate": 400_000.0}, nodes=3
     )
     entries, _config = check_bench.collect_fresh([fresh])
-    assert entries == {"cluster3/invalidate": 400_000.0}
+    assert entries == {
+        "cluster3/invalidate": {
+            "requests_per_sec": 400_000.0,
+            "engine": "scalar",
+            "workers": 1,
+        }
+    }
+
+
+def test_check_bench_modes_encode_engine_and_workers(tmp_path) -> None:
+    """vector / cluster<N>-vec / cluster<N>-par keys per pipeline."""
+    check_bench = load_check_bench()
+    cases = [
+        (dict(engine="vector"), None, "vector/invalidate"),
+        (dict(engine="vector", workers=1), 3, "cluster3-vec/invalidate"),
+        (dict(engine="vector", workers=2), 3, "cluster3-par/invalidate"),
+        (dict(engine="scalar"), 3, "cluster3/invalidate"),
+    ]
+    for extra_config, nodes, expected_key in cases:
+        path = make_bench_record(
+            tmp_path / "BENCH_mode.json", {"invalidate": 100_000.0}, nodes=nodes
+        )
+        record = json.loads(path.read_text())
+        record["config"].update(extra_config)
+        path.write_text(json.dumps(record))
+        entries, _config = check_bench.collect_fresh([path])
+        assert list(entries) == [expected_key], extra_config
+
+
+def test_check_bench_refuses_engine_or_worker_mismatch(tmp_path) -> None:
+    """Claiming a baseline entry with a different pipeline is exit 2."""
+    check_bench = load_check_bench()
+    baseline = tmp_path / "BENCH_BASELINE.json"
+    fresh = make_bench_record(
+        tmp_path / "BENCH_par.json", {"invalidate": 900_000.0}, nodes=3
+    )
+    record = json.loads(fresh.read_text())
+    record["config"].update(engine="vector", workers=2)
+    fresh.write_text(json.dumps(record))
+    assert check_bench.main([str(fresh), "--baseline", str(baseline), "--update"]) == 0
+
+    # Same cluster3-par key, but measured on 4 workers: refused, not compared.
+    record["config"]["workers"] = 4
+    forged = tmp_path / "BENCH_forged.json"
+    forged.write_text(json.dumps(record))
+    assert check_bench.main(
+        [str(forged), "--baseline", str(baseline), "--no-calibration"]
+    ) == 2
+
+    # Legacy float baselines (no engine metadata) still compare cleanly.
+    data = json.loads(baseline.read_text())
+    data["entries"] = {"cluster3-par/invalidate": 900_000.0}
+    baseline.write_text(json.dumps(data))
+    assert check_bench.main(
+        [str(forged), "--baseline", str(baseline), "--no-calibration"]
+    ) == 0
 
 
 def test_check_bench_missing_baseline_errors(tmp_path) -> None:
@@ -226,10 +285,31 @@ def test_committed_baseline_is_well_formed() -> None:
     assert data["calibration_ops_per_sec"] > 0
     assert data["config"]["num_requests"] > 0
     assert data["entries"], "baseline has no entries"
-    for key, rps in data["entries"].items():
+    for key, entry in data["entries"].items():
         mode, _, policy = key.partition("/")
-        assert mode == "single" or mode.startswith("cluster")
+        assert (
+            mode in ("single", "vector")
+            or mode.startswith("cluster")
+        ), key
         assert policy
-        assert rps > 0
+        assert entry["requests_per_sec"] > 0
+        assert entry["engine"] in ("scalar", "vector")
+        assert entry["workers"] >= 1
+        if mode.endswith("-par"):
+            assert entry["engine"] == "vector" and entry["workers"] > 1
+    # The whole point of the columnar engine: vector entries must beat the
+    # scalar single-cache entries by a wide margin on the same machine.
+    vector = [
+        entry["requests_per_sec"]
+        for key, entry in data["entries"].items()
+        if key.startswith("vector/")
+    ]
+    scalar = [
+        entry["requests_per_sec"]
+        for key, entry in data["entries"].items()
+        if key.startswith("single/")
+    ]
+    assert vector and scalar
+    assert min(vector) > 3.0 * (sum(scalar) / len(scalar))
     # The pre-PR reference the speedup is measured against.
     assert data["pre_pr"]["entries"]
