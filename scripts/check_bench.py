@@ -38,6 +38,12 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Tuple
 
+try:
+    from repro.experiments.bench import BENCH_PHASES
+except ImportError:  # bare checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiments.bench import BENCH_PHASES
+
 BASELINE_KIND = "repro-bench-baseline"
 BENCH_KIND = "repro-bench"
 
@@ -92,6 +98,19 @@ def bench_entries(record: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     if record.get("kind") != BENCH_KIND:
         raise ValueError(f"not a repro-bench record (kind={record.get('kind')!r})")
     config = record.get("config", {})
+    for row in record["results"]:
+        # Phase timings share one schema (repro.experiments.bench.BENCH_PHASES)
+        # with the bench writer; a record missing a phase, or carrying a
+        # negative one, was produced by a different (or broken) pipeline and
+        # is refused like any other malformed input.
+        for phase in BENCH_PHASES:
+            value = row.get(phase)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"row {row.get('policy')!r} has no valid phase timing "
+                    f"{phase!r} (got {value!r}); expected the "
+                    f"{'/'.join(BENCH_PHASES)} schema"
+                )
     mode = record_mode(config)
     engine = config.get("engine", "scalar")
     workers = int(config.get("workers") or 1)

@@ -11,8 +11,10 @@ the closed-form counterpart in ``model``, the ``E[W]`` sketches in
 multi-node fleet simulation (consistent hashing, replicated invalidation,
 failure scenarios, hot-key detection) in ``cluster``, the two-level L1/L2
 cache hierarchy (admission, promotion, write-through/write-back, degraded
-serving) in ``tier``, and the durable persistence layer (write-ahead log,
-snapshots, crash recovery, warm node rejoin) in ``store``.
+serving) in ``tier``, the durable persistence layer (write-ahead log,
+snapshots, crash recovery, warm node rejoin) in ``store``, and time-resolved
+telemetry (windowed series, request spans, percentile histograms, and
+JSONL/CSV/Prometheus exporters) in ``obs``.
 
 The pipeline streams end-to-end: workloads yield requests lazily via
 ``iter_requests`` and the simulator consumes the stream without copying it,
@@ -68,6 +70,8 @@ from repro.cluster.scenarios import make_scenario
 from repro.experiments.spec import ChannelSpec, ExperimentSpec, ScenarioSpec, WorkloadSpec
 from repro.experiments.runner import run_experiment
 from repro.experiments.bench import run_bench
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import ObsConfig, ObsRecorder
 from repro.store.wal import Journal, WriteAheadLog
 from repro.store.snapshot import Snapshot, SnapshotManager, StoreConfig
 from repro.store.recovery import RecoveryReport, recover_datastore, warm_state
@@ -76,7 +80,7 @@ from repro.tier.config import TierConfig
 from repro.tier.l1 import L1Tier
 from repro.tier.admission import AdmissionPolicy, make_admission
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Action",
@@ -93,6 +97,9 @@ __all__ = [
     "HotKeyDetector",
     "Journal",
     "L1Tier",
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObsRecorder",
     "RecoveryReport",
     "ReplicationConfig",
     "ScenarioSpec",

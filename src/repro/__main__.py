@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Seven subcommands drive the experiment layer:
+Eight subcommands drive the experiment layer:
 
 * ``run``     — one streamed simulation (workload x policy x bound), JSON out.
 * ``sweep``   — a full experiment grid executed across worker processes.
@@ -21,10 +21,21 @@ Seven subcommands drive the experiment layer:
   simulation (optionally killing it mid-run), ``recover`` rebuilds — and can
   resume and verify — from the durable state, ``inspect`` summarises a store
   directory.
+* ``obs``     — observability artifacts: ``summary`` prints a recorded run's
+  totals, window series, and latency percentiles; ``tail`` shows the last
+  span/event records; ``export`` re-emits windows or metrics as JSONL, CSV,
+  or Prometheus text.  Record a run with ``run --obs --obs-dir DIR``.
+
+``-v/--verbose`` and ``-q/--quiet`` (before the subcommand) set the log
+level for the ``repro`` logger tree; library progress goes through
+:mod:`logging`, result payloads through stdout.
 
 Examples::
 
     python -m repro run --workload poisson --policy adaptive --bound 1.0
+    python -m repro run --policy invalidate --obs --obs-window 0.5 --obs-dir obs-run
+    python -m repro obs summary --dir obs-run
+    python -m repro obs export --dir obs-run --format prom
     python -m repro sweep --policies ttl-expiry,invalidate,update,adaptive \
         --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
     python -m repro cluster --nodes 8 --replication 2 --scenario node-failure \
@@ -46,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import math
 import sys
 import tempfile
@@ -53,6 +65,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro import __version__
+from repro.log import configure_logging
 from repro.cluster import ClusterSimulation, ReplicationConfig
 from repro.cluster.replication import READ_POLICIES
 from repro.cluster.scenarios import SCENARIO_FACTORIES
@@ -80,6 +93,8 @@ from repro.store import (
     scan_wal,
 )
 from repro.tier.config import ADMISSION_POLICIES, TIER_MODES, TierConfig
+
+_LOG = logging.getLogger("repro.cli")
 
 
 def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
@@ -120,6 +135,9 @@ def _positive_float(text: str) -> float:
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     seed = stable_cell_seed(args.seed, args.workload, params, args.duration)
+    obs_window = None
+    if args.obs or args.obs_window is not None or args.obs_dir is not None:
+        obs_window = args.obs_window if args.obs_window is not None else 1.0
     cell = RunCell(
         experiment="cli-run",
         cell_id=0,
@@ -131,8 +149,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         channel=None,
         duration=args.duration,
         seed=seed,
+        obs_window=obs_window,
     )
     row = run_cell(cell)
+    if args.obs_dir is not None:
+        from repro.obs.export import write_run
+
+        # The artifact set replaces the inline payload: the result row stays
+        # readable and the telemetry lands where ``obs summary`` expects it.
+        written = write_run(row.pop("obs"), args.obs_dir)
+        row["obs_dir"] = args.obs_dir
+        for path in written.values():
+            _LOG.info("wrote %s", path)
     text = json.dumps(row, indent=2)
     if args.output:
         with open(args.output, "w") as handle:
@@ -170,7 +198,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cost_preset=args.cost_preset,
         engine=args.engine,
     )
-    print(f"sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
+    _LOG.info("sweep '%s': %d cells", spec.name, spec.num_cells)
     rows = run_experiment(spec, processes=args.processes)
     wrote = False
     if args.json:
@@ -244,7 +272,7 @@ def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
         cost_preset=args.cost_preset,
         **tier_axes,
     )
-    print(f"{kind} sweep '{spec.name}': {spec.num_cells} cells", file=sys.stderr)
+    _LOG.info("%s sweep '%s': %d cells", kind, spec.name, spec.num_cells)
     rows = run_experiment(spec, processes=args.processes)
     wrote = False
     if args.json:
@@ -433,7 +461,7 @@ def _cmd_store_snapshot(args: argparse.Namespace) -> int:
     row.pop("nodes", None)
     print(json.dumps(row, indent=2))
     status = "interrupted at t={}".format(args.kill_at) if result.interrupted else "completed"
-    print(f"store {status}: {root}", file=sys.stderr)
+    _LOG.info("store %s: %s", status, root)
     return 0
 
 
@@ -493,7 +521,7 @@ def _cmd_store_recover(args: argparse.Namespace) -> int:
     print(json.dumps(output, indent=2))
     if args.resume and args.verify:
         verdict = "identical" if exit_code == 0 else "DIVERGED"
-        print(f"recovered run vs uninterrupted run: {verdict}", file=sys.stderr)
+        _LOG.info("recovered run vs uninterrupted run: %s", verdict)
     return exit_code
 
 
@@ -540,6 +568,61 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# ``obs`` subcommands: summary / tail / export
+# --------------------------------------------------------------------- #
+
+def _load_obs_run(directory: str) -> Dict[str, Any]:
+    from repro.obs.export import load_run
+
+    try:
+        return load_run(directory)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs.export import summarize
+
+    print(summarize(_load_obs_run(args.dir)))
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    payload = _load_obs_run(args.dir)
+    records = payload.get("trace", [])
+    if args.events_only:
+        records = [record for record in records if record.get("type") == "event"]
+    for record in records[-args.limit:] if args.limit > 0 else records:
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        export_prometheus,
+        export_trace_jsonl,
+        export_windows_csv,
+        export_windows_jsonl,
+    )
+
+    payload = _load_obs_run(args.dir)
+    exporters = {
+        "jsonl": export_windows_jsonl,
+        "csv": export_windows_csv,
+        "prom": export_prometheus,
+        "trace": export_trace_jsonl,
+    }
+    text = exporters[args.format](payload)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -549,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug logging on the repro logger tree")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only (suppresses progress logging)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run one streamed simulation")
@@ -563,6 +650,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--param", action="append", metavar="KEY=VALUE",
                      help="workload constructor parameter (repeatable)")
     run.add_argument("--output", help="write the result JSON here instead of stdout")
+    run.add_argument("--obs", action="store_true",
+                     help="record windowed telemetry, spans, and events "
+                          "(results stay byte-identical)")
+    run.add_argument("--obs-window", type=_positive_float, default=None,
+                     help="telemetry window width in simulated seconds "
+                          "(implies --obs; default 1.0)")
+    run.add_argument("--obs-dir", default=None,
+                     help="write the obs artifact set (OBS_RUN.json, "
+                          "windows.jsonl, trace.jsonl, metrics.prom) into "
+                          "this directory (implies --obs)")
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser("sweep", help="run an experiment grid in parallel")
@@ -746,12 +843,49 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--dir", required=True, help="store directory")
     inspect.set_defaults(func=_cmd_store_inspect)
 
+    obs = subparsers.add_parser(
+        "obs", help="summarise, tail, or export a recorded observability run"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_sub.add_parser(
+        "summary", help="print totals, window series, and latency percentiles"
+    )
+    obs_summary.add_argument("--dir", required=True,
+                             help="obs run directory (from run --obs-dir)")
+    obs_summary.set_defaults(func=_cmd_obs_summary)
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print the last span/event records as JSON lines"
+    )
+    obs_tail.add_argument("--dir", required=True,
+                          help="obs run directory (from run --obs-dir)")
+    obs_tail.add_argument("--limit", type=int, default=20,
+                          help="records to show (0 = all; default 20)")
+    obs_tail.add_argument("--events-only", action="store_true",
+                          help="show discrete events only (skip request spans)")
+    obs_tail.set_defaults(func=_cmd_obs_tail)
+
+    obs_export = obs_sub.add_parser(
+        "export", help="re-emit windows, metrics, or the trace in a standard format"
+    )
+    obs_export.add_argument("--dir", required=True,
+                            help="obs run directory (from run --obs-dir)")
+    obs_export.add_argument("--format", default="jsonl",
+                            choices=["jsonl", "csv", "prom", "trace"],
+                            help="windows as JSONL/CSV, metrics as Prometheus "
+                                 "text, or the span/event trace as JSONL")
+    obs_export.add_argument("--output", default=None,
+                            help="write here instead of stdout")
+    obs_export.set_defaults(func=_cmd_obs_export)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -40,6 +40,7 @@ from repro.cluster.scenarios import Scenario, ScenarioEvent
 from repro.core.cost_model import CostModel
 from repro.core.policy import FreshnessPolicy
 from repro.errors import ClusterError, ConfigurationError, StoreError, WorkloadError
+from repro.obs.recorder import as_recorder
 from repro.sim.clock import SimulationClock
 from repro.store.recovery import (
     RecoveryReport,
@@ -122,6 +123,14 @@ class ClusterSimulation:
             front of every node's cache (the node cache then acts as the
             sharded L2).  A disabled config (``l1_capacity=0``) is normalised
             to ``None`` and reproduces single-tier results byte-for-byte.
+        obs: Optional observability settings (:class:`~repro.obs.ObsConfig`
+            or a pre-built :class:`~repro.obs.ObsRecorder`).  The recorder
+            samples the owned nodes' counters per window, traces sampled
+            request spans plus fleet events (scenario transitions,
+            rebalances, snapshots, recovery), and exposes its payload on
+            ``ClusterResult.obs``.  Results stay byte-identical with
+            observability on or off; when ``None`` (default) the replay
+            binds its plain hot path with zero overhead.
         owned_nodes: Optional node indices this process replays *for*.  The
             full fleet is still constructed and the shared state — datastore
             writes, ring membership, scenario events, read-router counters —
@@ -162,6 +171,7 @@ class ClusterSimulation:
         history_retention: Optional[float] = None,
         tier: Optional[TierConfig] = None,
         owned_nodes: Optional[Sequence[int]] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -285,6 +295,10 @@ class ClusterSimulation:
             self._flush_nodes = [self._node_list[index] for index in indices]
             self._owned_ids = frozenset(node.node_id for node in self._flush_nodes)
 
+        self.obs = as_recorder(obs)
+        if self.obs is not None and self._store is not None:
+            self._store.attach_obs(self.obs)
+
         self._next_flush = self.staleness_bound
         self._next_due = self.staleness_bound
         self._has_run = False
@@ -326,6 +340,8 @@ class ClusterSimulation:
                 raise ClusterError("cannot remove the last node from the ring")
             self.ring.remove_node(node.node_id)
             self._rebalances += 1
+            if self.obs is not None and self.obs.record_global:
+                self.obs.event(time, "rebalance", action="remove", node=node.node_id)
         node.depart(time)
 
     def rejoin_node(self, index: int, warm: bool = False, time: Optional[float] = None) -> None:
@@ -340,6 +356,14 @@ class ClusterSimulation:
         if node.node_id not in self.ring:
             self.ring.add_node(node.node_id)
             self._rebalances += 1
+            if self.obs is not None and self.obs.record_global:
+                self.obs.event(
+                    time if time is not None else self.clock.now,
+                    "rebalance",
+                    action="add",
+                    node=node.node_id,
+                    warm=warm,
+                )
         node.rejoin()
         if warm:
             self._warm_restore(node, time if time is not None else self.clock.now)
@@ -358,6 +382,8 @@ class ClusterSimulation:
             # against the same durable write history.
             self._store_or_raise().journal.sync()
             replayed, _ = recover_datastore(self._store.config.root)
+        if self.obs is not None and self.obs.record_global:
+            self.obs.event(time, "crash-restart", warm=warm)
         for node in self._node_list:
             node.crash(time)
             if warm:
@@ -463,8 +489,15 @@ class ClusterSimulation:
         )
         self._refresh_next_due()
         clock = self.clock
-        process_read = self._process_read
-        process_write = self._process_write
+        # Observability binds wrapper methods *instead of* the plain ones:
+        # with obs disabled this loop is byte-for-byte the plain hot path.
+        if self.obs is not None:
+            self._obs_begin("scalar")
+            process_read = self._obs_process_read
+            process_write = self._obs_process_write
+        else:
+            process_read = self._process_read
+            process_write = self._process_write
         advance_background = self._advance_background
         pending_nodes = self._pending_nodes
         write_op = OpType.WRITE
@@ -503,6 +536,48 @@ class ClusterSimulation:
         return self._finalize(events, event_index)
 
     # ------------------------------------------------------------------ #
+    # Observability wrappers (only ever bound when a recorder is attached)
+    # ------------------------------------------------------------------ #
+    def _obs_begin(self, engine: str) -> None:
+        obs = self.obs
+        hosts = [
+            (node.node_id, node.result, node.cache.stats) for node in self._flush_nodes
+        ]
+        # In shard-parallel replay every shard sees the same global events
+        # (scenario transitions, rebalances); only the shard owning node 0
+        # records them, so the merged trace carries each exactly once.
+        record_global = (
+            self._owned_ids is None or self._node_list[0].node_id in self._owned_ids
+        )
+        obs.attach(hosts, record_global=record_global)
+        obs.run_start(
+            self._resume_from if self._resume_from is not None else 0.0,
+            policy=self.policy_name,
+            workload=self.workload_name,
+            engine=engine,
+            nodes=len(self._node_list),
+            scenario=self.scenario.name,
+        )
+
+    def _obs_process_read(self, request: Request) -> None:
+        obs = self.obs
+        time = request.time
+        if time >= obs.next_boundary:
+            obs.roll(time)
+        token = obs.read_begin()
+        self._process_read(request)
+        obs.read_end(time, request.key, token)
+
+    def _obs_process_write(self, request: Request) -> None:
+        obs = self.obs
+        time = request.time
+        if time >= obs.next_boundary:
+            obs.roll(time)
+        span = obs.write_begin()
+        self._process_write(request)
+        obs.write_end(time, request.key, span)
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _apply_event(self, events: List[ScenarioEvent], index: int) -> int:
@@ -511,6 +586,10 @@ class ClusterSimulation:
         self.clock.advance_to(event.time)
         event.apply(self, event.time)
         self.event_log.append((event.time, event.label))
+        if self.obs is not None and self.obs.record_global:
+            self.obs.event(
+                event.time, "scenario", label=event.label, scenario=self.scenario.name
+            )
         return index + 1
 
     def _advance_background(self, until: float) -> None:
@@ -610,6 +689,11 @@ class ClusterSimulation:
         result.totals.wal_appends = stats["wal_appends"]
         result.totals.wal_flushes = stats["wal_flushes"]
         result.totals.snapshots_taken = stats["snapshots"]
+        if self.obs is not None:
+            if self.obs.record_global:
+                self.obs.event(stop_at, "interrupted")
+            self.obs.finish(stop_at)
+            result.obs = self.obs.payload()
         return result
 
     def restore_from_store(self) -> "RecoveryReport":
@@ -681,6 +765,14 @@ class ClusterSimulation:
         report.snapshot_time = checkpoint.time
         report.recovered_keys = len(self.datastore.known_keys())
         report.recovered_versions = self.datastore.total_writes
+        if self.obs is not None:
+            self.obs.event(
+                checkpoint.time,
+                "recovery",
+                snapshot_seq=checkpoint.seq,
+                keys=report.recovered_keys,
+                versions=report.recovered_versions,
+            )
         return report
 
     def _process_write(self, request: Request) -> None:
@@ -747,6 +839,9 @@ class ClusterSimulation:
             result.totals.wal_appends = stats["wal_appends"]
             result.totals.wal_flushes = stats["wal_flushes"]
             result.totals.snapshots_taken = stats["snapshots"]
+        if self.obs is not None:
+            self.obs.finish(end_time)
+            result.obs = self.obs.payload()
         return result
 
     def store_stats(self) -> Optional[Dict[str, Any]]:

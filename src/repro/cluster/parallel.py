@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cluster.results import ClusterResult
 from repro.cluster.vector import VectorClusterSimulation, _ClusterPlan
 from repro.errors import ClusterError
+from repro.obs.recorder import ObsConfig, merge_payloads
 from repro.workload.compiled import CompiledTrace
 
 #: ``(trace, cluster_kwargs, plan)`` stashed before the pool forks; workers
@@ -108,6 +109,12 @@ def replay_cluster_parallel(
             "parallel replay ships the policy to workers by registry name; "
             "pass policy as a string"
         )
+    obs = cluster_kwargs.get("obs")
+    if obs is not None and not isinstance(obs, ObsConfig):
+        raise ClusterError(
+            "parallel replay needs obs as an ObsConfig: every shard builds "
+            "its own recorder from it and the merge combines the payloads"
+        )
 
     partitions = partition_nodes(num_nodes, workers)
     # Route the whole trace once in the parent; forked shards inherit the
@@ -149,5 +156,11 @@ def _merge_shard_results(
     for owned, shard in zip(partitions[1:], shard_results[1:]):
         for index in owned:
             nodes[index] = shard.nodes[index]
+        if merged.obs is not None and shard.obs is not None:
+            # Shard 0 recorded the global events (it owns node 0); the other
+            # shards contribute their owned nodes' windows, spans, and
+            # metrics.  Windows stay per-node until export, so the merged
+            # series is byte-identical to a single-process run.
+            merged.obs = merge_payloads(merged.obs, shard.obs)
     merged.finalize()
     return merged

@@ -142,6 +142,9 @@ class ClusterResult:
     interrupted: bool = False
     #: Persistence-layer counters (``None`` when no store is configured).
     store: Dict[str, Any] | None = None
+    #: Observability payload (``None`` unless the run was constructed with
+    #: ``obs=``); see :meth:`repro.obs.ObsRecorder.payload`.
+    obs: Dict[str, Any] | None = None
 
     @property
     def load_imbalance(self) -> float:
@@ -235,6 +238,8 @@ class ClusterResult:
             row["interrupted"] = True
         if self.store is not None:
             row["store"] = dict(self.store)
+        if self.obs is not None:
+            row["obs"] = self.obs
         return row
 
     def node_rows(self) -> List[Dict[str, Any]]:

@@ -179,6 +179,8 @@ class VectorClusterSimulation(ClusterSimulation):
             num_nodes=len(self._node_list),
         )
         self._refresh_next_due()
+        if self.obs is not None:
+            self._obs_begin("vector")
         self._run_spans()
         # The scalar finaliser runs the trailing flush boundaries, node
         # finalisation, and result aggregation (there are no scenario events
@@ -324,11 +326,18 @@ class VectorClusterSimulation(ClusterSimulation):
                     self._owned_flags[node_idx] for node_idx in nodes
                 )
             self._owned_key_mask = key_owned
+        obs = self.obs
         if node0._reacts:
             start = 0
             while start < total:
                 end = int(np.searchsorted(times, self._next_flush, side="left"))
                 if end > start:
+                    if obs is not None:
+                        # Kernel stats fold into the window containing the
+                        # span's first request (span-granularity attribution).
+                        span_start = float(times[start])
+                        if span_start >= obs.next_boundary:
+                            obs.roll(span_start)
                     self._replay_reactive_span(start, end)
                     start = end
                     if start >= total:

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Sequence
 from repro.cluster import ClusterSimulation, ReplicationConfig, replay_cluster_parallel
 from repro.errors import ConfigurationError
 from repro.experiments.registry import make_policy
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.simulation import Simulation
 from repro.sim.vector import VectorSimulation
 from repro.store.format import KIND_WRITE, WalScan
@@ -34,6 +35,39 @@ from repro.workload.poisson import PoissonZipfWorkload
 DEFAULT_BENCH_POLICIES = ("ttl-expiry", "ttl-polling", "invalidate", "update", "adaptive")
 
 BENCH_ENGINES = ("scalar", "vector")
+
+#: The per-phase timing schema of a bench row.  This tuple is the single
+#: source of truth shared by :func:`bench_policy` (which emits the fields),
+#: the obs exporters (which surface them), and ``scripts/check_bench.py``
+#: (which refuses records missing any of them) — change it in one place.
+BENCH_PHASES = (
+    "wall_seconds",
+    "generation_seconds",
+    "merge_seconds",
+    "replay_seconds",
+)
+
+
+def phase_timings(
+    wall_seconds: float, generation_seconds: float, merge_seconds: float
+) -> Dict[str, float]:
+    """Fold raw phase clocks into the pinned :data:`BENCH_PHASES` schema.
+
+    Timings route through a :class:`~repro.obs.metrics.MetricsRegistry` so a
+    bench row's phase fields are exactly the registry's gauges — the same
+    representation the obs exporters use — and ``replay_seconds`` is derived
+    in one place (wall minus generation minus merge, floored at zero: the
+    phases are measured by separate clock reads, so tiny negative remainders
+    are measurement noise, not negative replay work).
+    """
+    registry = MetricsRegistry()
+    registry.gauge("wall_seconds").set(wall_seconds)
+    registry.gauge("generation_seconds").set(generation_seconds)
+    registry.gauge("merge_seconds").set(merge_seconds)
+    registry.gauge("replay_seconds").set(
+        max(wall_seconds - generation_seconds - merge_seconds, 0.0)
+    )
+    return {name: registry.gauge(name).value for name in BENCH_PHASES}
 
 
 def peak_rss_kib() -> int:
@@ -178,10 +212,7 @@ def bench_policy(
         "engine": engine,
         "workers": workers if num_nodes is not None else 1,
         "requests": replayed,
-        "wall_seconds": elapsed,
-        "generation_seconds": generation_seconds,
-        "merge_seconds": merge_seconds,
-        "replay_seconds": max(elapsed - generation_seconds - merge_seconds, 0.0),
+        **phase_timings(elapsed, generation_seconds, merge_seconds),
         "requests_per_sec": replayed / elapsed if elapsed > 0 else 0.0,
         "normalized_freshness_cost": result.normalized_freshness_cost,
         "normalized_staleness_cost": result.normalized_staleness_cost,

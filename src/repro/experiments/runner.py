@@ -13,6 +13,7 @@ id, so serial and parallel execution produce byte-identical outputs.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import tempfile
@@ -29,11 +30,14 @@ from repro.cluster import (
 )
 from repro.experiments.registry import make_cost_model, make_policy, make_workload
 from repro.experiments.spec import ExperimentSpec, RunCell
+from repro.obs.recorder import ObsConfig
 from repro.sim.simulation import Simulation
 from repro.sim.vector import VectorSimulation
 from repro.store.snapshot import StoreConfig
 from repro.tier.config import TierConfig
 from repro.workload.compiled import compile_workload
+
+_LOG = logging.getLogger(__name__)
 
 
 @contextmanager
@@ -82,6 +86,7 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             duration=cell.duration,
             workload_name=workload.name,
             store=store,
+            obs=_cell_obs(cell),
         )
         if cell.engine == "vector":
             # The vector simulation replays ineligible configurations (e.g.
@@ -99,7 +104,16 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
         row.update(simulation.run().as_dict())
         if store is not None:
             row["store"] = simulation.store_stats()
+        if simulation.obs is not None:
+            row["obs"] = simulation.obs.payload()
     return row
+
+
+def _cell_obs(cell: RunCell) -> Optional[ObsConfig]:
+    """Observability settings for a cell (``None`` keeps the zero-cost path)."""
+    if cell.obs_window is None:
+        return None
+    return ObsConfig(window=cell.obs_window)
 
 
 def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
@@ -140,6 +154,7 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             seed=cell.seed,
             store=store,
             tier=tier,
+            obs=_cell_obs(cell),
         )
         if cell.engine == "vector":
             # Falls back to the scalar routing loop for configurations the
@@ -176,6 +191,8 @@ def run_experiment(
     cells = spec.expand()
     if processes is None:
         processes = min(os.cpu_count() or 1, len(cells))
+    _LOG.debug("experiment '%s': %d cells on %d process(es)",
+               spec.name, len(cells), max(processes, 1))
     if processes <= 1 or len(cells) <= 1:
         rows = [run_cell(cell) for cell in cells]
     else:

@@ -136,6 +136,11 @@ class RunCell:
     # clock) — cells outside the vectorizable envelope fall back to the
     # scalar loop automatically.
     engine: str = "scalar"
+    # Observability.  ``obs_window=None`` (default) replays with zero
+    # telemetry overhead; a positive window samples windowed time-series,
+    # spans, and events (see :mod:`repro.obs`) into the row's ``obs`` key.
+    # Result counters are byte-identical either way.
+    obs_window: Optional[float] = None
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -163,6 +168,7 @@ class RunCell:
             "tier_mode": self.tier_mode,
             "tier_admission": self.tier_admission,
             "engine": self.engine,
+            "obs_window": self.obs_window,
         }
 
 
@@ -255,6 +261,7 @@ class ExperimentSpec:
     tier_modes: Sequence[str] = ("write-through",)
     tier_admission: str = "second-hit"
     engine: str = "scalar"
+    obs_window: Optional[float] = None
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -272,6 +279,10 @@ class ExperimentSpec:
         if self.engine not in ("scalar", "vector"):
             raise ConfigurationError(
                 f"engine must be 'scalar' or 'vector', got {self.engine!r}"
+            )
+        if self.obs_window is not None and self.obs_window <= 0:
+            raise ConfigurationError(
+                f"obs_window must be positive (or None to disable), got {self.obs_window}"
             )
         for nodes in self.num_nodes:
             if nodes is not None and nodes < 1:
@@ -517,6 +528,9 @@ class ExperimentSpec:
                     tier_mode=tier_mode,
                     tier_admission=self.tier_admission,
                     engine=self.engine,
+                    obs_window=(
+                        float(self.obs_window) if self.obs_window is not None else None
+                    ),
                 )
             )
         return cells

@@ -1,0 +1,38 @@
+"""Stdlib logging setup for the ``repro`` package.
+
+Library modules take the standard approach: a module-level
+``logging.getLogger(__name__)`` and no handler/level configuration of their
+own, so embedding applications keep full control.  The CLI entry point calls
+:func:`configure_logging` once, mapping ``-v/--verbose`` and ``-q/--quiet``
+to levels; without it, stdlib defaults apply (warnings and above to stderr).
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging"]
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def configure_logging(verbosity: int = 0, quiet: bool = False) -> int:
+    """Configure root ``repro`` logging for CLI use; returns the level set.
+
+    ``quiet`` wins over any ``verbosity`` count: ERROR.  Otherwise
+    ``verbosity`` 0 means INFO and 1+ means DEBUG.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbosity >= 1:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False
+    return level

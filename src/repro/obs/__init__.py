@@ -1,0 +1,51 @@
+"""Time-resolved telemetry for the replay stack (``repro.obs``).
+
+End-of-run aggregates (:class:`~repro.sim.results.SimulationResult` /
+:class:`~repro.cluster.results.ClusterResult`) answer *how much* but never
+*when*: stampede onset, the stale-serve spike of a ``node-failure`` scenario,
+or a tier's warming transient are invisible between t=0 and t=end.  This
+package adds the observability layer production cache operators reason from:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  log-bucketed percentile histograms with HDR-style **fixed** buckets, so
+  merging two histograms (e.g. across shard-parallel workers) is an exact
+  integer addition;
+* :class:`~repro.obs.recorder.ObsRecorder` — windowed time-series sampling
+  of the run (hit rate, miss cost, staleness violations, per-node load, tier
+  L1 share, channel drops per window) plus structured tracing: sampled
+  per-request spans and discrete events (scenario transitions, rebalances,
+  evictions, hot-key switches, snapshots, recovery) in a bounded buffer;
+* :mod:`~repro.obs.export` — JSONL / CSV / Prometheus text exporters and the
+  on-disk run-directory format behind ``python -m repro obs``.
+
+The recorder is strictly **observational**: it reads result counters at
+window boundaries and never feeds anything back into the simulation, so
+replay results are byte-identical with observability on or off.  Disabled
+mode is null-object zero cost — the replay loops bind their plain,
+un-instrumented hot-path methods when no recorder is attached.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    WINDOW_FIELDS,
+    ObsConfig,
+    ObsRecorder,
+    as_recorder,
+    merge_payloads,
+)
+from repro.obs.trace import TraceBuffer
+from repro.obs.windows import WindowSampler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObsRecorder",
+    "TraceBuffer",
+    "WindowSampler",
+    "WINDOW_FIELDS",
+    "as_recorder",
+    "merge_payloads",
+]

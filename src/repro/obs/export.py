@@ -1,0 +1,178 @@
+"""Exporters for recorder payloads: JSONL, CSV, Prometheus text, run dirs.
+
+An observability run directory (``--obs-dir`` / ``python -m repro obs``)
+mirrors the ``RUN.json`` convention of ``repro.store``:
+
+* ``OBS_RUN.json`` — the full recorder payload (self-describing);
+* ``windows.jsonl`` — one derived fleet-level window row per line;
+* ``trace.jsonl`` — one span/event record per line;
+* ``metrics.prom`` — Prometheus text exposition of totals and histograms.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Any, Dict, List, Mapping
+
+from repro.obs.metrics import Histogram, bucket_upper_bound
+from repro.obs.recorder import PAYLOAD_KIND, WINDOW_FIELDS
+from repro.obs.windows import window_rows
+
+__all__ = [
+    "export_windows_jsonl",
+    "export_windows_csv",
+    "export_trace_jsonl",
+    "export_prometheus",
+    "write_run",
+    "load_run",
+    "summarize",
+]
+
+OBS_RUN_FILENAME = "OBS_RUN.json"
+_PROM_PREFIX = "repro_"
+_PERCENTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+def derived_window_rows(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Fleet-level window rows (sorted-node sums + derived ratios)."""
+    return window_rows(payload.get("windows", {}), WINDOW_FIELDS)
+
+
+def export_windows_jsonl(payload: Mapping[str, Any]) -> str:
+    lines = [json.dumps(row, sort_keys=True) for row in derived_window_rows(payload)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_windows_csv(payload: Mapping[str, Any]) -> str:
+    rows = derived_window_rows(payload)
+    buffer = io.StringIO()
+    header = ["index", "start", "end", *WINDOW_FIELDS, "hit_rate", "miss_cost", "l1_share", "node_load"]
+    writer = csv.DictWriter(buffer, fieldnames=header, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        flat = dict(row)
+        flat["node_load"] = json.dumps(flat.get("node_load", {}), sort_keys=True)
+        writer.writerow(flat)
+    return buffer.getvalue()
+
+
+def export_trace_jsonl(payload: Mapping[str, Any]) -> str:
+    lines = [json.dumps(record, sort_keys=True) for record in payload.get("trace", [])]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_PREFIX + "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _prom_value(value: Any) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def export_prometheus(payload: Mapping[str, Any]) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms)."""
+    metrics = payload.get("metrics", {})
+    lines: List[str] = []
+    for name, value in metrics.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in metrics.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, data in metrics.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for index in sorted(int(i) for i in data.get("counts", {})):
+            cumulative += data["counts"][str(index)]
+            bound = _prom_value(bucket_upper_bound(index))
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {data.get("count", 0)}')
+        lines.append(f"{prom}_sum {_prom_value(data.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {data.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_run(payload: Mapping[str, Any], directory: str) -> Dict[str, str]:
+    """Write the run-directory artifact set; returns ``{name: path}``."""
+    os.makedirs(directory, exist_ok=True)
+    files = {
+        OBS_RUN_FILENAME: json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        "windows.jsonl": export_windows_jsonl(payload),
+        "trace.jsonl": export_trace_jsonl(payload),
+        "metrics.prom": export_prometheus(payload),
+    }
+    written = {}
+    for name, text in files.items():
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        written[name] = path
+    return written
+
+
+def load_run(directory: str) -> Dict[str, Any]:
+    """Load a payload back from a run directory written by :func:`write_run`."""
+    path = os.path.join(directory, OBS_RUN_FILENAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no {OBS_RUN_FILENAME} in {directory!r} - not an obs run directory")
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != PAYLOAD_KIND:
+        raise ValueError(f"{path!r} is not a {PAYLOAD_KIND} payload")
+    return payload
+
+
+def summarize(payload: Mapping[str, Any]) -> str:
+    """Human-readable run summary (meta, totals, windows, percentiles)."""
+    meta = payload.get("meta", {})
+    totals = meta.get("totals", {})
+    rows = derived_window_rows(payload)
+    lines: List[str] = []
+    descriptors = [
+        f"{key}={meta[key]}"
+        for key in ("policy", "workload", "engine", "nodes", "end_time")
+        if key in meta
+    ]
+    lines.append("obs run: " + (" ".join(descriptors) if descriptors else "(no meta)"))
+    reads = totals.get("reads", 0)
+    hits = totals.get("hits", 0)
+    lines.append(
+        f"totals: reads={reads} writes={totals.get('writes', 0)} "
+        f"hit_rate={hits / reads if reads else 0.0:.4f} "
+        f"stale_misses={totals.get('stale_misses', 0)} "
+        f"staleness_violations={totals.get('staleness_violations', 0)} "
+        f"drops={totals.get('messages_dropped', 0)}"
+    )
+    if rows:
+        rates = [row["hit_rate"] for row in rows]
+        peak_stale = max(rows, key=lambda row: row["staleness_violations"])
+        lines.append(
+            f"windows: {len(rows)} x {payload.get('windows', {}).get('window', 0)}s, "
+            f"hit_rate {min(rates):.4f}..{max(rates):.4f}, "
+            f"peak staleness_violations={peak_stale['staleness_violations']} "
+            f"at [{peak_stale['start']}, {peak_stale['end']})"
+        )
+    else:
+        lines.append("windows: none recorded")
+    histograms = payload.get("metrics", {}).get("histograms", {})
+    for name, data in histograms.items():
+        histogram = Histogram.from_dict(name, data)
+        quantiles = " ".join(
+            f"p{q * 100:g}".replace(".", "") + f"={histogram.percentile(q):.6g}"
+            for q in _PERCENTILES
+        )
+        lines.append(f"{name}: count={histogram.count} mean={histogram.mean:.6g} {quantiles}")
+    spans = sum(1 for record in payload.get("trace", []) if record.get("type") == "span")
+    events = sum(1 for record in payload.get("trace", []) if record.get("type") == "event")
+    lines.append(
+        f"trace: {spans} spans, {events} events, {payload.get('trace_dropped', 0)} dropped"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,405 @@
+"""The :class:`ObsRecorder`: windowed sampling + tracing for replay engines.
+
+The recorder is attached to a set of *hosts* — ``(node_id, result,
+cache_stats)`` triples — and observes them by diffing their counters:
+
+* at every window boundary it snapshots each host and attributes the deltas
+  since the previous snapshot to the window that just closed
+  (:class:`~repro.obs.windows.WindowSampler` keeps them per-node so
+  shard-parallel merges stay byte-identical);
+* for sampled requests (every ``span_every``-th, deterministic countdown —
+  no RNG is ever consulted, so replay results cannot be perturbed) it diffs
+  counters across the un-instrumented request handler to classify the
+  outcome and emit a span;
+* discrete events (scenario transitions, rebalances, snapshots, recovery,
+  evictions, hot-key switches) land in a bounded
+  :class:`~repro.obs.trace.TraceBuffer`.
+
+Engines keep their plain hot paths when no recorder is attached: the
+recorder is only ever consulted from ``_obs_*`` wrapper methods that the
+replay loops bind *instead of* the plain ones, never in addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry, merge_metric_dicts
+from repro.obs.trace import TraceBuffer, merge_trace_records
+from repro.obs.windows import WindowSampler, merge_window_dicts
+
+__all__ = ["ObsConfig", "ObsRecorder", "WINDOW_FIELDS", "as_recorder", "merge_payloads"]
+
+PAYLOAD_KIND = "repro-obs"
+PAYLOAD_VERSION = 1
+
+# Counter fields sampled from each host's result object at window
+# boundaries.  Missing fields read as 0, so the same list serves
+# SimulationResult (single cache) and NodeResult (cluster) hosts.
+_RESULT_FIELDS = (
+    "reads",
+    "writes",
+    "hits",
+    "stale_misses",
+    "cold_misses",
+    "staleness_violations",
+    "messages_dropped",
+    "polls",
+    "invalidates_sent",
+    "updates_sent",
+    "freshness_cost",
+    "cold_miss_cost",
+    "poll_cost",
+    "tier_cost",
+    "l1_hits",
+    "l1_evictions",
+    "l1_writebacks",
+    "l1_served_degraded",
+    "hot_decisions",
+    "failed_fetches",
+)
+# Fields sampled from each host's Cache.stats (the L2 cache).
+_CACHE_FIELDS = ("evictions", "expirations")
+WINDOW_FIELDS: Tuple[str, ...] = _RESULT_FIELDS + _CACHE_FIELDS
+
+
+@dataclass(frozen=True, slots=True)
+class ObsConfig:
+    """Picklable observability settings (safe to ship to forked workers).
+
+    ``window`` is the sampling window width in simulation seconds;
+    ``span_every`` samples every N-th request as a span (0 disables spans);
+    ``max_trace_records`` bounds the span/event buffer.  ``enabled=False``
+    makes :func:`as_recorder` return ``None`` so engines bind their plain,
+    zero-overhead hot paths.
+    """
+
+    window: float = 1.0
+    span_every: int = 1000
+    max_trace_records: int = 10000
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.window > 0 and self.window == self.window):
+            raise ValueError(f"obs window must be a positive number, got {self.window!r}")
+        if self.span_every < 0:
+            raise ValueError(f"span_every must be >= 0, got {self.span_every}")
+        if self.max_trace_records < 0:
+            raise ValueError(f"max_trace_records must be >= 0, got {self.max_trace_records}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "span_every": self.span_every,
+            "max_trace_records": self.max_trace_records,
+        }
+
+
+def as_recorder(obs: Any) -> Optional["ObsRecorder"]:
+    """Normalize an ``obs=`` argument to a recorder (or ``None`` if disabled)."""
+    if obs is None:
+        return None
+    if isinstance(obs, ObsRecorder):
+        return obs
+    if isinstance(obs, ObsConfig):
+        return ObsRecorder(obs) if obs.enabled else None
+    raise TypeError(f"obs must be an ObsConfig, ObsRecorder, or None, got {type(obs).__name__}")
+
+
+class ObsRecorder:
+    """Observes attached hosts; never feeds anything back into the replay."""
+
+    __slots__ = (
+        "config",
+        "registry",
+        "windows",
+        "trace",
+        "record_global",
+        "next_boundary",
+        "_window_index",
+        "_hosts",
+        "_last",
+        "_span_countdown",
+        "_meta",
+    )
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config or ObsConfig()
+        self.registry = MetricsRegistry()
+        self.windows = WindowSampler(self.config.window)
+        self.trace = TraceBuffer(self.config.max_trace_records)
+        self.record_global = True
+        self.next_boundary = self.config.window
+        self._window_index = 0
+        self._hosts: Tuple[Tuple[str, Any, Any], ...] = ()
+        self._last: Dict[str, Dict[str, float]] = {}
+        # Countdown of 1 samples the very first request, then every N-th.
+        self._span_countdown = 1 if self.config.span_every else 0
+        self._meta: Dict[str, Any] = {}
+
+    # -- attachment and lifecycle -------------------------------------------
+
+    def attach(
+        self,
+        hosts: Sequence[Tuple[str, Any, Any]],
+        record_global: bool = True,
+    ) -> None:
+        """Bind the hosts to observe: ``(node_id, result, cache_stats)`` triples.
+
+        ``cache_stats`` may be ``None`` for hosts without a directly owned
+        cache.  ``record_global`` marks the recorder responsible for
+        fleet-wide events (scenario transitions, run start/end); in
+        shard-parallel replay only the shard owning node 0 sets it, so
+        merged traces carry each global event once.
+        """
+        self._hosts = tuple(hosts)
+        self.record_global = record_global
+        self._last = {node_id: self._snapshot(result, stats) for node_id, result, stats in self._hosts}
+
+    def run_start(self, time: float = 0.0, **meta: Any) -> None:
+        self._meta.update(meta)
+        if self.record_global:
+            self.event(time, "run-start", **meta)
+
+    def finish(self, end_time: float, **meta: Any) -> None:
+        """Close the open window, record totals, and emit the run-end event."""
+        self._flush_window()
+        totals: Dict[str, float] = {}
+        for node_id, result, stats in self._hosts:
+            for field, value in self._snapshot(result, stats).items():
+                if value:
+                    totals[field] = totals.get(field, 0) + value
+        for field in sorted(totals):
+            self.registry.counter(f"total_{field}").value = totals[field]
+        self.registry.gauge("end_time").set(end_time)
+        self._meta.update(meta)
+        self._meta["end_time"] = end_time
+        self._meta["totals"] = totals
+        if self.record_global:
+            self.event(end_time, "run-end")
+
+    # -- windowed sampling ---------------------------------------------------
+
+    def _snapshot(self, result: Any, stats: Any) -> Dict[str, float]:
+        values = {field: getattr(result, field, 0) for field in _RESULT_FIELDS}
+        if stats is not None:
+            for field in _CACHE_FIELDS:
+                values[field] = getattr(stats, field, 0)
+        return values
+
+    def _flush_window(self) -> None:
+        """Attribute deltas since the last snapshot to the open window."""
+        index = self._window_index
+        boundary = (index + 1) * self.config.window
+        for node_id, result, stats in self._hosts:
+            current = self._snapshot(result, stats)
+            last = self._last[node_id]
+            deltas = {
+                field: current[field] - last.get(field, 0)
+                for field in current
+                if current[field] != last.get(field, 0)
+            }
+            if not deltas:
+                continue
+            self.windows.add(index, node_id, deltas)
+            evicted = deltas.get("evictions", 0)
+            if evicted:
+                self.event(boundary, "eviction", node=node_id, count=evicted)
+            switched = deltas.get("hot_decisions", 0)
+            if switched:
+                self.event(boundary, "hot-key-switch", node=node_id, count=switched)
+            self._last[node_id] = current
+
+    def roll(self, now: float) -> None:
+        """Close the open window and open the one containing ``now``.
+
+        Engines call this when a request (or vectorized span) starts at or
+        past ``next_boundary``; empty windows in between stay sparse.
+        """
+        self._flush_window()
+        self._window_index = int(now // self.config.window)
+        self.next_boundary = (self._window_index + 1) * self.config.window
+
+    # -- per-request hooks (enabled mode only) -------------------------------
+
+    def span_due(self) -> bool:
+        """Deterministic every-N-th sampling decision (no RNG consulted)."""
+        if self._span_countdown == 0:
+            return False
+        self._span_countdown -= 1
+        if self._span_countdown == 0:
+            self._span_countdown = self.config.span_every
+            return True
+        return False
+
+    def _cost_now(self) -> float:
+        total = 0.0
+        for _, result, _ in self._hosts:
+            total += getattr(result, "freshness_cost", 0) + getattr(result, "cold_miss_cost", 0)
+        return total
+
+    def _span_snapshot(self) -> Optional[List[Tuple[str, float, Dict[str, float]]]]:
+        """Pre-request snapshot for span diffing (None when not sampled)."""
+        if not self.span_due():
+            return None
+        return [
+            (node_id, getattr(result, "reads", 0) + getattr(result, "writes", 0),
+             self._snapshot(result, stats))
+            for node_id, result, stats in self._hosts
+        ]
+
+    def read_begin(self) -> Tuple[float, Optional[List[Tuple[str, float, Dict[str, float]]]]]:
+        return self._cost_now(), self._span_snapshot()
+
+    def read_end(
+        self,
+        time: float,
+        key: Any,
+        token: Tuple[float, Optional[List[Tuple[str, float, Dict[str, float]]]]],
+    ) -> None:
+        cost_before, span = token
+        self.registry.histogram("read_cost").observe(self._cost_now() - cost_before)
+        if span is not None:
+            self.record_read_span(time, key, span)
+
+    def write_begin(self) -> Optional[List[Tuple[str, float, Dict[str, float]]]]:
+        return self._span_snapshot()
+
+    def write_end(
+        self,
+        time: float,
+        key: Any,
+        span: Optional[List[Tuple[str, float, Dict[str, float]]]],
+    ) -> None:
+        if span is not None:
+            self.record_write_span(time, key, span)
+
+    def record_read_span(
+        self, time: float, key: Any, before: List[Tuple[str, float, Dict[str, float]]]
+    ) -> None:
+        node, deltas = self._span_deltas(before)
+        if deltas.get("l1_hits"):
+            outcome, phases = "l1_hit", ["route", "l1_lookup"]
+        elif deltas.get("hits"):
+            outcome, phases = "hit", ["route", "tier_lookup"]
+        elif deltas.get("stale_misses"):
+            outcome, phases = "stale_miss", ["route", "tier_lookup", "backend_fetch"]
+        elif deltas.get("cold_misses"):
+            outcome, phases = "cold_miss", ["route", "tier_lookup", "backend_fetch"]
+        elif deltas.get("failed_fetches"):
+            outcome, phases = "unreachable", ["route", "tier_lookup"]
+        else:
+            outcome, phases = "other", ["route"]
+        cost = deltas.get("freshness_cost", 0) + deltas.get("cold_miss_cost", 0)
+        self.trace.append(
+            {
+                "type": "span",
+                "time": time,
+                "op": "read",
+                "key": key,
+                "node": node,
+                "outcome": outcome,
+                "cost": cost,
+                "stale": bool(deltas.get("staleness_violations")),
+                "phases": phases,
+            }
+        )
+
+    def record_write_span(
+        self, time: float, key: Any, before: List[Tuple[str, float, Dict[str, float]]]
+    ) -> None:
+        node, deltas = self._span_deltas(before)
+        sent = deltas.get("invalidates_sent", 0) + deltas.get("updates_sent", 0)
+        # Fanout is buffered by the owning node's policy and flushed later;
+        # the flushed messages show up in the window counters instead.
+        phases = ["route", "backend_write", "fanout" if sent else "buffer_fanout"]
+        self.trace.append(
+            {
+                "type": "span",
+                "time": time,
+                "op": "write",
+                "key": key,
+                "node": node,
+                "outcome": "applied",
+                "messages": sent,
+                "buffered": not sent,
+                "phases": phases,
+            }
+        )
+
+    def _span_deltas(
+        self, before: List[Tuple[str, float, Dict[str, float]]]
+    ) -> Tuple[str, Dict[str, float]]:
+        """Locate the host that served the request and diff its counters."""
+        serving = None
+        combined: Dict[str, float] = {}
+        for (node_id, requests, snapshot), (_, result, stats) in zip(before, self._hosts):
+            now_requests = getattr(result, "reads", 0) + getattr(result, "writes", 0)
+            if now_requests == requests:
+                continue
+            current = self._snapshot(result, stats)
+            if serving is None:
+                serving = node_id
+            for field, value in current.items():
+                delta = value - snapshot.get(field, 0)
+                if delta:
+                    combined[field] = combined.get(field, 0) + delta
+        return serving or "?", combined
+
+    # -- events and store timings -------------------------------------------
+
+    def event(self, time: float, kind: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"type": "event", "time": time, "kind": kind}
+        record.update(fields)
+        self.trace.append(record)
+        self.registry.counter(f"events_{kind}").inc()
+
+    def observe_store(self, metric: str, seconds: float) -> None:
+        """Fold a wall-clock store timing (WAL sync, snapshot) into a histogram."""
+        self.registry.histogram(metric).observe(seconds)
+
+    # -- payload -------------------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-serializable record of everything observed."""
+        return {
+            "kind": PAYLOAD_KIND,
+            "version": PAYLOAD_VERSION,
+            "config": self.config.as_dict(),
+            "meta": dict(self._meta),
+            "metrics": self.registry.as_dict(),
+            "windows": self.windows.as_dict(),
+            "trace": list(self.trace.records),
+            "trace_dropped": self.trace.dropped,
+        }
+
+
+def merge_payloads(base: Mapping[str, Any], other: Mapping[str, Any]) -> Dict[str, Any]:
+    """Merge two recorder payloads from shards observing disjoint nodes.
+
+    Windows union (they stay per-node until export), histograms bucket-add,
+    counters add, traces interleave on a deterministic sort key.  ``meta``
+    comes from ``base`` (the globally-recording shard) with totals re-summed.
+    """
+    for field in ("kind", "version", "config"):
+        if base.get(field) != other.get(field):
+            raise ValueError(
+                f"cannot merge obs payloads with mismatched {field}: "
+                f"{base.get(field)!r} vs {other.get(field)!r}"
+            )
+    meta = dict(base.get("meta", {}))
+    totals = dict(meta.get("totals", {}))
+    for field, value in other.get("meta", {}).get("totals", {}).items():
+        totals[field] = totals.get(field, 0) + value
+    meta["totals"] = totals
+    return {
+        "kind": base.get("kind", PAYLOAD_KIND),
+        "version": base.get("version", PAYLOAD_VERSION),
+        "config": dict(base.get("config", {})),
+        "meta": meta,
+        "metrics": merge_metric_dicts(base.get("metrics"), other.get("metrics")),
+        "windows": merge_window_dicts(base.get("windows", {}), other.get("windows", {})),
+        "trace": merge_trace_records(base.get("trace", []), other.get("trace", [])),
+        "trace_dropped": base.get("trace_dropped", 0) + other.get("trace_dropped", 0),
+    }

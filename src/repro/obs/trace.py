@@ -1,0 +1,59 @@
+"""Bounded buffer for structured trace records (spans and events).
+
+Records are plain JSON-serializable dicts with a ``type`` of ``"span"`` or
+``"event"`` and a ``time`` in simulation seconds.  The buffer is bounded:
+once ``max_records`` is reached new records are counted in ``dropped``
+instead of growing memory without bound on long replays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["TraceBuffer", "merge_trace_records"]
+
+
+def _sort_key(record: Dict[str, Any]) -> tuple:
+    return (
+        record.get("time", 0.0),
+        record.get("type", ""),
+        record.get("kind", record.get("op", "")),
+        str(record.get("node", "")),
+        str(record.get("key", "")),
+    )
+
+
+class TraceBuffer:
+    """Append-only record buffer with a hard size cap and drop accounting."""
+
+    __slots__ = ("max_records", "records", "dropped")
+
+    def __init__(self, max_records: int = 10000) -> None:
+        if max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
+        self.max_records = max_records
+        self.records: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def merge_trace_records(
+    base: Iterable[Dict[str, Any]], other: Iterable[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Merge two trace streams into one, ordered by (time, type, kind, ...).
+
+    The sort key is deterministic for any interleaving, so shard-parallel
+    workers tracing disjoint nodes merge into the same stream regardless of
+    worker count.
+    """
+    merged = list(base) + list(other)
+    merged.sort(key=_sort_key)
+    return merged

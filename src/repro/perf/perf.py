@@ -369,6 +369,47 @@ def bench_shard_merge(scale: float = 1.0) -> Dict[str, Any]:
     }
 
 
+def _obs_replay(scale: float, obs: Any) -> Dict[str, Any]:
+    """Single-cache replay with the given obs setting (shared harness)."""
+    from repro.experiments.registry import make_policy
+    from repro.sim.simulation import Simulation
+    from repro.workload.poisson import PoissonZipfWorkload
+
+    requests = _scaled(50_000, scale)
+    workload = PoissonZipfWorkload(num_keys=500, rate_per_key=100.0, seed=0)
+    duration = requests / (100.0 * 500)
+
+    def replay() -> None:
+        Simulation(
+            workload=workload.iter_requests(duration),
+            policy=make_policy("invalidate"),
+            staleness_bound=1.0,
+            duration=duration,
+            workload_name=workload.name,
+            obs=obs,
+        ).run()
+
+    timing = time_callable(replay)
+    return {"ops": requests, "ops_per_sec": requests / timing["best_seconds"], **timing}
+
+
+def bench_obs_disabled(scale: float = 1.0) -> Dict[str, Any]:
+    """Replay with telemetry off — the zero-cost claim under a clock.
+
+    ``obs=None`` binds the raw ``_process_read``/``_process_write`` methods
+    at the top of ``run()``, so this must be indistinguishable from a build
+    without the hooks; compare against ``replay-single`` and ``obs-enabled``.
+    """
+    return _obs_replay(scale, None)
+
+
+def bench_obs_enabled(scale: float = 1.0) -> Dict[str, Any]:
+    """Replay with a live recorder (1s windows, sampled spans) — the paid cost."""
+    from repro.obs.recorder import ObsConfig
+
+    return _obs_replay(scale, ObsConfig(window=1.0))
+
+
 #: Registry of component benchmarks, in report order.
 MICROBENCHES: Dict[str, Callable[[float], Dict[str, Any]]] = {
     "fingerprint": bench_fingerprint,
@@ -381,6 +422,8 @@ MICROBENCHES: Dict[str, Callable[[float], Dict[str, Any]]] = {
     "replay-cluster": bench_replay_cluster,
     "vector-kernels": bench_vector_kernels,
     "shard-merge": bench_shard_merge,
+    "obs-disabled": bench_obs_disabled,
+    "obs-enabled": bench_obs_enabled,
 }
 
 

@@ -42,6 +42,7 @@ from repro.core.cost_model import CostModel
 from repro.core.policy import Action, FreshnessPolicy, FutureIndex, PolicyContext
 from repro.core.ttl import TTLPollingPolicy, account_entry_polls
 from repro.errors import ConfigurationError, WorkloadError
+from repro.obs.recorder import as_recorder
 from repro.sim.clock import SimulationClock
 from repro.sim.events import PendingDelivery
 from repro.sim.results import SimulationResult
@@ -92,6 +93,14 @@ class Simulation:
             byte-for-byte by :func:`repro.store.recover_datastore`.
         history_retention: Optional retention window for the datastore's
             per-key write history (see :class:`~repro.backend.datastore.DataStore`).
+        obs: Optional observability settings — an
+            :class:`~repro.obs.ObsConfig` (or a pre-built
+            :class:`~repro.obs.ObsRecorder`).  When set, the run records
+            windowed time-series, sampled request spans, and events into
+            ``self.obs`` (see :mod:`repro.obs`); when ``None`` (default) the
+            replay binds its plain hot path and pays zero overhead.  The
+            recorder only observes result counters — replay results are
+            byte-identical with observability on or off.
     """
 
     def __init__(
@@ -110,6 +119,7 @@ class Simulation:
         final_flush: bool = True,
         store: Optional[StoreConfig] = None,
         history_retention: Optional[float] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         if staleness_bound <= 0:
             raise ConfigurationError(
@@ -140,11 +150,14 @@ class Simulation:
                 duration = 0.0
         self.duration = float(duration)
 
+        self.obs = as_recorder(obs)
         self.datastore = DataStore(retention=history_retention)
         self._store: Optional[StoreRuntime] = None
         if store is not None:
             self._store = StoreRuntime(store, self.costs)
             self._store.attach(self.datastore)
+            if self.obs is not None:
+                self._store.attach_obs(self.obs)
         self.cache = Cache(capacity=cache_capacity, eviction=eviction, on_evict=self._on_evict)
         self.buffer = WriteBuffer()
         self.tracker = InvalidationTracker(capacity=tracker_capacity)
@@ -180,8 +193,15 @@ class Simulation:
         self._bind_policy()
         self._refresh_next_due()
         clock = self.clock
-        process_read = self._process_read
-        process_write = self._process_write
+        # Observability binds wrapper methods *instead of* the plain ones:
+        # with obs disabled this loop is byte-for-byte the plain hot path.
+        if self.obs is not None:
+            self._obs_begin("scalar")
+            process_read = self._obs_process_read
+            process_write = self._obs_process_write
+        else:
+            process_read = self._process_read
+            process_write = self._process_write
         advance_background = self._advance_background_work
         write_op = OpType.WRITE
         previous = float("-inf")
@@ -202,6 +222,37 @@ class Simulation:
                 process_read(request)
         self._finalize()
         return self.result
+
+    # ------------------------------------------------------------------ #
+    # Observability wrappers (only ever bound when a recorder is attached)
+    # ------------------------------------------------------------------ #
+    def _obs_begin(self, engine: str) -> None:
+        self.obs.attach((("cache", self.result, self.cache.stats),))
+        self.obs.run_start(
+            0.0,
+            policy=self.policy.name,
+            workload=self.workload_name,
+            engine=engine,
+            nodes=1,
+        )
+
+    def _obs_process_read(self, request: Request) -> None:
+        obs = self.obs
+        time = request.time
+        if time >= obs.next_boundary:
+            obs.roll(time)
+        token = obs.read_begin()
+        self._process_read(request)
+        obs.read_end(time, request.key, token)
+
+    def _obs_process_write(self, request: Request) -> None:
+        obs = self.obs
+        time = request.time
+        if time >= obs.next_boundary:
+            obs.roll(time)
+        span = obs.write_begin()
+        self._process_write(request)
+        obs.write_end(time, request.key, span)
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -509,6 +560,8 @@ class Simulation:
             self._store.close()
         self.result.duration = end_time
         self.result.cache_stats = self.cache.stats.as_dict()
+        if self.obs is not None:
+            self.obs.finish(end_time)
 
     def store_stats(self) -> Optional[Dict[str, Any]]:
         """Deterministic persistence counters (``None`` without a store)."""

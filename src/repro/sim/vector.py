@@ -685,6 +685,8 @@ class VectorSimulation(Simulation):
         self.used_vector_path = True
         self._bind_policy()
         self._refresh_next_due()
+        if self.obs is not None:
+            self._obs_begin("vector")
         self._run_spans()
         self._finalize()
         return self.result
@@ -721,11 +723,18 @@ class VectorSimulation(Simulation):
             reacts=self.policy.reacts_to_writes,
             discard_on_miss_fill=self.discard_buffer_on_miss_fill,
         )
+        obs = self.obs
         if self.policy.reacts_to_writes:
             start = 0
             while start < total:
                 end = int(np.searchsorted(times, self._next_flush, side="left"))
                 if end > start:
+                    if obs is not None:
+                        # Kernel stats fold into the window containing the
+                        # span's first request (span-granularity attribution).
+                        span_start = float(times[start])
+                        if span_start >= obs.next_boundary:
+                            obs.roll(span_start)
                     self._replay_reactive_span(ctx, host, start, end)
                     start = end
                     if start >= total:

@@ -10,7 +10,9 @@ persistence implementation.
 
 from __future__ import annotations
 
+import logging
 import math
+import time as time_module
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
@@ -18,6 +20,8 @@ from repro.backend.datastore import DataStore
 from repro.core.cost_model import CostModel
 from repro.store.snapshot import SnapshotManager, StoreConfig, serialize_datastore
 from repro.store.wal import Journal, WriteAheadLog
+
+_LOG = logging.getLogger(__name__)
 
 
 class StoreRuntime:
@@ -43,10 +47,20 @@ class StoreRuntime:
         self.next_snapshot = self._interval if self._interval is not None else math.inf
         self._last_checkpoint_time: Optional[float] = None
         self._last_checkpoint_lsn = -1
+        self._obs = None
 
     def attach(self, datastore: DataStore) -> None:
         """Start journaling the datastore's writes and reads."""
         datastore.attach_journal(self.journal)
+
+    def attach_obs(self, recorder: Any) -> None:
+        """Fold WAL-sync and snapshot wall timings into an obs recorder.
+
+        Timings are wall-clock (like the bench numbers) and deliberately
+        excluded from ``stats()`` — they feed histograms and events only, so
+        deterministic result rows stay deterministic.
+        """
+        self._obs = recorder
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -68,7 +82,11 @@ class StoreRuntime:
         fresh snapshot is taken — otherwise those records would sit past the
         watermark and make the store unresumable.
         """
+        obs = self._obs
+        sync_started = time_module.perf_counter() if obs is not None else 0.0
         self.journal.sync()
+        if obs is not None:
+            obs.observe_store("wal_sync_seconds", time_module.perf_counter() - sync_started)
         if self._last_checkpoint_time == time and self.wal.last_lsn == self._last_checkpoint_lsn:
             if self._interval is not None and self.next_snapshot <= time:
                 self.next_snapshot += self._interval  # pragma: no cover - defensive
@@ -79,6 +97,7 @@ class StoreRuntime:
         extra["next_snapshot"] = (
             self.next_snapshot if math.isfinite(self.next_snapshot) else None
         )
+        snap_started = time_module.perf_counter() if obs is not None else 0.0
         self.manager.take(
             time=time,
             wal_lsn=self.wal.last_lsn,
@@ -89,8 +108,17 @@ class StoreRuntime:
         )
         self._last_checkpoint_time = time
         self._last_checkpoint_lsn = self.wal.last_lsn
+        _LOG.debug("checkpoint at t=%s (seq=%d, wal_lsn=%d)",
+                   time, self.manager.last_seq, self.wal.last_lsn)
         if self.config.compact:
             self.wal.compact(self.wal.last_lsn)
+        if obs is not None:
+            seconds = time_module.perf_counter() - snap_started
+            obs.observe_store("snapshot_seconds", seconds)
+            if obs.record_global:
+                obs.event(
+                    time, "snapshot", seq=self.manager.last_seq, wal_lsn=self.wal.last_lsn
+                )
 
     # ------------------------------------------------------------------ #
     # Resume support

@@ -18,7 +18,16 @@ def test_help_lists_every_subcommand(capsys) -> None:
     listing = re.search(r"\{([a-z,-]+)\}", out)
     assert listing is not None, f"no subcommand listing in --help output:\n{out}"
     subcommands = set(listing.group(1).split(","))
-    assert subcommands == {"run", "sweep", "bench", "perf", "cluster", "store", "tier"}
+    assert subcommands == {
+        "run",
+        "sweep",
+        "bench",
+        "perf",
+        "cluster",
+        "store",
+        "tier",
+        "obs",
+    }
 
 
 def test_version_flag_prints_the_package_version(capsys) -> None:

@@ -75,7 +75,7 @@ def test_scenario_catalog_documents_every_registered_scenario() -> None:
 
 def test_cli_subcommands_are_documented_in_readme() -> None:
     readme = (ROOT / "README.md").read_text()
-    for subcommand in ("run", "sweep", "cluster", "tier", "bench", "store"):
+    for subcommand in ("run", "sweep", "cluster", "tier", "bench", "store", "obs"):
         assert re.search(rf"python -m repro {subcommand}\b", readme), (
             f"README does not show `python -m repro {subcommand}`"
         )

@@ -1,0 +1,198 @@
+"""Closed-form policy costs (repro.model.analytical) against hand-computed values.
+
+Defaults make the arithmetic exact enough to check by hand: c_m=1.0,
+c_i=0.1, c_u=0.6, serve=1.0, so every expectation below is the formula from
+§2.2/§3.1 evaluated directly.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.errors import ConfigurationError
+from repro.model.analytical import (
+    AggregateCosts,
+    InvalidationModel,
+    KeyParameters,
+    TTLExpiryModel,
+    TTLPollingModel,
+    UpdateModel,
+    _require_positive_bound,
+    aggregate_normalized_costs,
+    steady_state_invalidated_probability,
+)
+from repro.model.arrivals import expected_reads, p_read, p_write
+
+KEY = KeyParameters(rate=10.0, read_ratio=0.9)
+BOUND = 1.0
+HORIZON = 100.0
+
+
+class TestKeyParameters:
+    def test_defaults(self) -> None:
+        assert KEY.key_size == 16
+        assert KEY.value_size == 128
+
+    def test_negative_rate_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            KeyParameters(rate=-1.0, read_ratio=0.5)
+
+    @pytest.mark.parametrize("ratio", [-0.1, 1.1])
+    def test_read_ratio_outside_unit_interval_rejected(self, ratio: float) -> None:
+        with pytest.raises(ConfigurationError):
+            KeyParameters(rate=1.0, read_ratio=ratio)
+
+    def test_boundary_ratios_accepted(self) -> None:
+        KeyParameters(rate=0.0, read_ratio=0.0)
+        KeyParameters(rate=0.0, read_ratio=1.0)
+
+
+class TestTTLExpiry:
+    def test_staleness_is_interval_count_times_read_probability(self) -> None:
+        model = TTLExpiryModel()
+        expected = (HORIZON / BOUND) * p_read(KEY.rate, KEY.read_ratio, BOUND)
+        assert model.staleness_cost(KEY, BOUND, HORIZON) == pytest.approx(expected)
+
+    def test_freshness_is_staleness_times_miss_cost(self) -> None:
+        model = TTLExpiryModel(CostModel(miss=2.0))
+        stale = model.staleness_cost(KEY, BOUND, HORIZON)
+        assert model.freshness_cost(KEY, BOUND, HORIZON) == pytest.approx(2.0 * stale)
+
+
+class TestTTLPolling:
+    def test_never_stale(self) -> None:
+        assert TTLPollingModel().staleness_cost(KEY, BOUND, HORIZON) == 0.0
+
+    def test_freshness_is_poll_count_times_miss_cost(self) -> None:
+        model = TTLPollingModel()
+        assert model.freshness_cost(KEY, 0.5, HORIZON) == pytest.approx(
+            (HORIZON / 0.5) * 1.0
+        )
+
+
+class TestInvalidation:
+    def test_interval_factor_formula(self) -> None:
+        model = InvalidationModel()
+        reads = p_read(KEY.rate, KEY.read_ratio, BOUND)
+        writes = p_write(KEY.rate, KEY.read_ratio, BOUND)
+        expected = (HORIZON / BOUND) * reads * writes / (reads + writes)
+        assert model.staleness_cost(KEY, BOUND, HORIZON) == pytest.approx(expected)
+        assert model.freshness_cost(KEY, BOUND, HORIZON) == pytest.approx(
+            expected * (1.0 + 0.1)  # c_m + c_i
+        )
+
+    def test_idle_key_costs_nothing(self) -> None:
+        idle = KeyParameters(rate=0.0, read_ratio=0.5)
+        model = InvalidationModel()
+        assert model.staleness_cost(idle, BOUND, HORIZON) == 0.0
+        assert model.freshness_cost(idle, BOUND, HORIZON) == 0.0
+
+
+class TestUpdate:
+    def test_never_stale(self) -> None:
+        assert UpdateModel().staleness_cost(KEY, BOUND, HORIZON) == 0.0
+
+    def test_freshness_is_write_probability_times_update_cost(self) -> None:
+        model = UpdateModel()
+        writes = p_write(KEY.rate, KEY.read_ratio, BOUND)
+        assert model.freshness_cost(KEY, BOUND, HORIZON) == pytest.approx(
+            (HORIZON / BOUND) * writes * 0.6
+        )
+
+
+class TestNormalisation:
+    def test_normalized_freshness_divides_by_useful_work(self) -> None:
+        model = TTLPollingModel()
+        useful = expected_reads(KEY.rate, KEY.read_ratio, HORIZON) * 1.0
+        assert model.useful_work(KEY, HORIZON) == pytest.approx(useful)
+        assert model.normalized_freshness_cost(KEY, BOUND, HORIZON) == pytest.approx(
+            model.freshness_cost(KEY, BOUND, HORIZON) / useful
+        )
+
+    def test_normalized_staleness_divides_by_reads(self) -> None:
+        model = TTLExpiryModel()
+        reads = expected_reads(KEY.rate, KEY.read_ratio, HORIZON)
+        assert model.normalized_staleness_cost(KEY, BOUND, HORIZON) == pytest.approx(
+            model.staleness_cost(KEY, BOUND, HORIZON) / reads
+        )
+
+    def test_write_only_key_normalises_to_zero(self) -> None:
+        write_only = KeyParameters(rate=5.0, read_ratio=0.0)
+        model = TTLExpiryModel()
+        assert model.normalized_freshness_cost(write_only, BOUND, HORIZON) == 0.0
+        assert model.normalized_staleness_cost(write_only, BOUND, HORIZON) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "model",
+        [TTLExpiryModel(), TTLPollingModel(), InvalidationModel(), UpdateModel()],
+    )
+    def test_non_positive_bound_rejected(self, model) -> None:
+        with pytest.raises(ConfigurationError):
+            model.staleness_cost(KEY, 0.0, HORIZON)
+        with pytest.raises(ConfigurationError):
+            model.freshness_cost(KEY, -1.0, HORIZON)
+
+    def test_negative_horizon_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            _require_positive_bound(1.0, -1.0)
+
+    def test_zero_horizon_accepted(self) -> None:
+        _require_positive_bound(1.0, 0.0)
+        assert TTLExpiryModel().staleness_cost(KEY, BOUND, 0.0) == 0.0
+
+
+class TestSteadyState:
+    def test_fixed_point(self) -> None:
+        reads, writes = 0.6, 0.3
+        p = steady_state_invalidated_probability(reads, writes)
+        # p must satisfy the paper's recurrence p = p(1 - P_R) + (1 - p)P_W.
+        assert p == pytest.approx(p * (1.0 - reads) + (1.0 - p) * writes)
+        assert p == pytest.approx(writes / (reads + writes))
+
+    def test_no_traffic_is_never_invalidated(self) -> None:
+        assert steady_state_invalidated_probability(0.0, 0.0) == 0.0
+
+
+class TestAggregate:
+    def test_sums_per_key_costs(self) -> None:
+        keys = [KeyParameters(rate=r, read_ratio=0.9) for r in (1.0, 5.0, 20.0)]
+        model = InvalidationModel()
+        aggregate = aggregate_normalized_costs(model, keys, BOUND, HORIZON)
+        assert aggregate.freshness_cost == pytest.approx(
+            sum(model.freshness_cost(key, BOUND, HORIZON) for key in keys)
+        )
+        assert aggregate.staleness_cost == pytest.approx(
+            sum(model.staleness_cost(key, BOUND, HORIZON) for key in keys)
+        )
+        assert aggregate.total_reads == pytest.approx(
+            sum(expected_reads(key.rate, key.read_ratio, HORIZON) for key in keys)
+        )
+        assert aggregate.normalized_freshness_cost == pytest.approx(
+            aggregate.freshness_cost / aggregate.useful_work
+        )
+        assert aggregate.normalized_staleness_cost == pytest.approx(
+            aggregate.staleness_cost / aggregate.total_reads
+        )
+
+    def test_empty_population_normalises_to_zero(self) -> None:
+        aggregate = aggregate_normalized_costs(TTLExpiryModel(), [], BOUND, HORIZON)
+        assert aggregate == AggregateCosts(0.0, 0.0, 0.0, 0.0)
+        assert aggregate.normalized_freshness_cost == 0.0
+        assert aggregate.normalized_staleness_cost == 0.0
+
+    def test_accepts_any_iterable(self) -> None:
+        generator = (KeyParameters(rate=2.0, read_ratio=0.5) for _ in range(3))
+        aggregate = aggregate_normalized_costs(UpdateModel(), generator, BOUND, HORIZON)
+        assert aggregate.total_reads == pytest.approx(3 * 2.0 * 0.5 * HORIZON)
+
+
+def test_ttl_tradeoff_monotone_in_bound() -> None:
+    """Loosening T lowers TTL-expiry freshness cost but raises nothing stale-free."""
+    model = TTLExpiryModel()
+    tight = model.freshness_cost(KEY, 0.1, HORIZON)
+    loose = model.freshness_cost(KEY, 10.0, HORIZON)
+    assert tight > loose
+    assert math.isfinite(tight)

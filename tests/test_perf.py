@@ -10,7 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.__main__ import main
-from repro.experiments.bench import bench_policy
+from repro.experiments.bench import BENCH_PHASES, bench_policy
 from repro.perf import MICROBENCHES, PhaseTimer, Timer, profile_call, run_perf, time_callable
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -134,7 +134,11 @@ def make_bench_record(path: Path, policy_rps: dict, nodes=None, requests=50_000)
             "seed": 0,
         },
         "results": [
-            {"policy": policy, "requests_per_sec": rps}
+            {
+                "policy": policy,
+                "requests_per_sec": rps,
+                **{phase: 0.1 for phase in BENCH_PHASES},
+            }
             for policy, rps in policy_rps.items()
         ],
     }
