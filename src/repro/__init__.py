@@ -13,8 +13,9 @@ failure scenarios, hot-key detection) in ``cluster``, the two-level L1/L2
 cache hierarchy (admission, promotion, write-through/write-back, degraded
 serving) in ``tier``, the durable persistence layer (write-ahead log,
 snapshots, crash recovery, warm node rejoin) in ``store``, and time-resolved
-telemetry (windowed series, request spans, percentile histograms, and
-JSONL/CSV/Prometheus exporters) in ``obs``.
+telemetry (windowed series, request spans, percentile histograms,
+JSONL/CSV/Prometheus exporters, and post-hoc analysis: run diffing, anomaly
+detection, SLO gating, and HTML reports) in ``obs``.
 
 The pipeline streams end-to-end: workloads yield requests lazily via
 ``iter_requests`` and the simulator consumes the stream without copying it,
@@ -70,8 +71,11 @@ from repro.cluster.scenarios import make_scenario
 from repro.experiments.spec import ChannelSpec, ExperimentSpec, ScenarioSpec, WorkloadSpec
 from repro.experiments.runner import run_experiment
 from repro.experiments.bench import run_bench
+from repro.obs.analyze import detect_anomalies, diff_payloads
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import ObsConfig, ObsRecorder
+from repro.obs.report import render_report
+from repro.obs.slo import evaluate_slo
 from repro.store.wal import Journal, WriteAheadLog
 from repro.store.snapshot import Snapshot, SnapshotManager, StoreConfig
 from repro.store.recovery import RecoveryReport, recover_datastore, warm_state
@@ -111,10 +115,14 @@ __all__ = [
     "WorkloadSpec",
     "WriteAheadLog",
     "cost_model_for_bottleneck",
+    "detect_anomalies",
+    "diff_payloads",
     "estimator_memory_bytes",
+    "evaluate_slo",
     "make_admission",
     "make_scenario",
     "recover_datastore",
+    "render_report",
     "run_bench",
     "run_experiment",
     "storage_saving",

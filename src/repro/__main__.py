@@ -23,8 +23,14 @@ Eight subcommands drive the experiment layer:
   directory.
 * ``obs``     — observability artifacts: ``summary`` prints a recorded run's
   totals, window series, and latency percentiles; ``tail`` shows the last
-  span/event records; ``export`` re-emits windows or metrics as JSONL, CSV,
-  or Prometheus text.  Record a run with ``run --obs --obs-dir DIR``.
+  span/event records (``--since``/``--node`` filters); ``export`` re-emits
+  windows or metrics as JSONL, CSV, or Prometheus text; ``diff`` aligns two
+  runs window-by-window and ranks metric regressions (``--baseline`` gates
+  against the committed ``OBS_BASELINE.json``, refreshed by
+  ``scripts/check_obs.py``); ``check`` evaluates declarative SLO rules
+  (exit 0 pass / 2 violation); ``report`` renders a self-contained HTML
+  page with sparklines and the anomaly/SLO tables.  Record a run with
+  ``run --obs --obs-dir DIR``.
 
 ``-v/--verbose`` and ``-q/--quiet`` (before the subcommand) set the log
 level for the ``repro`` logger tree; library progress goes through
@@ -36,6 +42,9 @@ Examples::
     python -m repro run --policy invalidate --obs --obs-window 0.5 --obs-dir obs-run
     python -m repro obs summary --dir obs-run
     python -m repro obs export --dir obs-run --format prom
+    python -m repro obs diff --dir obs-run --against obs-baseline-run
+    python -m repro obs check --dir obs-run --rules OBS_RULES.json
+    python -m repro obs report --dir obs-run --rules OBS_RULES.json --output report.html
     python -m repro sweep --policies ttl-expiry,invalidate,update,adaptive \
         --workloads poisson,poisson-mix --bounds 0.1,1,10 --csv sweep.csv
     python -m repro cluster --nodes 8 --replication 2 --scenario node-failure \
@@ -185,6 +194,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--snapshot-interval only takes effect together with --persist")
     params = _parse_params(args.param)
     workloads = [WorkloadSpec.of(name, params) for name in _csv_list(args.workloads)]
+    slo_rules = None
+    if args.slo_rules is not None:
+        from repro.obs.slo import load_rules
+
+        try:
+            slo_rules = load_rules(args.slo_rules)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        if args.obs_window is None:
+            raise SystemExit("--slo-rules needs --obs-window (verdicts read the obs payload)")
     spec = _build_spec(
         name=args.name,
         policies=_csv_list(args.policies),
@@ -197,6 +216,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         cost_preset=args.cost_preset,
         engine=args.engine,
+        obs_window=args.obs_window,
+        slo_rules=slo_rules,
     )
     _LOG.info("sweep '%s': %d cells", spec.name, spec.num_cells)
     rows = run_experiment(spec, processes=args.processes)
@@ -593,8 +614,127 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
     records = payload.get("trace", [])
     if args.events_only:
         records = [record for record in records if record.get("type") == "event"]
+    if args.since is not None:
+        records = [
+            record for record in records if record.get("time", 0.0) >= args.since
+        ]
+    if args.node is not None:
+        records = [record for record in records if record.get("node") == args.node]
     for record in records[-args.limit:] if args.limit > 0 else records:
         print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _load_obs_reference(args: argparse.Namespace) -> Dict[str, Any]:
+    """The diff reference: another run directory or a committed baseline file."""
+    if getattr(args, "against", None) is not None:
+        return _load_obs_run(args.against)
+    if args.baseline is None:
+        raise SystemExit("a diff reference is required: --against DIR or --baseline FILE")
+    path = args.baseline
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read baseline {path!r}: {exc}") from exc
+    if record.get("kind") == "repro-obs-baseline":
+        record = record.get("payload", {})
+    if record.get("kind") != "repro-obs":
+        raise SystemExit(f"{path!r} is not an obs baseline or payload")
+    return record
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import diff_payloads
+
+    payload = _load_obs_run(args.dir)
+    reference = _load_obs_reference(args)
+    try:
+        report = diff_payloads(
+            reference,
+            payload,
+            min_delta=args.min_delta,
+            min_relative=args.min_relative,
+            top=args.top,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    count = report["regression_count"]
+    print(
+        f"diff: {report['windows_compared']} windows compared, "
+        f"{count} regressions, {report['improvement_count']} improvements"
+    )
+    for record in report["regressions"][:10]:
+        event = record.get("event") or {}
+        annotation = (
+            f" near {event.get('kind')}:{event.get('label')}@t={event.get('time')}"
+            if event
+            else ""
+        )
+        print(
+            f"  {record['field']} worsened by {record['severity']:g} in "
+            f"t=[{record['start']:g}, {record['end']:g}) "
+            f"(node={record['node']}, phase={record['phase']}){annotation}"
+        )
+    if count and args.fail_on_regression:
+        return 2
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro.obs.slo import evaluate_slo, load_rules
+
+    payload = _load_obs_run(args.dir)
+    try:
+        rules = load_rules(args.rules)
+        verdict = evaluate_slo(payload, rules)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    for row in verdict["verdicts"]:
+        status = "PASS" if row["ok"] else "FAIL"
+        print(f"  [{status}] {row['name']}: {row['detail']}")
+    if verdict["passed"]:
+        print(f"slo: PASS ({len(verdict['verdicts'])} rules)")
+        return 0
+    print(f"slo: FAIL ({len(verdict['violations'])} violations)")
+    return 2
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import detect_anomalies, diff_payloads
+    from repro.obs.report import render_report
+    from repro.obs.slo import evaluate_slo, load_rules
+
+    payload = _load_obs_run(args.dir)
+    anomalies = detect_anomalies(payload, threshold=args.anomaly_threshold)
+    slo = None
+    if args.rules:
+        try:
+            slo = evaluate_slo(payload, load_rules(args.rules), anomalies=anomalies)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+    diff = None
+    if args.against is not None or args.baseline is not None:
+        try:
+            diff = diff_payloads(_load_obs_reference(args), payload)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    html_text = render_report(
+        payload, anomalies=anomalies, slo=slo, diff=diff, title=args.title
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(html_text)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -684,6 +824,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: one per CPU, 1 = serial)")
     sweep.add_argument("--param", action="append", metavar="KEY=VALUE",
                        help="workload constructor parameter applied to every workload")
+    sweep.add_argument("--obs-window", type=_positive_float, default=None,
+                       help="record windowed telemetry for every cell into the "
+                            "row's obs key (results stay byte-identical)")
+    sweep.add_argument("--slo-rules", default=None, metavar="FILE",
+                       help="evaluate these SLO rules against every cell's obs "
+                            "payload into the row's slo key (needs --obs-window)")
     sweep.add_argument("--json", help="write results JSON here")
     sweep.add_argument("--csv", help="write results CSV here")
     sweep.set_defaults(func=_cmd_sweep)
@@ -860,6 +1006,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_tail.add_argument("--dir", required=True,
                           help="obs run directory (from run --obs-dir)")
+    obs_tail.add_argument("--since", type=float, default=None,
+                          help="only records with time >= T (simulated seconds)")
+    obs_tail.add_argument("--node", default=None,
+                          help="only records attributed to this node id")
     obs_tail.add_argument("--limit", type=int, default=20,
                           help="records to show (0 = all; default 20)")
     obs_tail.add_argument("--events-only", action="store_true",
@@ -878,6 +1028,62 @@ def build_parser() -> argparse.ArgumentParser:
     obs_export.add_argument("--output", default=None,
                             help="write here instead of stdout")
     obs_export.set_defaults(func=_cmd_obs_export)
+
+    def add_reference_arguments(sub: argparse.ArgumentParser) -> None:
+        """The diff reference: a second run directory or a committed baseline."""
+        group = sub.add_mutually_exclusive_group()
+        group.add_argument("--against", default=None, metavar="DIR",
+                           help="reference obs run directory")
+        group.add_argument("--baseline", default=None, metavar="FILE",
+                           help="committed baseline record "
+                                "(OBS_BASELINE.json, from scripts/check_obs.py)")
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="align two runs window-by-window and rank metric regressions",
+    )
+    obs_diff.add_argument("--dir", required=True,
+                          help="obs run directory under inspection")
+    add_reference_arguments(obs_diff)
+    obs_diff.add_argument("--min-delta", type=float, default=1e-9,
+                          help="smallest worse-direction delta that counts")
+    obs_diff.add_argument("--min-relative", type=float, default=0.0,
+                          help="smallest delta relative to the base value")
+    obs_diff.add_argument("--top", type=int, default=50,
+                          help="keep at most this many ranked regressions")
+    obs_diff.add_argument("--json", default=None,
+                          help="write the full diff report JSON here")
+    obs_diff.add_argument("--fail-on-regression", action="store_true",
+                          help="exit 2 when any regression is found (CI gate)")
+    obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_check = obs_sub.add_parser(
+        "check", help="evaluate declarative SLO rules against a recorded run"
+    )
+    obs_check.add_argument("--dir", required=True,
+                           help="obs run directory (from run --obs-dir)")
+    obs_check.add_argument("--rules", required=True,
+                           help="SLO rules JSON file (list of rule objects or "
+                                "a repro-obs-slo-rules wrapper)")
+    obs_check.add_argument("--json", default=None,
+                           help="write the structured verdict JSON here")
+    obs_check.set_defaults(func=_cmd_obs_check)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a self-contained HTML report (sparklines, anomalies, SLOs)",
+    )
+    obs_report.add_argument("--dir", required=True,
+                            help="obs run directory (from run --obs-dir)")
+    add_reference_arguments(obs_report)
+    obs_report.add_argument("--rules", default=None,
+                            help="SLO rules file to evaluate into the report")
+    obs_report.add_argument("--anomaly-threshold", type=float, default=3.0,
+                            help="anomaly detector deviation threshold")
+    obs_report.add_argument("--output", required=True,
+                            help="write the HTML report here")
+    obs_report.add_argument("--title", default="repro obs report")
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     return parser
 

@@ -13,6 +13,7 @@ id, so serial and parallel execution produce byte-identical outputs.
 
 from __future__ import annotations
 
+import json
 import logging
 import multiprocessing
 import os
@@ -106,6 +107,7 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             row["store"] = simulation.store_stats()
         if simulation.obs is not None:
             row["obs"] = simulation.obs.payload()
+    _attach_slo(cell, row)
     return row
 
 
@@ -114,6 +116,21 @@ def _cell_obs(cell: RunCell) -> Optional[ObsConfig]:
     if cell.obs_window is None:
         return None
     return ObsConfig(window=cell.obs_window)
+
+
+def _attach_slo(cell: RunCell, row: Dict[str, Any]) -> None:
+    """Evaluate the cell's SLO rules against its obs payload into ``row["slo"]``.
+
+    Strictly post-hoc: the simulation has already finished and the obs
+    payload is read, never mutated, so enabling SLO evaluation leaves result
+    rows and payloads byte-identical.  Evaluation is deterministic, which
+    makes the verdicts identical across any ``--processes`` split.
+    """
+    if cell.slo_rules is None:
+        return
+    from repro.obs.slo import evaluate_slo
+
+    row["slo"] = evaluate_slo(row["obs"], json.loads(cell.slo_rules))
 
 
 def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
@@ -169,6 +186,7 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             )
         row = dict(cell.describe())
         row.update(cluster.run().as_dict())
+    _attach_slo(cell, row)
     return row
 
 

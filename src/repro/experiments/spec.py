@@ -141,6 +141,11 @@ class RunCell:
     # spans, and events (see :mod:`repro.obs`) into the row's ``obs`` key.
     # Result counters are byte-identical either way.
     obs_window: Optional[float] = None
+    # SLO rules as a *canonical JSON string* (see
+    # :func:`repro.obs.slo.canonical_rules`) so the frozen cell stays
+    # hashable and picklable.  Evaluated post-run against the cell's obs
+    # payload into the row's ``slo`` key; requires ``obs_window``.
+    slo_rules: Optional[str] = None
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -236,6 +241,14 @@ class ExperimentSpec:
         engine: Replay engine for every cell (not an axis): ``"scalar"``
             streams, ``"vector"`` compiles the trace and replays columnar
             (byte-identical rows; ineligible cells fall back to scalar).
+        obs_window: Telemetry window width for every cell (not an axis);
+            ``None`` disables recording, any positive width attaches the
+            obs payload to each row (result counters byte-identical).
+        slo_rules: Declarative SLO rules (see :mod:`repro.obs.slo`)
+            evaluated post-run against every cell's obs payload into the
+            row's ``slo`` key; requires ``obs_window``.  Evaluation is
+            deterministic, so verdicts are byte-identical across any
+            ``--processes`` count.
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -262,6 +275,7 @@ class ExperimentSpec:
     tier_admission: str = "second-hit"
     engine: str = "scalar"
     obs_window: Optional[float] = None
+    slo_rules: Optional[Sequence[Mapping[str, Any]]] = None
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -284,6 +298,18 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"obs_window must be positive (or None to disable), got {self.obs_window}"
             )
+        if self.slo_rules is not None:
+            if self.obs_window is None:
+                raise ConfigurationError(
+                    "slo_rules are evaluated against the obs payload; set "
+                    "obs_window to record one"
+                )
+            from repro.obs.slo import validate_rules
+
+            try:
+                validate_rules(self.slo_rules)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from exc
         for nodes in self.num_nodes:
             if nodes is not None and nodes < 1:
                 raise ConfigurationError(f"num_nodes entries must be >= 1, got {nodes}")
@@ -471,6 +497,11 @@ class ExperimentSpec:
     def expand(self) -> List[RunCell]:
         """Expand the grid into concrete, deterministically-seeded cells."""
         cost_params = tuple(sorted(self.cost_params.items()))
+        slo_rules = None
+        if self.slo_rules is not None:
+            from repro.obs.slo import canonical_rules
+
+            slo_rules = canonical_rules(self.slo_rules)
         cells: List[RunCell] = []
         grid = itertools.product(
             self.normalized_workloads(),
@@ -531,6 +562,7 @@ class ExperimentSpec:
                     obs_window=(
                         float(self.obs_window) if self.obs_window is not None else None
                     ),
+                    slo_rules=slo_rules,
                 )
             )
         return cells

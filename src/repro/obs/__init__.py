@@ -16,7 +16,17 @@ package adds the observability layer production cache operators reason from:
   per-request spans and discrete events (scenario transitions, rebalances,
   evictions, hot-key switches, snapshots, recovery) in a bounded buffer;
 * :mod:`~repro.obs.export` — JSONL / CSV / Prometheus text exporters and the
-  on-disk run-directory format behind ``python -m repro obs``.
+  on-disk run-directory format behind ``python -m repro obs``;
+* :mod:`~repro.obs.analyze` — post-hoc run diffing (window-by-window,
+  node-by-node, badness-oriented regression ranking) and deterministic
+  anomaly detection (rolling-median + change-point) with lifecycle-event
+  annotation, behind ``python -m repro obs diff``;
+* :mod:`~repro.obs.slo` — a declarative SLO rules engine (hit-ratio floors,
+  staleness-rate ceilings, histogram-quantile bounds, anomaly budgets)
+  evaluated post-run with CI-friendly exit codes, behind
+  ``python -m repro obs check`` and ``ExperimentSpec(slo_rules=)``;
+* :mod:`~repro.obs.report` — self-contained HTML run reports (inline SVG
+  sparklines, anomaly/SLO/diff tables) behind ``python -m repro obs report``.
 
 The recorder is strictly **observational**: it reads result counters at
 window boundaries and never feeds anything back into the simulation, so
@@ -25,6 +35,7 @@ mode is null-object zero cost — the replay loops bind their plain,
 un-instrumented hot-path methods when no recorder is attached.
 """
 
+from repro.obs.analyze import detect_anomalies, diff_payloads
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import (
     WINDOW_FIELDS,
@@ -33,6 +44,8 @@ from repro.obs.recorder import (
     as_recorder,
     merge_payloads,
 )
+from repro.obs.report import render_report
+from repro.obs.slo import canonical_rules, evaluate_slo, load_rules, validate_rules
 from repro.obs.trace import TraceBuffer
 from repro.obs.windows import WindowSampler
 
@@ -47,5 +60,12 @@ __all__ = [
     "WindowSampler",
     "WINDOW_FIELDS",
     "as_recorder",
+    "canonical_rules",
+    "detect_anomalies",
+    "diff_payloads",
+    "evaluate_slo",
+    "load_rules",
     "merge_payloads",
+    "render_report",
+    "validate_rules",
 ]

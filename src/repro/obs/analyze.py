@@ -1,0 +1,516 @@
+"""Post-hoc analysis over recorder payloads: run diffing and anomaly detection.
+
+PR 7 made every run emit an OBS artifact set; this module reads it back.
+Everything here is strictly **post-hoc and deterministic**: functions consume
+the JSON payloads produced by :meth:`~repro.obs.recorder.ObsRecorder.payload`
+(or loaded from an ``OBS_RUN.json``) and never touch a live simulation, so
+result rows and OBS payloads are byte-identical whether analysis runs or not.
+
+Two primitives:
+
+* :func:`diff_payloads` aligns two payloads window-by-window and
+  node-by-node, orients every metric delta by its badness direction
+  (``stale_misses`` up = bad, ``hit_rate`` down = bad), and emits a ranked
+  regression report with per-node attribution and lifecycle-phase
+  annotation — run-vs-run or run-vs-committed-baseline
+  (``OBS_BASELINE.json``, gated by ``scripts/check_obs.py``).
+* :func:`detect_anomalies` runs deterministic rolling-median/MAD flagging
+  plus a single strongest change-point split over every windowed counter
+  series, and annotates each anomaly with the nearest lifecycle event
+  (scenario ``fail``/``detect``/``recover``, rebalances, crash-restarts).
+
+No RNG, no wall clock: identical payloads always produce identical reports,
+which is what lets ``ExperimentSpec(slo_rules=)`` attach verdicts to sweep
+rows byte-identically across any ``--processes`` count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.recorder import PAYLOAD_KIND, WINDOW_FIELDS
+from repro.obs.windows import window_rows
+
+__all__ = [
+    "ANOMALY_FIELDS",
+    "DIFF_KIND",
+    "HIGHER_IS_WORSE",
+    "LOWER_IS_WORSE",
+    "dense_rows",
+    "detect_anomalies",
+    "diff_payloads",
+    "lifecycle_events",
+    "nearest_event",
+    "phase_at",
+]
+
+DIFF_KIND = "repro-obs-diff"
+DIFF_VERSION = 1
+
+#: Fields where an *increase* between runs is a regression.
+HIGHER_IS_WORSE = frozenset(
+    {
+        "stale_misses",
+        "cold_misses",
+        "staleness_violations",
+        "messages_dropped",
+        "failed_fetches",
+        "freshness_cost",
+        "cold_miss_cost",
+        "poll_cost",
+        "tier_cost",
+        "miss_cost",
+        "evictions",
+        "expirations",
+        "l1_evictions",
+        "l1_writebacks",
+        "l1_served_degraded",
+    }
+)
+
+#: Fields where a *decrease* between runs is a regression.
+LOWER_IS_WORSE = frozenset({"hits", "hit_rate", "l1_hits", "l1_share"})
+
+#: Derived ratio-like fields: deviations are floored in absolute ratio units
+#: instead of whole counter units.
+_RATIO_FIELDS = frozenset({"hit_rate", "l1_share"})
+
+#: Fleet-row fields the detectors sweep by default (every windowed counter
+#: with a badness direction, in stable catalog order).
+_DERIVED_FIELDS = ("hit_rate", "miss_cost", "l1_share")
+ANOMALY_FIELDS: Tuple[str, ...] = tuple(
+    field
+    for field in WINDOW_FIELDS + _DERIVED_FIELDS
+    if field in HIGHER_IS_WORSE or field in LOWER_IS_WORSE
+)
+
+#: Trace-event kinds that mark run lifecycle transitions (used for anomaly
+#: and regression annotation; spans and bookkeeping events are skipped).
+_LIFECYCLE_KINDS = frozenset(
+    {"scenario", "rebalance", "crash-restart", "recovery", "interrupted"}
+)
+
+
+# --------------------------------------------------------------------- #
+# Series extraction
+# --------------------------------------------------------------------- #
+
+def dense_rows(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Fleet-level window rows densified over the full index range.
+
+    The sampler stores windows sparsely (nothing happened → no row), but the
+    detectors need a contiguous series: a silent window is a real observation
+    of zero activity.  Missing indices are filled with all-zero rows
+    (derived ratios included) so rolling statistics see them.
+    """
+    rows = window_rows(payload.get("windows", {}), WINDOW_FIELDS)
+    if not rows:
+        return []
+    width = float(payload.get("windows", {}).get("window", 0.0)) or (
+        rows[0]["end"] - rows[0]["start"]
+    )
+    by_index = {row["index"]: row for row in rows}
+    dense: List[Dict[str, Any]] = []
+    for index in range(min(by_index), max(by_index) + 1):
+        row = by_index.get(index)
+        if row is None:
+            row = {field: 0 for field in WINDOW_FIELDS}
+            row.update(
+                index=index,
+                start=index * width,
+                end=(index + 1) * width,
+                hit_rate=0.0,
+                miss_cost=0,
+                l1_share=0.0,
+                node_load={},
+            )
+        dense.append(row)
+    return dense
+
+
+def _series(rows: Sequence[Mapping[str, Any]], field: str) -> List[float]:
+    return [float(row.get(field, 0)) for row in rows]
+
+
+def lifecycle_events(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The payload's lifecycle events (scenario/rebalance/crash/recovery)."""
+    return [
+        record
+        for record in payload.get("trace", [])
+        if record.get("type") == "event" and record.get("kind") in _LIFECYCLE_KINDS
+    ]
+
+
+def nearest_event(
+    events: Sequence[Mapping[str, Any]], time: float
+) -> Optional[Dict[str, Any]]:
+    """The lifecycle event closest in time (ties break toward the earlier one)."""
+    best: Optional[Dict[str, Any]] = None
+    best_distance = math.inf
+    for event in events:
+        distance = abs(float(event.get("time", 0.0)) - time)
+        if distance < best_distance:
+            best, best_distance = dict(event), distance
+    return best
+
+
+def phase_at(events: Sequence[Mapping[str, Any]], time: float) -> str:
+    """The run phase at ``time``: the label of the last scenario transition.
+
+    ``"steady"`` before the first scenario event; afterwards the most recent
+    scenario label at or before ``time`` (e.g. ``fail``, ``detect``,
+    ``recover``), so a window can be attributed to the outage it fell in.
+    """
+    phase = "steady"
+    for event in events:
+        if event.get("kind") != "scenario":
+            continue
+        if float(event.get("time", 0.0)) <= time:
+            phase = str(event.get("label", phase))
+    return phase
+
+
+def _annotate(record: Dict[str, Any], events: Sequence[Mapping[str, Any]]) -> None:
+    event = nearest_event(events, float(record["start"]))
+    record["event"] = (
+        {
+            "kind": event.get("kind"),
+            "label": event.get("label", event.get("action")),
+            "time": event.get("time"),
+            "node": event.get("node"),
+        }
+        if event is not None
+        else None
+    )
+    record["phase"] = phase_at(events, float(record["start"]))
+
+
+# --------------------------------------------------------------------- #
+# Run diffing
+# --------------------------------------------------------------------- #
+
+def _check_payload(payload: Mapping[str, Any], label: str) -> None:
+    if payload.get("kind") != PAYLOAD_KIND:
+        raise ValueError(
+            f"{label} is not a {PAYLOAD_KIND} payload (kind={payload.get('kind')!r})"
+        )
+
+
+def _worse_delta(field: str, base: float, other: float) -> float:
+    """The badness-oriented delta: positive means ``other`` is worse."""
+    if field in LOWER_IS_WORSE:
+        return base - other
+    return other - base
+
+
+def _node_attribution(
+    field: str,
+    base_nodes: Mapping[str, Mapping[str, float]],
+    other_nodes: Mapping[str, Mapping[str, float]],
+) -> Tuple[Optional[str], float]:
+    """The node contributing the largest worse-direction delta for a field."""
+    worst_node: Optional[str] = None
+    worst = 0.0
+    for node_id in sorted(set(base_nodes) | set(other_nodes)):
+        base_value = float(base_nodes.get(node_id, {}).get(field, 0))
+        other_value = float(other_nodes.get(node_id, {}).get(field, 0))
+        worse = _worse_delta(field, base_value, other_value)
+        if worse > worst:
+            worst_node, worst = node_id, worse
+    return worst_node, worst
+
+
+def diff_payloads(
+    base: Mapping[str, Any],
+    other: Mapping[str, Any],
+    *,
+    min_delta: float = 1e-9,
+    min_relative: float = 0.0,
+    top: int = 50,
+) -> Dict[str, Any]:
+    """Align two OBS payloads and emit a ranked regression report.
+
+    Windows are aligned by index (both series densified over their union),
+    every field with a badness direction is diffed per window, and each
+    regression is attributed to the node contributing the largest
+    worse-direction delta plus the lifecycle phase of the run under test
+    (``other``).  A payload diffed against itself reports zero regressions.
+
+    Args:
+        base: The reference payload (e.g. a committed baseline or the
+            no-scenario run).
+        other: The payload under inspection.
+        min_delta: Smallest worse-direction delta that counts (absolute,
+            in the field's own units).
+        min_relative: Smallest worse-direction delta relative to the base
+            value (base of 0 compares against 1.0).
+        top: Keep at most this many ranked regressions/improvements.
+
+    Returns:
+        A JSON-serializable ``repro-obs-diff`` report: oriented ``totals``
+        deltas, ranked ``regressions`` and ``improvements`` (score-descending,
+        ties broken by field then window), and alignment metadata.
+
+    Raises:
+        ValueError: If either payload is not a recorder payload or the
+            window widths differ (the series cannot be aligned).
+    """
+    _check_payload(base, "base")
+    _check_payload(other, "other")
+    base_width = base.get("windows", {}).get("window")
+    other_width = other.get("windows", {}).get("window")
+    if base_width != other_width:
+        raise ValueError(
+            f"cannot align runs with different window widths: "
+            f"{base_width} vs {other_width}"
+        )
+
+    base_rows = dense_rows(base)
+    other_rows = dense_rows(other)
+    base_by_index = {row["index"]: row for row in base_rows}
+    other_by_index = {row["index"]: row for row in other_rows}
+    base_node_rows = {
+        int(row["index"]): row.get("nodes", {})
+        for row in base.get("windows", {}).get("rows", [])
+    }
+    other_node_rows = {
+        int(row["index"]): row.get("nodes", {})
+        for row in other.get("windows", {}).get("rows", [])
+    }
+    events = lifecycle_events(other)
+    width = float(base_width or 0.0)
+
+    indices = sorted(set(base_by_index) | set(other_by_index))
+    empty: Dict[str, Any] = {}
+    regressions: List[Dict[str, Any]] = []
+    improvements: List[Dict[str, Any]] = []
+    for index in indices:
+        base_row = base_by_index.get(index, empty)
+        other_row = other_by_index.get(index, empty)
+        start = float(base_row.get("start", other_row.get("start", index * width)))
+        end = float(base_row.get("end", other_row.get("end", (index + 1) * width)))
+        for field in ANOMALY_FIELDS:
+            base_value = float(base_row.get(field, 0))
+            other_value = float(other_row.get(field, 0))
+            worse = _worse_delta(field, base_value, other_value)
+            magnitude = abs(worse)
+            if magnitude <= min_delta:
+                continue
+            relative = magnitude / (abs(base_value) if base_value else 1.0)
+            if relative < min_relative:
+                continue
+            node, node_delta = (None, 0.0)
+            if field in WINDOW_FIELDS:
+                lookup_base = base_node_rows.get(index, empty)
+                lookup_other = other_node_rows.get(index, empty)
+                if worse > 0:
+                    node, node_delta = _node_attribution(field, lookup_base, lookup_other)
+                else:
+                    # An improvement's "worst" node is the one that improved most.
+                    node, node_delta = _node_attribution(field, lookup_other, lookup_base)
+                    node_delta = -node_delta
+            record = {
+                "field": field,
+                "index": index,
+                "start": start,
+                "end": end,
+                "base": base_value,
+                "other": other_value,
+                "delta": other_value - base_value,
+                "severity": worse,
+                "relative": relative,
+                "score": magnitude * relative,
+                "node": node,
+                "node_delta": node_delta,
+            }
+            _annotate(record, events)
+            (regressions if worse > 0 else improvements).append(record)
+
+    sort_key = lambda record: (-record["score"], record["field"], record["index"])  # noqa: E731
+    regressions.sort(key=sort_key)
+    improvements.sort(key=sort_key)
+
+    totals: Dict[str, Dict[str, float]] = {}
+    base_totals = base.get("meta", {}).get("totals", {})
+    other_totals = other.get("meta", {}).get("totals", {})
+    for field in sorted(set(base_totals) | set(other_totals)):
+        base_value = float(base_totals.get(field, 0))
+        other_value = float(other_totals.get(field, 0))
+        if base_value != other_value:
+            totals[field] = {
+                "base": base_value,
+                "other": other_value,
+                "delta": other_value - base_value,
+            }
+
+    return {
+        "kind": DIFF_KIND,
+        "version": DIFF_VERSION,
+        "window": base_width,
+        "windows_compared": len(indices),
+        "base": dict(base.get("meta", {})),
+        "other": dict(other.get("meta", {})),
+        "totals": totals,
+        "regressions": regressions[:top],
+        "improvements": improvements[:top],
+        "regression_count": len(regressions),
+        "improvement_count": len(improvements),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Anomaly detection
+# --------------------------------------------------------------------- #
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    count = len(ordered)
+    if count == 0:
+        return 0.0
+    middle = count // 2
+    if count % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _deviation_floor(field: str, trailing: Sequence[float]) -> float:
+    """The smallest deviation scale a field is judged against.
+
+    MAD of a flat trailing window is 0, which would flag any activity at
+    all; the floor keeps single-count jitter on quiet counters (and small
+    ratio wobble) below the threshold.
+    """
+    if field in _RATIO_FIELDS:
+        return 0.05
+    peak = max((abs(value) for value in trailing), default=0.0)
+    return max(1.0, 0.05 * peak)
+
+
+def detect_anomalies(
+    payload: Mapping[str, Any],
+    *,
+    fields: Optional[Sequence[str]] = None,
+    trailing: int = 5,
+    threshold: float = 3.0,
+    min_history: int = 3,
+    top: int = 100,
+) -> List[Dict[str, Any]]:
+    """Flag anomalous windows in every (requested) counter series.
+
+    Two deterministic detectors run per field over the densified fleet-level
+    series:
+
+    * **Rolling median**: each window is compared against the median of the
+      ``trailing`` preceding windows; deviations beyond ``threshold`` times
+      the trailing MAD (floored — see :func:`_deviation_floor`) are flagged
+      as a ``spike`` (above) or ``drop`` (below).
+    * **Change point**: the split index maximizing the standardized
+      mean-shift statistic is flagged as a ``change-point`` when the shift
+      exceeds ``threshold`` deviation floors — one per field, catching
+      regime changes too gradual for the rolling window.
+
+    Every anomaly is annotated with the nearest lifecycle event (scenario
+    ``fail``/``detect``/``recover``, rebalances, crash-restarts) and the run
+    phase of its window, then ranked by score (ties: field, then window).
+
+    Args:
+        payload: A recorder payload (live or loaded from ``OBS_RUN.json``).
+        fields: Fields to sweep (default: every field with a badness
+            direction, :data:`ANOMALY_FIELDS`).
+        trailing: Rolling-median history length in windows.
+        threshold: Deviation multiple that flags a window.
+        min_history: Windows of history required before flagging begins.
+        top: Keep at most this many ranked anomalies.
+
+    Returns:
+        JSON-serializable anomaly records, score-descending.
+    """
+    if trailing < 1:
+        raise ValueError(f"trailing must be >= 1, got {trailing}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    rows = dense_rows(payload)
+    events = lifecycle_events(payload)
+    anomalies: List[Dict[str, Any]] = []
+    for field in fields if fields is not None else ANOMALY_FIELDS:
+        series = _series(rows, field)
+        if not any(series):
+            continue
+        # Rolling-median deviations.
+        for position in range(min(min_history, trailing), len(series)):
+            window = series[max(0, position - trailing):position]
+            if len(window) < min_history:
+                continue
+            median = _median(window)
+            mad = _median([abs(value - median) for value in window])
+            scale = max(mad, _deviation_floor(field, window))
+            deviation = series[position] - median
+            score = abs(deviation) / scale
+            if score < threshold:
+                continue
+            row = rows[position]
+            record = {
+                "type": "spike" if deviation > 0 else "drop",
+                "field": field,
+                "index": row["index"],
+                "start": row["start"],
+                "end": row["end"],
+                "value": series[position],
+                "expected": median,
+                "score": score,
+            }
+            _annotate(record, events)
+            anomalies.append(record)
+        # Strongest change point.
+        change = _change_point(series, field, threshold)
+        if change is not None:
+            position, before_mean, after_mean, score = change
+            row = rows[position]
+            record = {
+                "type": "change-point",
+                "field": field,
+                "index": row["index"],
+                "start": row["start"],
+                "end": row["end"],
+                "value": after_mean,
+                "expected": before_mean,
+                "score": score,
+            }
+            _annotate(record, events)
+            anomalies.append(record)
+    anomalies.sort(key=lambda record: (-record["score"], record["field"], record["index"]))
+    return anomalies[:top]
+
+
+def _change_point(
+    series: Sequence[float], field: str, threshold: float
+) -> Optional[Tuple[int, float, float, float]]:
+    """The strongest mean-shift split of a series, if it clears the threshold.
+
+    Returns ``(index, before_mean, after_mean, score)`` where ``index`` is
+    the first window of the new regime; ``None`` when the series is too
+    short or no split clears ``threshold``.
+    """
+    count = len(series)
+    if count < 4:
+        return None
+    total = sum(series)
+    best_split, best_stat = 0, 0.0
+    prefix = 0.0
+    for split in range(1, count):
+        prefix += series[split - 1]
+        left_mean = prefix / split
+        right_mean = (total - prefix) / (count - split)
+        stat = abs(left_mean - right_mean) * math.sqrt(split * (count - split) / count)
+        if stat > best_stat:
+            best_split, best_stat = split, stat
+    if best_split == 0:
+        return None
+    scale = _deviation_floor(field, series)
+    score = best_stat / scale
+    if score < threshold:
+        return None
+    left = series[:best_split]
+    right = series[best_split:]
+    return best_split, sum(left) / len(left), sum(right) / len(right), score

@@ -64,8 +64,34 @@ def export_trace_jsonl(payload: Mapping[str, Any]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+# Help strings for well-known metric names; anything else gets a per-kind
+# fallback so every exposed family still carries HELP metadata.
+_METRIC_HELP = {
+    "total_reads": "Total read requests observed by the run.",
+    "total_writes": "Total write requests observed by the run.",
+    "total_hits": "Reads served fresh from cache.",
+    "total_stale_misses": "Reads that found a stale entry and refetched.",
+    "total_cold_misses": "Reads that missed cache entirely.",
+    "total_staleness_violations": "Reads served beyond the staleness bound.",
+    "total_messages_dropped": "Coordination messages lost in transit.",
+    "read_cost": "Per-read cost distribution (freshness + cold-miss).",
+    "wal_sync_seconds": "Durable-store WAL sync latency distribution.",
+}
+_KIND_HELP = {
+    "counter": "Monotonic counter recorded by repro.obs.",
+    "gauge": "Gauge recorded by repro.obs.",
+    "histogram": "Log-bucketed histogram recorded by repro.obs.",
+}
+
+
 def _prom_name(name: str) -> str:
     return _PROM_PREFIX + "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _prom_help(name: str, kind: str) -> str:
+    text = _METRIC_HELP.get(name, _KIND_HELP[kind])
+    # Exposition-format escaping for HELP text: backslash and newline.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_value(value: Any) -> str:
@@ -80,14 +106,17 @@ def export_prometheus(payload: Mapping[str, Any]) -> str:
     lines: List[str] = []
     for name, value in metrics.get("counters", {}).items():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_help(name, 'counter')}")
         lines.append(f"# TYPE {prom} counter")
         lines.append(f"{prom} {_prom_value(value)}")
     for name, value in metrics.get("gauges", {}).items():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_help(name, 'gauge')}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {_prom_value(value)}")
     for name, data in metrics.get("histograms", {}).items():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {_prom_help(name, 'histogram')}")
         lines.append(f"# TYPE {prom} histogram")
         cumulative = 0
         for index in sorted(int(i) for i in data.get("counts", {})):

@@ -116,7 +116,21 @@ class Histogram:
         self.sum += value
 
     def percentile(self, quantile: float) -> float:
-        """Upper bound of the bucket containing the given quantile (0..1)."""
+        """Upper bound of the bucket containing the given quantile (0..1).
+
+        Edge cases are pinned:
+
+        * **Empty histogram** — returns ``0.0`` for every quantile (there is
+          no sample to bound; callers that must distinguish "no data" from
+          "all zeros" should check :attr:`count` first).
+        * **``quantile=0.0``** — the rank floors at 1, so this returns the
+          bucket bound of the *smallest* recorded sample, not 0.
+        * **``quantile=1.0``** — the bucket bound of the largest recorded
+          sample (``inf`` only if a sample overflowed the bucket range).
+        * **Single sample** — every quantile in ``[0, 1]`` returns that
+          sample's bucket bound.
+        * Quantiles outside ``[0, 1]`` raise :class:`ValueError`.
+        """
         if not 0.0 <= quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {quantile}")
         if self.count == 0:

@@ -1,0 +1,287 @@
+"""Self-contained HTML run reports: sparklines, anomalies, SLO verdicts.
+
+:func:`render_report` turns a recorder payload (plus optional analysis
+artifacts) into a single HTML string with no external assets — inline CSS
+and inline SVG sparklines — so the file can be attached to a CI run or
+mailed around and still render.  Rendering is read-only and deterministic:
+the same inputs always produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.analyze import dense_rows, lifecycle_events
+
+__all__ = ["render_report"]
+
+_SPARK_FIELDS = (
+    ("hit_rate", "fleet hit ratio"),
+    ("stale_misses", "stale misses"),
+    ("staleness_violations", "staleness violations"),
+    ("miss_cost", "miss cost"),
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2rem;
+       color: #1b1f24; max-width: 70rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #d0d7de; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #f6f8fa; }
+.ok { color: #1a7f37; font-weight: 600; } .bad { color: #cf222e; font-weight: 600; }
+.spark { vertical-align: middle; }
+.meta { color: #57606a; font-size: 0.85rem; }
+code { background: #f6f8fa; padding: 0.1rem 0.3rem; border-radius: 3px; }
+"""
+
+
+def _sparkline(
+    values: Sequence[float], *, width: int = 240, height: int = 36, color: str = "#0969da"
+) -> str:
+    """An inline SVG polyline sparkline for a window series."""
+    if not values:
+        return "<span class='meta'>no windows</span>"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    step = width / max(len(values) - 1, 1)
+    points = " ".join(
+        f"{index * step:.1f},{height - 3 - (value - low) / span * (height - 6):.1f}"
+        for index, value in enumerate(values)
+    )
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}' role='img'>"
+        f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+        f"points='{points}'/></svg>"
+    )
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return html.escape(str(value))
+
+
+def _event_cell(record: Mapping[str, Any]) -> str:
+    event = record.get("event")
+    if not event:
+        return "—"
+    label = event.get("label") or ""
+    return html.escape(f"{event.get('kind')}:{label}@t={event.get('time'):g}")
+
+
+def _rows_html(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    head = "".join(f"<th>{html.escape(column)}</th>" for column in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>" for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_report(
+    payload: Mapping[str, Any],
+    *,
+    anomalies: Optional[Sequence[Mapping[str, Any]]] = None,
+    slo: Optional[Mapping[str, Any]] = None,
+    diff: Optional[Mapping[str, Any]] = None,
+    title: str = "repro obs report",
+) -> str:
+    """Render a recorder payload (plus optional analysis) to HTML.
+
+    Args:
+        payload: A recorder payload (live or loaded from ``OBS_RUN.json``).
+        anomalies: Output of :func:`~repro.obs.analyze.detect_anomalies`.
+        slo: Output of :func:`~repro.obs.slo.evaluate_slo`.
+        diff: Output of :func:`~repro.obs.analyze.diff_payloads`.
+        title: Page title.
+
+    Returns:
+        A self-contained HTML document string (inline CSS, inline SVG
+        sparklines, no external assets).
+    """
+    meta = payload.get("meta", {})
+    rows = dense_rows(payload)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<p class='meta'>"
+        + html.escape(
+            f"policy={meta.get('policy')} workload={meta.get('workload')} "
+            f"engine={meta.get('engine')} nodes={meta.get('nodes')} "
+            f"end_time={meta.get('end_time')} windows={len(rows)}"
+        )
+        + "</p>",
+    ]
+
+    # Fleet sparklines.
+    fleet_rows = []
+    for field, label in _SPARK_FIELDS:
+        series = [float(row.get(field, 0)) for row in rows]
+        fleet_rows.append(
+            (
+                html.escape(label),
+                _fmt(series[-1] if series else None),
+                _fmt(max(series) if series else None),
+                _sparkline(series),
+            )
+        )
+    parts.append("<h2>Fleet series</h2>")
+    parts.append(_rows_html(("series", "last", "max", "trend"), fleet_rows))
+
+    # Per-node load sparklines.
+    node_ids = sorted(
+        {node_id for row in rows for node_id in row.get("node_load", {})}
+    )
+    if node_ids:
+        node_rows = []
+        for node_id in node_ids:
+            series = [float(row.get("node_load", {}).get(node_id, 0)) for row in rows]
+            node_rows.append(
+                (
+                    html.escape(node_id),
+                    _fmt(sum(series)),
+                    _sparkline(series, color="#8250df"),
+                )
+            )
+        parts.append("<h2>Per-node load</h2>")
+        parts.append(_rows_html(("node", "total ops", "trend"), node_rows))
+
+    # Lifecycle events.
+    events = lifecycle_events(payload)
+    if events:
+        parts.append("<h2>Lifecycle events</h2>")
+        parts.append(
+            _rows_html(
+                ("time", "kind", "label", "node"),
+                (
+                    (
+                        _fmt(event.get("time")),
+                        _fmt(event.get("kind")),
+                        _fmt(event.get("label") or event.get("action")),
+                        _fmt(event.get("node")),
+                    )
+                    for event in events
+                ),
+            )
+        )
+
+    # Anomalies.
+    parts.append("<h2>Anomalies</h2>")
+    if anomalies:
+        parts.append(
+            _rows_html(
+                ("type", "field", "window", "value", "expected", "score", "phase", "nearest event"),
+                (
+                    (
+                        _fmt(record["type"]),
+                        _fmt(record["field"]),
+                        f"t=[{record['start']:g}, {record['end']:g})",
+                        _fmt(record["value"]),
+                        _fmt(record["expected"]),
+                        f"{record['score']:.1f}",
+                        _fmt(record.get("phase")),
+                        _event_cell(record),
+                    )
+                    for record in anomalies
+                ),
+            )
+        )
+    else:
+        parts.append("<p class='meta'>none detected (or detection not run)</p>")
+
+    # SLO verdicts.
+    if slo is not None:
+        passed = bool(slo.get("passed"))
+        verdict = "PASS" if passed else "FAIL"
+        css = "ok" if passed else "bad"
+        parts.append(f"<h2>SLO verdicts — <span class='{css}'>{verdict}</span></h2>")
+        parts.append(
+            _rows_html(
+                ("rule", "type", "ok", "observed", "threshold", "detail"),
+                (
+                    (
+                        _fmt(row["name"]),
+                        _fmt(row["type"]),
+                        "<span class='ok'>pass</span>"
+                        if row["ok"]
+                        else "<span class='bad'>FAIL</span>",
+                        _fmt(row["observed"]),
+                        _fmt(row["threshold"]),
+                        _fmt(row["detail"]),
+                    )
+                    for row in slo.get("verdicts", [])
+                ),
+            )
+        )
+
+    # Diff regressions.
+    if diff is not None:
+        count = diff.get("regression_count", 0)
+        css = "ok" if not count else "bad"
+        parts.append(
+            f"<h2>Diff vs baseline — <span class='{css}'>"
+            f"{count} regression{'s' if count != 1 else ''}</span></h2>"
+        )
+        regressions = diff.get("regressions", [])
+        if regressions:
+            parts.append(
+                _rows_html(
+                    ("field", "window", "base", "run", "severity", "node", "phase", "nearest event"),
+                    (
+                        (
+                            _fmt(record["field"]),
+                            f"t=[{record['start']:g}, {record['end']:g})",
+                            _fmt(record["base"]),
+                            _fmt(record["other"]),
+                            _fmt(record["severity"]),
+                            _fmt(record.get("node")),
+                            _fmt(record.get("phase")),
+                            _event_cell(record),
+                        )
+                        for record in regressions
+                    ),
+                )
+            )
+        totals = diff.get("totals", {})
+        if totals:
+            parts.append("<h3>Totals deltas</h3>")
+            parts.append(
+                _rows_html(
+                    ("field", "base", "run", "delta"),
+                    (
+                        (
+                            _fmt(field),
+                            _fmt(entry["base"]),
+                            _fmt(entry["other"]),
+                            _fmt(entry["delta"]),
+                        )
+                        for field, entry in totals.items()
+                    ),
+                )
+            )
+
+    # Totals footer (raw, for grepping).
+    parts.append("<h2>Run totals</h2>")
+    totals = meta.get("totals", {})
+    parts.append(
+        _rows_html(
+            ("field", "value"),
+            ((_fmt(field), _fmt(totals[field])) for field in sorted(totals)),
+        )
+    )
+    parts.append(
+        "<p class='meta'>generated by <code>python -m repro obs report</code>; "
+        "config: " + html.escape(json.dumps(payload.get("config", {}), sort_keys=True))
+        + "</p>"
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -9,6 +9,7 @@ so a run without ``obs=`` pays nothing.
 import importlib.util
 import json
 import math
+import re
 import time
 from pathlib import Path
 
@@ -108,6 +109,38 @@ class TestHistogram:
 
     def test_empty_percentile_is_zero(self) -> None:
         assert Histogram("t").percentile(0.99) == 0.0
+
+    def test_empty_histogram_returns_zero_for_every_quantile(self) -> None:
+        empty = Histogram("t")
+        for quantile in (0.0, 0.5, 1.0):
+            assert empty.percentile(quantile) == 0.0
+
+    def test_quantile_zero_is_the_smallest_sample_bound(self) -> None:
+        # The rank floors at 1, so q=0.0 bounds the *minimum* sample, not 0.
+        histogram = Histogram("t")
+        for value in (2.0, 8.0, 64.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == bucket_upper_bound(bucket_index(2.0))
+
+    def test_quantile_one_is_the_largest_sample_bound(self) -> None:
+        histogram = Histogram("t")
+        for value in (2.0, 8.0, 64.0):
+            histogram.observe(value)
+        assert histogram.percentile(1.0) == bucket_upper_bound(bucket_index(64.0))
+
+    def test_single_sample_dominates_every_quantile(self) -> None:
+        histogram = Histogram("t")
+        histogram.observe(3.0)
+        bound = bucket_upper_bound(bucket_index(3.0))
+        for quantile in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.percentile(quantile) == bound
+
+    def test_out_of_range_quantiles_are_rejected(self) -> None:
+        histogram = Histogram("t")
+        histogram.observe(1.0)
+        for quantile in (-0.1, 1.1):
+            with pytest.raises(ValueError, match="quantile"):
+                histogram.percentile(quantile)
 
     def test_merge_is_exact(self) -> None:
         left, right, reference = Histogram("t"), Histogram("t"), Histogram("t")
@@ -503,6 +536,69 @@ class TestExporters:
         ]
         assert buckets == sorted(buckets)
 
+    def test_prometheus_text_format_grammar_conformance(self, payload) -> None:
+        """A mini-parser for the exposition-format grammar.
+
+        Every family must carry ``# HELP`` then ``# TYPE`` before its first
+        sample; sample names must match the metric-name grammar; histogram
+        families must expose monotone ``_bucket`` series whose ``+Inf``
+        bucket equals ``_count``, plus a ``_sum`` sample.
+        """
+        name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        sample_re = re.compile(
+            r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+            r'(?:\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"'
+            r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*)\})?'
+            r" (?P<value>[^ ]+)$"
+        )
+        helped: set = set()
+        typed: dict = {}
+        sampled: set = set()
+        for line in export_prometheus(payload).splitlines():
+            if line.startswith("# HELP "):
+                _, _, name, help_text = line.split(" ", 3)
+                assert name_re.match(name), name
+                assert help_text.strip(), f"empty HELP for {name}"
+                assert name not in helped, f"duplicate HELP for {name}"
+                assert name not in sampled, f"HELP for {name} after its samples"
+                helped.add(name)
+            elif line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram"), kind
+                assert name in helped, f"TYPE for {name} before HELP"
+                assert name not in typed, f"duplicate TYPE for {name}"
+                typed[name] = kind
+            else:
+                match = sample_re.match(line)
+                assert match, f"unparseable sample line: {line!r}"
+                base = match.group("name")
+                family = re.sub(r"_(bucket|sum|count)$", "", base)
+                assert family in typed, f"sample {base} has no TYPE metadata"
+                sampled.add(family)
+                float(match.group("value").replace("+Inf", "inf"))
+        # Histogram series: _bucket/_sum/_count all present, +Inf == _count.
+        for name, kind in typed.items():
+            if kind != "histogram":
+                continue
+            lines = export_prometheus(payload).splitlines()
+            buckets = [line for line in lines if line.startswith(f"{name}_bucket")]
+            assert buckets, f"histogram {name} has no _bucket series"
+            assert buckets[-1].startswith(f'{name}_bucket{{le="+Inf"}}')
+            count_line = next(line for line in lines if line.startswith(f"{name}_count"))
+            assert buckets[-1].split()[-1] == count_line.split()[-1]
+            assert any(line.startswith(f"{name}_sum") for line in lines)
+
+    def test_prometheus_help_precedes_type_for_every_family(self, payload) -> None:
+        lines = export_prometheus(payload).splitlines()
+        type_lines = [line for line in lines if line.startswith("# TYPE ")]
+        assert type_lines
+        for type_line in type_lines:
+            name = type_line.split(" ", 3)[2]
+            help_index = lines.index(
+                next(line for line in lines if line.startswith(f"# HELP {name} "))
+            )
+            assert help_index == lines.index(type_line) - 1
+
     def test_run_directory_round_trip(self, payload, tmp_path) -> None:
         written = write_run(payload, str(tmp_path / "obs"))
         assert sorted(written) == [
@@ -603,6 +699,70 @@ class TestCli:
             "--output", str(csv_path),
         ]) == 0
         assert csv_path.read_text().startswith("index,start,end,")
+
+    def test_obs_tail_since_filter(self, tmp_path, capsys) -> None:
+        from repro.__main__ import main
+
+        obs_dir = tmp_path / "obs-run"
+        assert main([
+            "-q", "run", "--policy", "invalidate", "--duration", "20",
+            "--obs-window", "5", "--obs-dir", str(obs_dir),
+            "--output", str(tmp_path / "row.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "obs", "tail", "--dir", str(obs_dir), "--since", "15", "--limit", "0",
+        ]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert records
+        assert all(record["time"] >= 15.0 for record in records)
+        # --since past the end of the run filters everything out.
+        assert main([
+            "obs", "tail", "--dir", str(obs_dir), "--since", "1000", "--limit", "0",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_obs_tail_node_filter(self, tmp_path, capsys) -> None:
+        from repro.__main__ import main
+
+        obs_dir = tmp_path / "obs-run"
+        assert main([
+            "-q", "run", "--policy", "invalidate", "--duration", "20",
+            "--obs-window", "5", "--obs-dir", str(obs_dir),
+            "--output", str(tmp_path / "row.json"),
+        ]) == 0
+        capsys.readouterr()
+        # The single-cache host node is "cache" (see Simulation._obs_begin).
+        assert main([
+            "obs", "tail", "--dir", str(obs_dir), "--node", "cache", "--limit", "0",
+        ]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert records
+        assert all(record["node"] == "cache" for record in records)
+        assert main([
+            "obs", "tail", "--dir", str(obs_dir), "--node", "node-999",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_obs_tail_filters_compose(self, tmp_path, capsys) -> None:
+        from repro.__main__ import main
+
+        obs_dir = tmp_path / "obs-run"
+        assert main([
+            "-q", "run", "--policy", "invalidate", "--duration", "20",
+            "--obs-window", "5", "--obs-dir", str(obs_dir),
+            "--output", str(tmp_path / "row.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "obs", "tail", "--dir", str(obs_dir), "--node", "cache",
+            "--since", "10", "--limit", "2",
+        ]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(records) == 2
+        assert all(
+            record["node"] == "cache" and record["time"] >= 10.0 for record in records
+        )
 
     def test_obs_summary_on_missing_dir_is_clean_error(self, tmp_path) -> None:
         from repro.__main__ import main
