@@ -70,12 +70,18 @@ import logging
 import math
 import sys
 import tempfile
+from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.log import configure_logging
 from repro.cluster import ClusterSimulation, ReplicationConfig
+from repro.concurrency.config import (
+    SERVICE_TIME_DISTRIBUTIONS,
+    STAMPEDE_POLICIES,
+    ConcurrencyConfig,
+)
 from repro.cluster.replication import READ_POLICIES
 from repro.cluster.scenarios import SCENARIO_FACTORIES
 from repro.errors import ConfigurationError, ReproError
@@ -141,6 +147,56 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _cli_concurrency(
+    args: argparse.Namespace,
+) -> Tuple[Optional[ConcurrencyConfig], List[str], List[str]]:
+    """The in-flight fetch model a command line asks for.
+
+    Returns ``(base config or None, stampede-policy axis, service-time
+    axis)``.  The knob flags only take effect together with
+    ``--concurrency``; passing one without it is an error rather than a
+    silent no-op.
+    """
+    set_flags = [
+        name
+        for name, value in (
+            ("--stampede-policy", args.stampede_policy),
+            ("--service-time", args.service_time),
+            ("--service-mean", args.service_mean),
+            ("--backend-capacity", args.backend_capacity),
+        )
+        if value is not None
+    ]
+    if not args.concurrency:
+        if set_flags:
+            raise SystemExit(
+                f"{set_flags[0]} only takes effect together with --concurrency"
+            )
+        return None, [], []
+    base = ConcurrencyConfig(
+        mean=args.service_mean if args.service_mean is not None else 0.05,
+        capacity=args.backend_capacity if args.backend_capacity is not None else 4,
+    )
+    return base, _csv_list(args.stampede_policy or ""), _csv_list(args.service_time or "")
+
+
+def _single_concurrency(args: argparse.Namespace) -> Optional[ConcurrencyConfig]:
+    """One concrete config for the single-run command (no axes to sweep)."""
+    base, policies, services = _cli_concurrency(args)
+    if base is None:
+        return None
+    if len(policies) > 1 or len(services) > 1:
+        raise SystemExit(
+            "run executes one simulation: pass a single --stampede-policy / "
+            "--service-time (sweep them on the sweep/cluster/tier subcommands)"
+        )
+    return replace(
+        base,
+        policy=policies[0] if policies else base.policy,
+        service_time=services[0] if services else base.service_time,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     seed = stable_cell_seed(args.seed, args.workload, params, args.duration)
@@ -159,6 +215,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=seed,
         obs_window=obs_window,
+        concurrency=_single_concurrency(args),
     )
     row = run_cell(cell)
     if args.obs_dir is not None:
@@ -204,6 +261,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from exc
         if args.obs_window is None:
             raise SystemExit("--slo-rules needs --obs-window (verdicts read the obs payload)")
+    concurrency, stampede_policies, service_times = _cli_concurrency(args)
     spec = _build_spec(
         name=args.name,
         policies=_csv_list(args.policies),
@@ -218,6 +276,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         engine=args.engine,
         obs_window=args.obs_window,
         slo_rules=slo_rules,
+        concurrency=[concurrency],
+        stampede_policies=stampede_policies,
+        service_times=service_times,
     )
     _LOG.info("sweep '%s': %d cells", spec.name, spec.num_cells)
     rows = run_experiment(spec, processes=args.processes)
@@ -265,6 +326,20 @@ def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
             delay=args.channel_delay,
             jitter=args.channel_jitter,
         )
+    concurrency, stampede_policies, service_times = _cli_concurrency(args)
+    obs_window = args.obs_window
+    if args.obs_dir is not None and obs_window is None:
+        obs_window = 1.0
+    slo_rules = None
+    if args.slo_rules is not None:
+        from repro.obs.slo import load_rules
+
+        try:
+            slo_rules = load_rules(args.slo_rules)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        if obs_window is None:
+            raise SystemExit("--slo-rules needs --obs-window (verdicts read the obs payload)")
     tier_axes: Dict[str, Any] = {}
     if kind == "tier":
         tier_axes = dict(
@@ -291,10 +366,27 @@ def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
         duration=args.duration,
         base_seed=args.seed,
         cost_preset=args.cost_preset,
+        obs_window=obs_window,
+        slo_rules=slo_rules,
+        concurrency=[concurrency],
+        stampede_policies=stampede_policies,
+        service_times=service_times,
         **tier_axes,
     )
     _LOG.info("%s sweep '%s': %d cells", kind, spec.name, spec.num_cells)
+    if args.obs_dir is not None and spec.num_cells != 1:
+        raise SystemExit(
+            f"--obs-dir records one run's telemetry but this sweep expands to "
+            f"{spec.num_cells} cells; narrow every axis to a single value"
+        )
     rows = run_experiment(spec, processes=args.processes)
+    if args.obs_dir is not None:
+        from repro.obs.export import write_run
+
+        written = write_run(rows[0].pop("obs"), args.obs_dir)
+        rows[0]["obs_dir"] = args.obs_dir
+        for path in written.values():
+            _LOG.info("wrote %s", path)
     wrote = False
     if args.json:
         write_results_json(rows, args.json, metadata={"spec": spec.name, "cells": len(rows)})
@@ -778,6 +870,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="errors only (suppresses progress logging)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_concurrency_arguments(sub: argparse.ArgumentParser, axis: bool) -> None:
+        """The in-flight fetch model flags shared by run/sweep/cluster/tier.
+
+        ``axis`` widens --stampede-policy / --service-time to comma-separated
+        sweep axes on the grid subcommands.
+        """
+        plural = ", comma separated" if axis else ""
+        sub.add_argument(
+            "--concurrency", action="store_true",
+            help="model in-flight backend fetches: misses occupy the backend "
+                 "for a sampled service time (finite FIFO fetch slots), "
+                 "stampede policies mitigate duplicate fetches, and per-read "
+                 "latency percentiles join the results")
+        sub.add_argument(
+            "--stampede-policy", default=None,
+            help=f"stampede mitigation{plural}: "
+                 + ", ".join(STAMPEDE_POLICIES) + " (default none)")
+        sub.add_argument(
+            "--service-time", default=None,
+            help=f"backend service-time distribution{plural}: "
+                 + ", ".join(SERVICE_TIME_DISTRIBUTIONS)
+                 + " (default deterministic)")
+        sub.add_argument(
+            "--service-mean", type=_positive_float, default=None,
+            help="mean backend service time in simulated seconds (default 0.05)")
+        sub.add_argument(
+            "--backend-capacity", type=int, default=None,
+            help="concurrent backend fetch slots (default 4)")
+
     run = subparsers.add_parser("run", help="run one streamed simulation")
     run.add_argument("--workload", default="poisson", choices=sorted(WORKLOAD_FACTORIES))
     run.add_argument("--policy", default="adaptive", choices=sorted(POLICY_FACTORIES))
@@ -800,6 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the obs artifact set (OBS_RUN.json, "
                           "windows.jsonl, trace.jsonl, metrics.prom) into "
                           "this directory (implies --obs)")
+    add_concurrency_arguments(run, axis=False)
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser("sweep", help="run an experiment grid in parallel")
@@ -830,6 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--slo-rules", default=None, metavar="FILE",
                        help="evaluate these SLO rules against every cell's obs "
                             "payload into the row's slo key (needs --obs-window)")
+    add_concurrency_arguments(sweep, axis=True)
     sweep.add_argument("--json", help="write results JSON here")
     sweep.add_argument("--csv", help="write results CSV here")
     sweep.set_defaults(func=_cmd_sweep)
@@ -876,6 +999,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes (default: one per CPU, 1 = serial)")
         fleet.add_argument("--param", action="append", metavar="KEY=VALUE",
                            help="workload constructor parameter applied to every workload")
+        add_concurrency_arguments(fleet, axis=True)
+        fleet.add_argument("--obs-window", type=_positive_float, default=None,
+                           help="record windowed telemetry for every cell into "
+                                "the row's obs key (results stay byte-identical)")
+        fleet.add_argument("--obs-dir", default=None,
+                           help="write the obs artifact set for a single-cell "
+                                "sweep into this directory (implies --obs-window 1.0)")
+        fleet.add_argument("--slo-rules", default=None, metavar="FILE",
+                           help="evaluate these SLO rules against every cell's "
+                                "obs payload into the row's slo key (needs --obs-window)")
         fleet.add_argument("--json", help="write results JSON here")
         fleet.add_argument("--csv", help="write results CSV here")
 

@@ -31,6 +31,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 from repro.backend.channel import Channel
 from repro.backend.datastore import DataStore
 from repro.cache.eviction import EvictionPolicy
+from repro.concurrency.backend import BackendServer
+from repro.concurrency.config import as_concurrency
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.hotkey import HotKeyConfig, HotKeyDetector
 from repro.cluster.node import CacheNode
@@ -145,6 +147,17 @@ class ClusterSimulation:
             (:func:`repro.cluster.parallel.replay_cluster_parallel`).
             Incompatible with ``store`` (a checkpoint must capture the whole
             fleet).
+        concurrency: Optional in-flight fetch model
+            (:class:`~repro.concurrency.ConcurrencyConfig`).  When given,
+            every node's miss fetches occupy slots on one *shared*
+            :class:`~repro.concurrency.BackendServer` (the fleet contends
+            for the same backend), each node runs its own per-node in-flight
+            table and stampede policy, and per-read latency lands in the
+            node results.  ``None`` (default) keeps the instant-fetch model
+            byte-identical.  Incompatible with ``owned_nodes`` (the shared
+            fetch queue couples shards) and with ``run(stop_at=...)`` /
+            :meth:`restore_from_store` (in-flight fetches are volatile state
+            a checkpoint does not capture).
     """
 
     def __init__(
@@ -172,6 +185,7 @@ class ClusterSimulation:
         tier: Optional[TierConfig] = None,
         owned_nodes: Optional[Sequence[int]] = None,
         obs: Optional[Any] = None,
+        concurrency: Optional[Any] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -232,6 +246,13 @@ class ClusterSimulation:
         self.router = ReplicaRouter(replication)
         self.scenario = scenario if scenario is not None else Scenario()
 
+        self.concurrency = as_concurrency(concurrency)
+        #: The fleet-shared backend fetch server (``None`` when the
+        #: instant-fetch model is in effect).
+        self.backend: Optional[BackendServer] = None
+        if self.concurrency is not None:
+            self.backend = BackendServer(self.concurrency.capacity)
+
         self._nodes: dict[str, CacheNode] = {}
         self._node_list: List[CacheNode] = []
         #: Node ids with freshness messages in flight; empty with ideal
@@ -273,6 +294,8 @@ class ClusterSimulation:
             )
             node.result.workload_name = workload_name
             node.result.staleness_bound = self.staleness_bound
+            if self.backend is not None:
+                node.attach_concurrency(self.concurrency, self.backend, node_seed)
             self._nodes[node_id] = node
             self._node_list.append(node)
             self.ring.add_node(node_id)
@@ -284,6 +307,12 @@ class ClusterSimulation:
                 raise ClusterError(
                     "owned_nodes is incompatible with a store: a checkpoint "
                     "must capture the whole fleet"
+                )
+            if self.concurrency is not None:
+                raise ClusterError(
+                    "owned_nodes is incompatible with concurrency: every "
+                    "node queues on one shared backend fetch server, so "
+                    "shards cannot replay independently"
                 )
             indices = sorted(set(int(index) for index in owned_nodes))
             if not indices:
@@ -438,6 +467,11 @@ class ClusterSimulation:
         self._has_run = True
         if stop_at is not None and self._store is None:
             raise ClusterError("run(stop_at=...) needs a configured store to crash into")
+        if stop_at is not None and self.concurrency is not None:
+            raise ClusterError(
+                "run(stop_at=...) is incompatible with concurrency: in-flight "
+                "fetches are volatile state a checkpoint does not capture"
+            )
 
         # Scenarios need a concrete horizon for their relative defaults.
         if not self._explicit_duration and type(self.scenario) is not Scenario:
@@ -462,6 +496,11 @@ class ClusterSimulation:
                     f"scenario {self.scenario.name!r} restores nodes from "
                     "periodic snapshots: set StoreConfig.snapshot_interval"
                 )
+        if self.scenario.requires_concurrency and self.concurrency is None:
+            raise ClusterError(
+                f"scenario {self.scenario.name!r} exercises the in-flight "
+                "fetch model: pass concurrency=ConcurrencyConfig(...)"
+            )
         self.scenario.bind(
             duration=self.duration,
             staleness_bound=self.staleness_bound,
@@ -718,6 +757,11 @@ class ClusterSimulation:
         """
         if self._store is None:
             raise ClusterError("restore_from_store needs a configured store")
+        if self.concurrency is not None:
+            raise ClusterError(
+                "restore_from_store is incompatible with concurrency: "
+                "in-flight fetch state is not checkpointed, resume would diverge"
+            )
         if self._has_run:
             raise ClusterError("restore must happen before run()")
         if any(node.detector is not None for node in self._node_list):

@@ -77,8 +77,9 @@ def replay_cluster_parallel(
         **cluster_kwargs: Forwarded to :class:`VectorClusterSimulation` /
             :class:`~repro.cluster.cluster.ClusterSimulation` — ``policy``
             must be a registry *name* (worker processes cannot be handed live
-            policy objects), and ``store`` is refused for ``workers > 1``
-            (a checkpoint must capture the whole fleet in one process).
+            policy objects), and ``store`` and ``concurrency`` are refused
+            for ``workers > 1`` (a checkpoint must capture the whole fleet
+            in one process; the shared backend fetch queue couples shards).
 
     Returns:
         The merged :class:`~repro.cluster.results.ClusterResult`,
@@ -103,6 +104,12 @@ def replay_cluster_parallel(
         raise ClusterError(
             "persistence needs the whole fleet in one process: "
             "a store is incompatible with workers > 1"
+        )
+    if cluster_kwargs.get("concurrency") is not None:
+        raise ClusterError(
+            "concurrency couples every node through one shared backend fetch "
+            "queue, so shards cannot replay independently: it is incompatible "
+            "with workers > 1 (run with workers=1)"
         )
     if not isinstance(cluster_kwargs.get("policy"), str):
         raise ClusterError(

@@ -39,6 +39,17 @@ cache cannot ask:
 back cold, the recovered node restores its cache from the last snapshot its
 local disk completed before the failure, invalidating exactly the keys the
 backend wrote while it was away.
+
+Two scenarios target the in-flight fetch model (:mod:`repro.concurrency`):
+
+* ``stampede`` — at a point in time, a deterministic slice of every node's
+  resident entries expires at once (a deploy flushing TTLs, a mass
+  invalidation): the next wave of reads all miss together and, without a
+  mitigation policy, dogpiles the backend.
+* ``backend-saturation`` — the shared backend's fetch capacity is squeezed
+  to a fraction of its configured slots for a window, then restored; misses
+  queue, latency tails grow, and stale-serving policies show their value.
+  Requires the fleet to run with ``concurrency=ConcurrencyConfig(...)``.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.entry import EntryState
 from repro.errors import ClusterError
 from repro.sketch.hashing import stable_fingerprint
 from repro.workload.base import Request
@@ -81,6 +93,11 @@ class Scenario:
     @property
     def requires_tier(self) -> bool:
         """Whether the scenario needs the fleet to run with an L1 tier."""
+        return False
+
+    @property
+    def requires_concurrency(self) -> bool:
+        """Whether the scenario needs the in-flight fetch model enabled."""
         return False
 
     def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
@@ -552,6 +569,152 @@ class ColdL1Scenario(Scenario):
         return {"name": self.name, "restart_at": self.restart_at}
 
 
+class StampedeScenario(Scenario):
+    """Mass simultaneous expiry: a hot slice of the cache dies at once.
+
+    At ``expire_at`` (default ``0.5 * duration``) every node walks its
+    resident entries and expires the valid ones whose key falls in a stable
+    ``fraction``-sized hash slice — the same keys on every node, the same
+    keys in every run.  This is the classic stampede setup (a deploy
+    flushing TTLs, a bulk invalidation): the next wave of reads for those
+    keys all miss together, and without a mitigation policy each miss
+    dogpiles the backend with its own fetch.
+
+    The scenario itself is engine-agnostic (mass expiry also spikes the
+    instant-fetch engines' refetch costs), but its point is the concurrent
+    fetch model: pair it with ``concurrency=ConcurrencyConfig(...)`` and
+    compare stampede policies by ``backend_fetches`` and tail latency.
+
+    Args:
+        expire_at: Absolute expiry time (default half the run).
+        fraction: Share of resident keys expired, in (0, 1].
+    """
+
+    name = "stampede"
+
+    def __init__(self, expire_at: Optional[float] = None, fraction: float = 0.8) -> None:
+        super().__init__()
+        if not 0.0 < fraction <= 1.0:
+            raise ClusterError(f"fraction must be in (0, 1], got {fraction}")
+        self._expire_at_arg = expire_at
+        self.expire_at: float = 0.0
+        self.fraction = float(fraction)
+        self._threshold = int(self.fraction * 2**32)
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        self.expire_at = (
+            0.5 * duration if self._expire_at_arg is None else self._expire_at_arg
+        )
+        if not 0.0 < self.expire_at < duration:
+            raise ClusterError(
+                f"expire_at must fall inside the run (0, {duration}), got {self.expire_at}"
+            )
+
+    def _selects(self, key: str) -> bool:
+        return (stable_fingerprint(key + "#stampede") & 0xFFFFFFFF) < self._threshold
+
+    def events(self) -> List[ScenarioEvent]:
+        def expire(cluster: "ClusterSimulation", time: float) -> None:
+            selects = self._selects
+            for node in cluster.nodes():
+                for cache in (
+                    (node.cache,) if node.l1 is None else (node.cache, node.l1.cache)
+                ):
+                    for entry in list(cache.entries()):
+                        if entry.state is EntryState.VALID and selects(entry.key):
+                            cache.expire(entry.key)
+
+        return [ScenarioEvent(time=self.expire_at, label="stampede-expire", apply=expire)]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "expire_at": self.expire_at,
+            "fraction": self.fraction,
+        }
+
+
+class BackendSaturationScenario(Scenario):
+    """Squeeze the shared backend's fetch capacity for a window.
+
+    Between ``squeeze_at`` (default ``0.4 * duration``) and ``recover_at``
+    (default ``0.8 * duration``) the fleet-shared backend serves fetches
+    with only ``capacity`` slots; slots above the squeeze retire as they
+    drain, and the configured capacity returns at recovery.  Misses queue
+    behind each other, read-latency tails grow, and the stampede policies
+    that avoid fetches (coalescing, stale serving, early refresh) separate
+    from the ones that do not.
+
+    Requires the cluster to run with ``concurrency=ConcurrencyConfig(...)``
+    — without the in-flight fetch model there is no backend queue to squeeze.
+
+    Args:
+        capacity: Fetch slots during the squeeze (default 1).
+        squeeze_at: Window start (default ``0.4 * duration``).
+        recover_at: Window end (default ``0.8 * duration``).
+    """
+
+    name = "backend-saturation"
+
+    def __init__(
+        self,
+        capacity: int = 1,
+        squeeze_at: Optional[float] = None,
+        recover_at: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ClusterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._squeeze_at_arg = squeeze_at
+        self._recover_at_arg = recover_at
+        self.squeeze_at: float = 0.0
+        self.recover_at: float = 0.0
+        self._saved_capacity: int = 0
+
+    @property
+    def requires_concurrency(self) -> bool:
+        return True
+
+    def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
+        super().bind(duration, staleness_bound, num_nodes)
+        self.squeeze_at = (
+            0.4 * duration if self._squeeze_at_arg is None else self._squeeze_at_arg
+        )
+        self.recover_at = (
+            0.8 * duration if self._recover_at_arg is None else self._recover_at_arg
+        )
+        if not self.squeeze_at < self.recover_at:
+            raise ClusterError("recover_at must be after squeeze_at")
+        if not 0.0 <= self.squeeze_at or not self.recover_at <= duration:
+            raise ClusterError(
+                f"saturation window must fall inside the run [0, {duration}], "
+                f"got [{self.squeeze_at}, {self.recover_at}]"
+            )
+
+    def events(self) -> List[ScenarioEvent]:
+        def squeeze(cluster: "ClusterSimulation", time: float) -> None:
+            self._saved_capacity = cluster.backend.capacity
+            cluster.backend.set_capacity(self.capacity)
+
+        def recover(cluster: "ClusterSimulation", time: float) -> None:
+            cluster.backend.set_capacity(self._saved_capacity)
+
+        return [
+            ScenarioEvent(time=self.squeeze_at, label="saturation-start", apply=squeeze),
+            ScenarioEvent(time=self.recover_at, label="saturation-end", apply=recover),
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "squeeze_at": self.squeeze_at,
+            "recover_at": self.recover_at,
+        }
+
+
 SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "node-failure": NodeFailureScenario,
     "flash-crowd": FlashCrowdScenario,
@@ -559,6 +722,8 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "kill-at-t": CrashRestartScenario,
     "l2-outage": L2OutageScenario,
     "cold-l1": ColdL1Scenario,
+    "stampede": StampedeScenario,
+    "backend-saturation": BackendSaturationScenario,
 }
 
 

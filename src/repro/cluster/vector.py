@@ -135,6 +135,10 @@ class VectorClusterSimulation(ClusterSimulation):
             return False
         if self._store is not None:
             return False
+        if self.concurrency is not None:
+            # In-flight fetches serialize fills through a time-ordered queue;
+            # the columnar kernels assume instant fills.  Scalar fallback.
+            return False
         if self.tier is not None:
             return False
         if self.costs.breakdown is not None:

@@ -1,0 +1,108 @@
+"""Configuration for the concurrent-fetch model.
+
+A :class:`ConcurrencyConfig` switches the engines from the classic
+instant-fetch model (every miss fills the cache in zero simulated time) to a
+model where backend fetches *occupy* the backend for a sampled service time,
+subject to a finite slot capacity with FIFO queueing.  The config is a frozen,
+picklable value object — the same discipline as
+:class:`~repro.obs.recorder.ObsConfig` — so it can ride inside experiment
+cells across worker processes.
+
+``None`` (the default everywhere a config is accepted) keeps the instant-fetch
+engine byte-identical to previous releases; that invariant is test-pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+#: Supported backend service-time distributions.
+SERVICE_TIME_DISTRIBUTIONS = ("deterministic", "exponential", "lognormal")
+
+#: Supported stampede-mitigation policies (see :mod:`repro.concurrency`).
+STAMPEDE_POLICIES = (
+    "none",
+    "single-flight",
+    "stale-while-revalidate",
+    "dogpile-lock",
+    "early-expiry",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ConcurrencyConfig:
+    """Parameters of the in-flight fetch model.
+
+    Attributes:
+        service_time: Service-time distribution of a backend fetch —
+            ``"deterministic"`` (every fetch takes exactly ``mean``),
+            ``"exponential"`` (memoryless with the given mean), or
+            ``"lognormal"`` (heavy-tailed; ``sigma`` sets the shape, the
+            distribution is re-parameterised so its mean stays ``mean``).
+        mean: Mean service time of one backend fetch, in simulated seconds.
+        sigma: Log-space standard deviation for ``"lognormal"``.
+        capacity: Concurrent fetch slots at the backend.  Fetches beyond the
+            capacity queue FIFO and start when a slot frees.
+        policy: Stampede-mitigation policy applied on cache misses; one of
+            :data:`STAMPEDE_POLICIES`.
+        beta: Aggressiveness of probabilistic early expiration (the XFetch
+            ``beta``); only used by the ``"early-expiry"`` policy.
+        seed: Base seed for the service-time sampler and the early-expiry
+            coin.  Hosts derive their sampler streams from this seed with
+            the same XOR-constant discipline as channel/detector/tier seeds,
+            so results are reproducible across processes.
+    """
+
+    service_time: str = "deterministic"
+    mean: float = 0.05
+    sigma: float = 0.5
+    capacity: int = 4
+    policy: str = "none"
+    beta: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.service_time not in SERVICE_TIME_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"service_time must be one of {SERVICE_TIME_DISTRIBUTIONS}, "
+                f"got {self.service_time!r}"
+            )
+        if self.policy not in STAMPEDE_POLICIES:
+            raise ConfigurationError(
+                f"stampede policy must be one of {STAMPEDE_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.mean <= 0:
+            raise ConfigurationError(f"mean service time must be positive, got {self.mean}")
+        if self.sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {self.sigma}")
+        if self.capacity < 1:
+            raise ConfigurationError(f"backend capacity must be >= 1, got {self.capacity}")
+        if self.beta <= 0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to primitives for result rows and logs (seed excluded —
+        it is derived from the cell, not a user-facing coordinate)."""
+        return {
+            "service_time": self.service_time,
+            "mean": self.mean,
+            "sigma": self.sigma,
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "beta": self.beta,
+        }
+
+
+def as_concurrency(obj: Any) -> "ConcurrencyConfig | None":
+    """Normalise a constructor argument to a config or ``None`` (disabled)."""
+    if obj is None:
+        return None
+    if isinstance(obj, ConcurrencyConfig):
+        return obj
+    raise TypeError(
+        f"concurrency must be a ConcurrencyConfig or None, got {type(obj).__name__}"
+    )

@@ -1,0 +1,48 @@
+"""Seeded service-time samplers for backend fetches.
+
+Each host (the single-cache simulation, or one cache node in a fleet) owns an
+independent sampler stream derived from its deterministic seed, so adding or
+removing nodes never perturbs another node's draws — the same per-node stream
+discipline the channels and failure detectors already follow.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.concurrency.config import ConcurrencyConfig
+
+
+class ServiceTimeSampler:
+    """Draw backend service times from the configured distribution.
+
+    ``sample`` is bound to the distribution-specific method at construction
+    so the hot path pays no dispatch; the deterministic distribution never
+    even builds an RNG.
+    """
+
+    __slots__ = ("sample", "_mean", "_mu", "_sigma", "_rng")
+
+    def __init__(self, config: ConcurrencyConfig, seed: int) -> None:
+        self._mean = config.mean
+        kind = config.service_time
+        if kind == "deterministic":
+            self.sample = self._deterministic
+        elif kind == "exponential":
+            self._rng = random.Random(seed)
+            self.sample = self._exponential
+        else:  # lognormal, re-parameterised so the mean stays config.mean
+            self._rng = random.Random(seed)
+            self._sigma = config.sigma
+            self._mu = math.log(config.mean) - 0.5 * config.sigma * config.sigma
+            self.sample = self._lognormal
+
+    def _deterministic(self) -> float:
+        return self._mean
+
+    def _exponential(self) -> float:
+        return self._rng.expovariate(1.0 / self._mean)
+
+    def _lognormal(self) -> float:
+        return self._rng.lognormvariate(self._mu, self._sigma)

@@ -19,6 +19,7 @@ import multiprocessing
 import os
 import tempfile
 from contextlib import contextmanager
+from dataclasses import replace
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.backend.channel import Channel
@@ -88,6 +89,7 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             workload_name=workload.name,
             store=store,
             obs=_cell_obs(cell),
+            concurrency=_cell_concurrency(cell),
         )
         if cell.engine == "vector":
             # The vector simulation replays ineligible configurations (e.g.
@@ -109,6 +111,18 @@ def run_cell(cell: RunCell) -> Dict[str, Any]:
             row["obs"] = simulation.obs.payload()
     _attach_slo(cell, row)
     return row
+
+
+def _cell_concurrency(cell: RunCell):
+    """The cell's concurrency config re-seeded from the cell seed.
+
+    Seeding here (not in the spec) keeps the axis value hashable and
+    seed-free for dedup while still giving every cell its own service-time
+    and XFetch streams, derived from the same seed as its workload.
+    """
+    if cell.concurrency is None:
+        return None
+    return replace(cell.concurrency, seed=cell.seed)
 
 
 def _cell_obs(cell: RunCell) -> Optional[ObsConfig]:
@@ -172,6 +186,7 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             store=store,
             tier=tier,
             obs=_cell_obs(cell),
+            concurrency=_cell_concurrency(cell),
         )
         if cell.engine == "vector":
             # Falls back to the scalar routing loop for configurations the

@@ -19,9 +19,14 @@ from __future__ import annotations
 import itertools
 import json
 import zlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.concurrency.config import (
+    SERVICE_TIME_DISTRIBUTIONS,
+    STAMPEDE_POLICIES,
+    ConcurrencyConfig,
+)
 from repro.errors import ConfigurationError
 
 
@@ -146,6 +151,13 @@ class RunCell:
     # hashable and picklable.  Evaluated post-run against the cell's obs
     # payload into the row's ``slo`` key; requires ``obs_window``.
     slo_rules: Optional[str] = None
+    # Concurrency coordinates.  ``None`` (default) replays with the classic
+    # instant-fetch engines (byte-identical, test-pinned); a
+    # :class:`~repro.concurrency.ConcurrencyConfig` enables the in-flight
+    # fetch model (service times, backend queueing, stampede policy, read
+    # latency percentiles).  The config's ``seed`` is rebound to the cell
+    # seed by the runner, keeping the service-time streams workload-anchored.
+    concurrency: Optional[ConcurrencyConfig] = None
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -174,6 +186,19 @@ class RunCell:
             "tier_admission": self.tier_admission,
             "engine": self.engine,
             "obs_window": self.obs_window,
+            "concurrency": self.concurrency is not None,
+            "stampede_policy": (
+                self.concurrency.policy if self.concurrency is not None else None
+            ),
+            "service_time": (
+                self.concurrency.service_time if self.concurrency is not None else None
+            ),
+            "service_mean": (
+                self.concurrency.mean if self.concurrency is not None else None
+            ),
+            "backend_capacity": (
+                self.concurrency.capacity if self.concurrency is not None else None
+            ),
         }
 
 
@@ -249,6 +274,17 @@ class ExperimentSpec:
             row's ``slo`` key; requires ``obs_window``.  Evaluation is
             deterministic, so verdicts are byte-identical across any
             ``--processes`` count.
+        concurrency: Concurrency axis; ``None`` entries replay with the
+            classic instant-fetch engines, each
+            :class:`~repro.concurrency.ConcurrencyConfig` entry enables the
+            in-flight fetch model with that service-time distribution,
+            backend capacity, and stampede policy.
+        stampede_policies: Stampede-mitigation axis crossed with every
+            non-``None`` ``concurrency`` entry (empty = each config keeps
+            its own ``policy``).  Entries must name registered policies.
+        service_times: Service-time-distribution axis crossed with every
+            non-``None`` ``concurrency`` entry (empty = each config keeps
+            its own ``service_time``).
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -276,6 +312,9 @@ class ExperimentSpec:
     engine: str = "scalar"
     obs_window: Optional[float] = None
     slo_rules: Optional[Sequence[Mapping[str, Any]]] = None
+    concurrency: Sequence[Optional[ConcurrencyConfig]] = (None,)
+    stampede_policies: Sequence[str] = ()
+    service_times: Sequence[str] = ()
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -411,6 +450,37 @@ class ExperimentSpec:
                 "every l1_capacities entry must be positive (got "
                 f"{list(self.l1_capacities)})"
             )
+        # Concurrency axes: validate entries eagerly, and require a
+        # non-``None`` concurrency entry before crossing the stampede-policy
+        # or service-time axes (they parameterize the fetch model; labeling
+        # instant-fetch rows with a policy that never ran would be a lie).
+        if not self.concurrency:
+            raise ConfigurationError("the concurrency axis needs at least one entry")
+        for entry in self.concurrency:
+            if entry is not None and not isinstance(entry, ConcurrencyConfig):
+                raise ConfigurationError(
+                    "concurrency entries must be None or ConcurrencyConfig, "
+                    f"got {entry!r}"
+                )
+        for policy in self.stampede_policies:
+            if policy not in STAMPEDE_POLICIES:
+                raise ConfigurationError(
+                    f"stampede_policies entries must be one of "
+                    f"{STAMPEDE_POLICIES}, got {policy!r}"
+                )
+        for service in self.service_times:
+            if service not in SERVICE_TIME_DISTRIBUTIONS:
+                raise ConfigurationError(
+                    f"service_times entries must be one of "
+                    f"{SERVICE_TIME_DISTRIBUTIONS}, got {service!r}"
+                )
+        has_concurrency = any(entry is not None for entry in self.concurrency)
+        if (self.stampede_policies or self.service_times) and not has_concurrency:
+            raise ConfigurationError(
+                "stampede_policies and service_times parameterize the "
+                "in-flight fetch model; add a ConcurrencyConfig entry to the "
+                "concurrency axis"
+            )
         # Scenarios that restore nodes from durable snapshots (warm rejoin,
         # warm kill-at-t) need every cell to run with a store; surface the
         # mismatch here rather than inside a worker mid-sweep.
@@ -437,6 +507,14 @@ class ExperimentSpec:
                         "periodic snapshots; every snapshot_intervals entry "
                         f"must be set (got {list(self.snapshot_intervals)})"
                     )
+            if materialized.requires_concurrency and any(
+                entry is None for entry in self.concurrency
+            ):
+                raise ConfigurationError(
+                    f"scenario {materialized.name!r} exercises the in-flight "
+                    "fetch model; every concurrency entry must be a "
+                    "ConcurrencyConfig (the axis has instant-fetch entries)"
+                )
 
     def normalized_workloads(self) -> List[WorkloadSpec]:
         """Return the workload axis with bare names promoted to specs."""
@@ -463,6 +541,33 @@ class ExperimentSpec:
                     seen_zero = True
             else:
                 combos.extend((int(capacity), mode) for mode in self.tier_modes)
+        return combos
+
+    def concurrency_combos(self) -> List[Optional[ConcurrencyConfig]]:
+        """The concurrency configs the grid actually runs.
+
+        ``None`` (instant fetch) appears exactly once however often it is
+        listed; each non-``None`` base config is crossed with the
+        ``stampede_policies`` and ``service_times`` axes (an empty axis
+        keeps the base config's own value), deduplicating identical
+        combinations so the grid never re-runs byte-identical cells.
+        """
+        combos: List[Optional[ConcurrencyConfig]] = []
+        seen: set = set()
+        for base in self.concurrency:
+            if base is None:
+                if None not in seen:
+                    combos.append(None)
+                    seen.add(None)
+                continue
+            policies = tuple(self.stampede_policies) or (base.policy,)
+            services = tuple(self.service_times) or (base.service_time,)
+            for policy in policies:
+                for service in services:
+                    combo = replace(base, policy=policy, service_time=service)
+                    if combo not in seen:
+                        combos.append(combo)
+                        seen.add(combo)
         return combos
 
     def normalized_scenarios(self) -> List[Optional[ScenarioSpec]]:
@@ -492,6 +597,7 @@ class ExperimentSpec:
             * len(self.persistence)
             * len(self.snapshot_intervals)
             * len(self.tier_combos())
+            * len(self.concurrency_combos())
         )
 
     def expand(self) -> List[RunCell]:
@@ -514,6 +620,7 @@ class ExperimentSpec:
             self.persistence,
             self.snapshot_intervals,
             self.tier_combos(),
+            self.concurrency_combos(),
             self.policies,
         )
         for cell_id, (
@@ -527,6 +634,7 @@ class ExperimentSpec:
             persistence,
             snapshot_interval,
             (l1_capacity, tier_mode),
+            concurrency,
             policy,
         ) in enumerate(grid):
             seed = stable_cell_seed(self.base_seed, workload.name, workload.params, self.duration)
@@ -563,6 +671,7 @@ class ExperimentSpec:
                         float(self.obs_window) if self.obs_window is not None else None
                     ),
                     slo_rules=slo_rules,
+                    concurrency=concurrency,
                 )
             )
         return cells

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.obs.metrics import MetricsRegistry, merge_metric_dicts
+from repro.obs.metrics import Histogram, MetricsRegistry, merge_metric_dicts
 from repro.obs.trace import TraceBuffer, merge_trace_records
 from repro.obs.windows import WindowSampler, merge_window_dicts
 
@@ -58,6 +58,10 @@ _RESULT_FIELDS = (
     "l1_served_degraded",
     "hot_decisions",
     "failed_fetches",
+    "backend_fetches",
+    "coalesced_reads",
+    "stale_serves",
+    "early_refreshes",
 )
 # Fields sampled from each host's Cache.stats (the L2 cache).
 _CACHE_FIELDS = ("evictions", "expirations")
@@ -120,6 +124,7 @@ class ObsRecorder:
         "_window_index",
         "_hosts",
         "_last",
+        "_last_latency",
         "_span_countdown",
         "_meta",
     )
@@ -134,6 +139,7 @@ class ObsRecorder:
         self._window_index = 0
         self._hosts: Tuple[Tuple[str, Any, Any], ...] = ()
         self._last: Dict[str, Dict[str, float]] = {}
+        self._last_latency: Dict[str, Dict[int, int]] = {}
         # Countdown of 1 samples the very first request, then every N-th.
         self._span_countdown = 1 if self.config.span_every else 0
         self._meta: Dict[str, Any] = {}
@@ -156,6 +162,10 @@ class ObsRecorder:
         self._hosts = tuple(hosts)
         self.record_global = record_global
         self._last = {node_id: self._snapshot(result, stats) for node_id, result, stats in self._hosts}
+        self._last_latency = {
+            node_id: dict(getattr(result, "latency_buckets", None) or {})
+            for node_id, result, _ in self._hosts
+        }
 
     def run_start(self, time: float = 0.0, **meta: Any) -> None:
         self._meta.update(meta)
@@ -172,6 +182,17 @@ class ObsRecorder:
                     totals[field] = totals.get(field, 0) + value
         for field in sorted(totals):
             self.registry.counter(f"total_{field}").value = totals[field]
+        for node_id, result, stats in self._hosts:
+            buckets = getattr(result, "latency_buckets", None)
+            if not buckets:
+                continue
+            # Fold each host's run-level latency buckets into one exported
+            # histogram; exact bucket addition, same as a shard merge.
+            total = self.registry.histogram("read_latency")
+            for index, count in buckets.items():
+                total.counts[index] = total.counts.get(index, 0) + count
+            total.count += getattr(result, "latency_count", 0)
+            total.sum += getattr(result, "latency_sum", 0.0)
         self.registry.gauge("end_time").set(end_time)
         self._meta.update(meta)
         self._meta["end_time"] = end_time
@@ -200,6 +221,11 @@ class ObsRecorder:
                 for field in current
                 if current[field] != last.get(field, 0)
             }
+            latency = self._latency_deltas(node_id, result)
+            if latency is not None:
+                deltas["read_latency_p50"] = latency.percentile(0.50)
+                deltas["read_latency_p99"] = latency.percentile(0.99)
+                deltas["read_latency_p999"] = latency.percentile(0.999)
             if not deltas:
                 continue
             self.windows.add(index, node_id, deltas)
@@ -210,6 +236,30 @@ class ObsRecorder:
             if switched:
                 self.event(boundary, "hot-key-switch", node=node_id, count=switched)
             self._last[node_id] = current
+
+    def _latency_deltas(self, node_id: str, result: Any) -> Optional[Histogram]:
+        """This window's read-latency samples as a throwaway histogram.
+
+        ``latency_buckets`` is the host's *live* bucket dict (populated only
+        when the in-flight fetch model is on); the diff against the previous
+        snapshot isolates the window.  Returns ``None`` — emitting no window
+        fields, keeping concurrency-off payloads byte-identical — when the
+        host recorded nothing new.
+        """
+        buckets = getattr(result, "latency_buckets", None)
+        if not buckets:
+            return None
+        last = self._last_latency.get(node_id, {})
+        window = Histogram("window_read_latency")
+        for index, count in buckets.items():
+            delta = count - last.get(index, 0)
+            if delta:
+                window.counts[index] = delta
+                window.count += delta
+        if window.count == 0:
+            return None
+        self._last_latency[node_id] = dict(buckets)
+        return window
 
     def roll(self, now: float) -> None:
         """Close the open window and open the one containing ``now``.

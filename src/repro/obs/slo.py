@@ -24,6 +24,13 @@ Rule types (each a JSON object with a ``type`` key):
     "quantile": 0.99, "max": 0.05, "allow_missing": false}`` — a histogram
     percentile must not exceed ``max``; a missing histogram is itself a
     violation unless ``allow_missing``.
+``latency_quantile_ceiling``
+    ``{"type": "latency_quantile_ceiling", "quantile": 0.99, "max": 2.0,
+    "allow_missing": true}`` — a percentile of the per-read latency
+    histogram (``read_latency``, exported when the in-flight fetch model is
+    on) must not exceed ``max`` simulated seconds.  Runs without the
+    concurrency model export no latency histogram, so gate files shared
+    across modes should set ``allow_missing``.
 ``max_anomalies``
     ``{"type": "max_anomalies", "max": 0, "fields": [...], "types": [...],
     "threshold": 3.0}`` — the anomaly detector must flag at most ``max``
@@ -60,8 +67,13 @@ _RULE_TYPES = (
     "staleness_rate_ceiling",
     "counter_ceiling",
     "histogram_quantile_ceiling",
+    "latency_quantile_ceiling",
     "max_anomalies",
 )
+
+#: The histogram a ``latency_quantile_ceiling`` rule reads — exported by the
+#: recorder when the in-flight fetch model records per-read latency.
+LATENCY_METRIC = "read_latency"
 
 
 def _require_number(rule: Mapping[str, Any], key: str, rule_name: str) -> float:
@@ -102,6 +114,8 @@ def validate_rules(rules: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
                 name = f"{rule_type}:{out.get('field')}"
             elif rule_type == "histogram_quantile_ceiling":
                 name = f"{rule_type}:{out.get('metric')}:p{out.get('quantile')}"
+            elif rule_type == "latency_quantile_ceiling":
+                name = f"{rule_type}:p{out.get('quantile')}"
             else:
                 name = rule_type
             out["name"] = name
@@ -136,6 +150,14 @@ def validate_rules(rules: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
             metric = out.get("metric")
             if not isinstance(metric, str) or not metric:
                 raise ValueError(f"SLO rule {name!r}: 'metric' must be a non-empty string")
+            quantile = _require_number(out, "quantile", name)
+            if not 0.0 <= quantile <= 1.0:
+                raise ValueError(
+                    f"SLO rule {name!r}: quantile must be in [0, 1], got {quantile}"
+                )
+            _require_number(out, "max", name)
+            out.setdefault("allow_missing", False)
+        elif rule_type == "latency_quantile_ceiling":
             quantile = _require_number(out, "quantile", name)
             if not 0.0 <= quantile <= 1.0:
                 raise ValueError(
@@ -279,6 +301,24 @@ def evaluate_slo(
                 observed = Histogram.from_dict(metric, data).percentile(quantile)
                 ok = observed <= threshold
                 detail = f"{metric} p{quantile * 100:g} = {observed:g} (ceiling {threshold:g})"
+        elif rule_type == "latency_quantile_ceiling":
+            threshold = float(rule["max"])
+            data = payload.get("metrics", {}).get("histograms", {}).get(LATENCY_METRIC)
+            if data is None:
+                observed = None
+                ok = bool(rule["allow_missing"])
+                detail = (
+                    f"histogram {LATENCY_METRIC!r} not present in payload "
+                    "(run without the in-flight fetch model?)"
+                )
+            else:
+                quantile = float(rule["quantile"])
+                observed = Histogram.from_dict(LATENCY_METRIC, data).percentile(quantile)
+                ok = observed <= threshold
+                detail = (
+                    f"read latency p{quantile * 100:g} = {observed:g}s "
+                    f"(ceiling {threshold:g}s)"
+                )
         elif rule_type == "max_anomalies":
             threshold = float(rule["max"])
             if anomalies is None:

@@ -13,8 +13,11 @@ derives the two headline metrics of the paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.obs.metrics import bucket_upper_bound
 
 
 @dataclass(slots=True)
@@ -57,6 +60,20 @@ class SimulationResult:
     wal_flushes: int = 0
     snapshots_taken: int = 0
 
+    # Concurrency counters (zero unless the in-flight fetch model is
+    # enabled; see :mod:`repro.concurrency`).
+    backend_fetches: int = 0
+    coalesced_reads: int = 0
+    stale_serves: int = 0
+    early_refreshes: int = 0
+
+    # Read-latency distribution (HDR bucket index -> sample count, using the
+    # :mod:`repro.obs.metrics` bucket layout).  Empty unless the concurrency
+    # model is enabled; merged bucket-wise when accumulating across shards.
+    latency_buckets: Dict[int, int] = field(default_factory=dict)
+    latency_count: int = 0
+    latency_sum: float = 0.0
+
     # Cache-level statistics snapshot (filled at the end of the run).
     cache_stats: Dict[str, float] = field(default_factory=dict)
 
@@ -83,6 +100,12 @@ class SimulationResult:
         "wal_appends",
         "wal_flushes",
         "snapshots_taken",
+        "backend_fetches",
+        "coalesced_reads",
+        "stale_serves",
+        "early_refreshes",
+        "latency_count",
+        "latency_sum",
     )
 
     def accumulate(self, other: "SimulationResult") -> None:
@@ -95,6 +118,10 @@ class SimulationResult:
         """
         for name in self.ACCUMULATED_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        if other.latency_buckets:
+            buckets = self.latency_buckets
+            for index, count in other.latency_buckets.items():
+                buckets[index] = buckets.get(index, 0) + count
         stats = self.cache_stats
         for key, value in other.cache_stats.items():
             if key.endswith("_ratio"):
@@ -172,6 +199,29 @@ class SimulationResult:
         """Total number of invalidate/update messages emitted by the backend."""
         return self.invalidates_sent + self.updates_sent
 
+    def read_latency_percentile(self, quantile: float) -> float:
+        """Latency quantile from the HDR buckets (0.0 when no samples).
+
+        Mirrors :meth:`repro.obs.metrics.Histogram.percentile`: the value is
+        the upper bound of the bucket containing the rank-th sample, so the
+        estimate is conservative within one bucket's resolution.
+        """
+        count = self.latency_count
+        if count <= 0:
+            return 0.0
+        rank = max(1, math.ceil(quantile * count))
+        seen = 0
+        for index in sorted(self.latency_buckets):
+            seen += self.latency_buckets[index]
+            if seen >= rank:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(max(self.latency_buckets))
+
+    @property
+    def read_latency_mean(self) -> float:
+        """Mean read latency in simulated seconds (0.0 when no samples)."""
+        return self.latency_sum / self.latency_count if self.latency_count else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         """Flatten counters and derived metrics for reporting/CSV export."""
         return {
@@ -204,4 +254,12 @@ class SimulationResult:
             "wal_appends": self.wal_appends,
             "wal_flushes": self.wal_flushes,
             "snapshots_taken": self.snapshots_taken,
+            "backend_fetches": self.backend_fetches,
+            "coalesced_reads": self.coalesced_reads,
+            "stale_serves": self.stale_serves,
+            "early_refreshes": self.early_refreshes,
+            "read_latency_p50": self.read_latency_percentile(0.50),
+            "read_latency_p99": self.read_latency_percentile(0.99),
+            "read_latency_p999": self.read_latency_percentile(0.999),
+            "read_latency_mean": self.read_latency_mean,
         }

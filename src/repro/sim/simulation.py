@@ -38,10 +38,14 @@ from repro.backend.messages import InvalidateMessage, UpdateMessage
 from repro.cache.cache import Cache
 from repro.cache.entry import CacheEntry, EntryState
 from repro.cache.eviction import EvictionPolicy
+from repro.concurrency.backend import BackendServer
+from repro.concurrency.config import as_concurrency
+from repro.concurrency.coordinator import FetchCoordinator
 from repro.core.cost_model import CostModel
 from repro.core.policy import Action, FreshnessPolicy, FutureIndex, PolicyContext
 from repro.core.ttl import TTLPollingPolicy, account_entry_polls
 from repro.errors import ConfigurationError, WorkloadError
+from repro.obs.metrics import Histogram
 from repro.obs.recorder import as_recorder
 from repro.sim.clock import SimulationClock
 from repro.sim.events import PendingDelivery
@@ -101,6 +105,14 @@ class Simulation:
             replay binds its plain hot path and pays zero overhead.  The
             recorder only observes result counters — replay results are
             byte-identical with observability on or off.
+        concurrency: Optional in-flight fetch model — a
+            :class:`~repro.concurrency.ConcurrencyConfig`.  When set, cache
+            misses *occupy* the backend for a sampled service time (finite
+            slot capacity, FIFO queueing), fetch completions become simulator
+            events, stampede-mitigation policies apply, and per-read latency
+            is recorded into the result's HDR buckets.  When ``None``
+            (default) the replay binds the classic instant-fetch hot path —
+            byte-identical to previous releases (test-pinned).
     """
 
     def __init__(
@@ -120,6 +132,7 @@ class Simulation:
         store: Optional[StoreConfig] = None,
         history_retention: Optional[float] = None,
         obs: Optional[Any] = None,
+        concurrency: Optional[Any] = None,
     ) -> None:
         if staleness_bound <= 0:
             raise ConfigurationError(
@@ -173,6 +186,21 @@ class Simulation:
         self._next_due = math.inf
         self._has_run = False
 
+        # Concurrent-fetch model (None keeps the instant-fetch hot path).
+        self.concurrency = as_concurrency(concurrency)
+        self._fetches: Optional[FetchCoordinator] = None
+        self._latency: Optional[Histogram] = None
+        self.backend_server: Optional[BackendServer] = None
+        if self.concurrency is not None:
+            self.backend_server = BackendServer(self.concurrency.capacity)
+            self._fetches = FetchCoordinator(
+                self.concurrency, self.backend_server, self.concurrency.seed
+            )
+            self._latency = Histogram("read_latency")
+            # Share the live bucket dict so windowed telemetry can diff
+            # per-window latency without copying on the hot path.
+            self.result.latency_buckets = self._latency.counts
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
@@ -191,6 +219,15 @@ class Simulation:
             raise ConfigurationError("a Simulation instance can only be run once")
         self._has_run = True
         self._bind_policy()
+        if self._fetches is not None:
+            # The concurrent model shadows the read path and background
+            # advance with instance attributes; with concurrency off these
+            # attributes never exist and every caller (including the obs
+            # wrappers and _finalize) resolves the plain class methods —
+            # byte-identical to previous releases.
+            self._process_read = self._process_read_concurrent
+            self._process_write = self._process_write_concurrent
+            self._advance_background_work = self._advance_background_concurrent
         self._refresh_next_due()
         clock = self.clock
         # Observability binds wrapper methods *instead of* the plain ones:
@@ -496,6 +533,166 @@ class Simulation:
             self.buffer.discard(key)
 
     # ------------------------------------------------------------------ #
+    # Concurrent-fetch request processing (bound only when enabled)
+    # ------------------------------------------------------------------ #
+    def _process_read_concurrent(self, request: Request) -> None:
+        """The read path under the in-flight fetch model.
+
+        Mirrors :meth:`_process_read` op-for-op on the hit path, but misses
+        *issue* a backend fetch (classified and charged at issue time, when
+        the backend snapshot is taken) whose fill lands at its completion
+        time.  Stampede policies decide whether concurrent misses on the
+        same key coalesce, serve the resident stale copy, or wait.
+        """
+        result = self.result
+        datastore = self.datastore
+        fetches = self._fetches
+        key, time, key_size = request.key, request.time, request.key_size
+
+        if fetches.next_done <= time:
+            self._apply_fetch_completions(time)
+
+        result.reads += 1
+        if self._observe_read is not None:
+            self._observe_read(key, time)
+        serve = self._serve_cost_const
+        if serve is None:
+            serve = self.costs.serve_cost(key_size, datastore.value_size(key))
+        result.useful_work += serve
+
+        if self._settles_ttl:
+            self._settle_ttl_state(key, time)
+        entry, outcome = self.cache.lookup(key, time)
+        bound = self.staleness_bound
+        latency = self._latency
+        if outcome == "hit":
+            result.hits += 1
+            if time - bound > entry.as_of and not datastore.is_fresh(
+                key, entry.as_of, time, bound
+            ):
+                result.staleness_violations += 1
+            latency.observe(0.0)
+            if (
+                fetches.early_expiry
+                and fetches.lookup(key) is None
+                and fetches.should_refresh_early(time, entry.as_of, bound)
+            ):
+                self._issue_refresh(key, time, key_size)
+                result.early_refreshes += 1
+            return
+
+        stale_entry = entry if outcome == "stale_miss" else None
+        in_flight = fetches.lookup(key) if fetches.coalesces else None
+        if in_flight is not None:
+            # Follower: ride the in-flight fetch instead of dogpiling the
+            # backend.  The miss is still classified (the cache did miss)
+            # but no fetch cost is charged — the leader already paid it.
+            result.coalesced_reads += 1
+            if outcome == "stale_miss":
+                result.stale_misses += 1
+            else:
+                result.cold_misses += 1
+            if fetches.followers_serve_stale and stale_entry is not None:
+                result.stale_serves += 1
+                latency.observe(0.0)
+                if time - bound > stale_entry.as_of and not datastore.is_fresh(
+                    key, stale_entry.as_of, time, bound
+                ):
+                    result.staleness_violations += 1
+            else:
+                latency.observe(in_flight.done - time)
+            return
+
+        # Leader: read the backend snapshot now, charge the miss now, and
+        # let the fill land when the fetch completes.
+        version, backend_value_size = datastore.read(key, time)
+        if outcome == "stale_miss":
+            result.stale_misses += 1
+            result.stale_refetches += 1
+            result.freshness_cost += self.costs.miss_cost(key_size, backend_value_size)
+        else:
+            result.cold_misses += 1
+            result.cold_miss_cost += self.costs.miss_cost(key_size, backend_value_size)
+        fetch = fetches.issue(key, time, version, backend_value_size, key_size)
+        result.backend_fetches += 1
+        if fetches.leader_serves_stale and stale_entry is not None:
+            result.stale_serves += 1
+            latency.observe(0.0)
+            if time - bound > stale_entry.as_of and not datastore.is_fresh(
+                key, stale_entry.as_of, time, bound
+            ):
+                result.staleness_violations += 1
+        else:
+            latency.observe(fetch.done - time)
+
+    def _process_write_concurrent(self, request: Request) -> None:
+        """Drain due fetch completions, then run the plain write path."""
+        if self._fetches.next_done <= request.time:
+            self._apply_fetch_completions(request.time)
+        Simulation._process_write(self, request)
+
+    def _issue_refresh(self, key: str, time: float, key_size: int) -> None:
+        """Background refresh (early expiry): freshness work, not a miss."""
+        version, value_size = self.datastore.read(key, time)
+        self.result.freshness_cost += self.costs.miss_cost(key_size, value_size)
+        self.result.backend_fetches += 1
+        self._fetches.issue(key, time, version, value_size, key_size)
+
+    def _apply_fetch_completions(self, until: float) -> None:
+        """Land fills for every fetch completing at or before ``until``.
+
+        The fill carries the backend snapshot taken at issue time, so the
+        entry's ``as_of`` is the issue instant.  The tracker learns about the
+        refetch unconditionally (as in the instant-fetch path — the backend
+        must re-invalidate on the *next* write, or a fill racing an
+        invalidate would suppress every future invalidate while the cache
+        holds stale data).  The buffered-write discard, however, only applies
+        when the fetched version is still the backend's latest: a write that
+        raced the fetch still needs its freshness message.
+        """
+        discard = self.discard_buffer_on_miss_fill and self.policy.reacts_to_writes
+        datastore = self.datastore
+        for fetch in self._fetches.drain(until):
+            key = fetch.key
+            self.cache.fill(
+                key,
+                version=fetch.version,
+                time=fetch.issued_at,
+                key_size=fetch.key_size,
+                value_size=fetch.value_size,
+            )
+            self.tracker.mark_refetched(key)
+            if discard and datastore.latest_version(key) == fetch.version:
+                self.buffer.discard(key)
+
+    def _advance_background_concurrent(self, until: float) -> None:
+        """Background advance with fetch completions interleaved in time order.
+
+        Same flush/snapshot schedule as :meth:`_advance_background_work`,
+        with completions applied first on ties so a flush decision observes
+        every fill that landed at or before its instant.
+        """
+        reacts = self.policy.reacts_to_writes
+        fetches = self._fetches
+        while True:
+            next_flush = self._next_flush if reacts else math.inf
+            next_snapshot = self._store.next_snapshot if self._store else math.inf
+            next_done = fetches.next_done
+            if min(next_flush, next_snapshot, next_done) > until:
+                break
+            if next_done <= next_flush and next_done <= next_snapshot:
+                self._apply_fetch_completions(next_done)
+            elif next_flush <= next_snapshot:
+                self._deliver_messages(next_flush)
+                self._flush(next_flush)
+                self._next_flush += self.staleness_bound
+            else:
+                self._store.checkpoint(next_snapshot, self.datastore)
+        self._refresh_next_due()
+        self._deliver_messages(until)
+        self._apply_fetch_completions(until)
+
+    # ------------------------------------------------------------------ #
     # Lazy TTL accounting
     # ------------------------------------------------------------------ #
     def _settle_ttl_state(self, key: str, now: float) -> None:
@@ -560,6 +757,9 @@ class Simulation:
             self._store.close()
         self.result.duration = end_time
         self.result.cache_stats = self.cache.stats.as_dict()
+        if self._latency is not None:
+            self.result.latency_count = self._latency.count
+            self.result.latency_sum = self._latency.sum
         if self.obs is not None:
             self.obs.finish(end_time)
 

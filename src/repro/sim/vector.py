@@ -44,7 +44,6 @@ construction, just slower.
 
 from __future__ import annotations
 
-import math
 from itertools import repeat
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -672,6 +671,10 @@ class VectorSimulation(Simulation):
         if self.datastore.retention is not None:
             return False
         if self._store is not None:
+            return False
+        if self.concurrency is not None:
+            # In-flight fetches serialize fills through a time-ordered queue;
+            # the columnar kernels assume instant fills.  Scalar fallback.
             return False
         return True
 

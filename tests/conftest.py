@@ -1,0 +1,34 @@
+"""Shared pytest wiring: the ``--run-slow`` opt-in for exhaustive sweeps.
+
+Tests marked ``@pytest.mark.slow`` (the full differential-harness sweep,
+large randomized property runs) are skipped by default so the tier-1 suite
+stays fast; ``pytest --run-slow`` runs everything.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (full differential sweeps)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: exhaustive sweep, skipped unless --run-slow is given"
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: "list[pytest.Item]"
+) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow sweep; opt in with --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,177 @@
+"""Differential/property harness: three engines, one answer, many configs.
+
+A seeded generator draws randomized-but-valid configurations across the
+workload x policy x fleet-size x tier x channel x scenario x concurrency
+space, and every configuration is replayed on all three pipelines:
+
+* the streamed scalar :class:`ClusterSimulation`,
+* the columnar :class:`VectorClusterSimulation` (which falls back to the
+  scalar loop for ineligible configs — the fallback is part of the contract),
+* shard-parallel :func:`replay_cluster_parallel` (``workers=1`` when the
+  config enables the in-flight fetch model, which refuses multi-worker
+  sharding by design).
+
+The assertion is **byte-identity**: the full result row — fleet totals and
+every per-node row — serialized with ``json.dumps`` must match exactly.  On
+failure the assert message carries the complete reproducer config, so one
+paste rebuilds the failing cell.
+
+The default run covers the first :data:`FAST_CONFIGS` draws to keep tier-1
+fast; ``pytest --run-slow`` sweeps all :data:`TOTAL_CONFIGS`.
+"""
+
+import json
+import random
+from typing import Any, Dict, Optional
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulation,
+    VectorClusterSimulation,
+    make_scenario,
+    replay_cluster_parallel,
+)
+from repro.concurrency.config import (
+    SERVICE_TIME_DISTRIBUTIONS,
+    STAMPEDE_POLICIES,
+    ConcurrencyConfig,
+)
+from repro.experiments.spec import ChannelSpec
+from repro.tier.config import TierConfig
+from repro.workload.compiled import compile_workload
+from repro.workload.poisson import PoissonZipfWorkload
+
+BASE_SEED = 0xD1FF
+TOTAL_CONFIGS = 50
+FAST_CONFIGS = 12
+
+POLICIES = ("ttl-expiry", "invalidate", "update", "adaptive")
+BOUNDS = (0.25, 0.5, 1.0, 2.0)
+DURATION = 3.0
+
+
+def draw_config(index: int) -> Dict[str, Any]:
+    """Deterministically draw the ``index``-th randomized configuration."""
+    rng = random.Random(BASE_SEED + index)
+    num_nodes = rng.randint(1, 6)
+    config: Dict[str, Any] = {
+        "index": index,
+        "workload_keys": rng.randint(40, 80),
+        "workload_rate": rng.choice((10.0, 15.0, 20.0)),
+        "workload_seed": rng.randint(0, 2**16),
+        "policy": rng.choice(POLICIES),
+        "bound": rng.choice(BOUNDS),
+        "num_nodes": num_nodes,
+        "replication": rng.randint(1, min(2, num_nodes)),
+        "seed": rng.randint(0, 2**16),
+        "l1_capacity": rng.choice((0, 0, 32, 64)),
+        "tier_mode": rng.choice(("write-through", "write-back")),
+        "channel": None,
+        "scenario": None,
+        "concurrency": None,
+    }
+    if rng.random() < 0.3:
+        config["channel"] = {
+            "loss_probability": rng.choice((0.0, 0.05)),
+            "delay": rng.choice((0.0, 0.05)),
+            "jitter": rng.choice((0.0, 0.02)),
+        }
+    if rng.random() < 0.3:
+        # node-failure removes a node from the ring, so it needs survivors.
+        choices = ("node-failure", "stampede") if num_nodes >= 2 else ("stampede",)
+        config["scenario"] = rng.choice(choices)
+    if rng.random() < 0.4:
+        config["concurrency"] = {
+            "service_time": rng.choice(SERVICE_TIME_DISTRIBUTIONS),
+            "mean": rng.choice((0.02, 0.05, 0.1)),
+            "capacity": rng.randint(1, 6),
+            "policy": rng.choice(STAMPEDE_POLICIES),
+            "seed": rng.randint(0, 2**16),
+        }
+    return config
+
+
+def build_kwargs(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Shared engine kwargs for one drawn configuration."""
+    return dict(
+        policy=config["policy"],
+        num_nodes=config["num_nodes"],
+        replication=config["replication"],
+        staleness_bound=config["bound"],
+        duration=DURATION,
+        workload_name="diffcheck",
+        seed=config["seed"],
+        tier=TierConfig(l1_capacity=config["l1_capacity"], mode=config["tier_mode"]),
+        channel=ChannelSpec(**config["channel"]) if config["channel"] else None,
+        scenario=make_scenario(config["scenario"], {}) if config["scenario"] else None,
+        concurrency=(
+            ConcurrencyConfig(**config["concurrency"])
+            if config["concurrency"]
+            else None
+        ),
+    )
+
+
+def make_workload(config: Dict[str, Any]) -> PoissonZipfWorkload:
+    return PoissonZipfWorkload(
+        num_keys=config["workload_keys"],
+        rate_per_key=config["workload_rate"],
+        seed=config["workload_seed"],
+    )
+
+
+def run_engines(config: Dict[str, Any]) -> Dict[str, str]:
+    """Replay one config on every pipeline; rows as canonical JSON."""
+    scalar = ClusterSimulation(
+        workload=make_workload(config).iter_requests(DURATION), **build_kwargs(config)
+    ).run()
+    trace = compile_workload(make_workload(config), DURATION)
+    vector = VectorClusterSimulation(trace, **build_kwargs(config)).run()
+    # The shared fetch queue couples shards, so concurrent configs replay
+    # shard-parallel with a single worker (the multi-worker refusal is
+    # pinned in test_concurrency).
+    workers = 1 if config["concurrency"] else min(3, config["num_nodes"])
+    parallel = replay_cluster_parallel(trace, workers=workers, **build_kwargs(config))
+    return {
+        "scalar": json.dumps(scalar.as_dict(), sort_keys=True),
+        "vector": json.dumps(vector.as_dict(), sort_keys=True),
+        f"parallel[workers={workers}]": json.dumps(parallel.as_dict(), sort_keys=True),
+    }
+
+
+def assert_engines_identical(index: int) -> None:
+    config = draw_config(index)
+    rows = run_engines(config)
+    reference_name, reference = next(iter(rows.items()))
+    for name, row in rows.items():
+        assert row == reference, (
+            f"{name} diverged from {reference_name}.\n"
+            f"Reproducer (draw_config({index})):\n"
+            f"{json.dumps(config, indent=2, sort_keys=True)}"
+        )
+
+
+def test_generator_is_deterministic_and_covers_the_space() -> None:
+    configs = [draw_config(index) for index in range(TOTAL_CONFIGS)]
+    assert configs == [draw_config(index) for index in range(TOTAL_CONFIGS)]
+    assert len(configs) == TOTAL_CONFIGS
+    # The draw must actually exercise every axis across the sweep.
+    assert {config["policy"] for config in configs} == set(POLICIES)
+    assert any(config["concurrency"] for config in configs)
+    assert any(config["concurrency"] is None for config in configs)
+    assert any(config["scenario"] for config in configs)
+    assert any(config["channel"] for config in configs)
+    assert any(config["l1_capacity"] for config in configs)
+    assert any(config["num_nodes"] == 1 for config in configs)
+
+
+@pytest.mark.parametrize("index", range(FAST_CONFIGS))
+def test_differential_fast(index: int) -> None:
+    assert_engines_identical(index)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("index", range(FAST_CONFIGS, TOTAL_CONFIGS))
+def test_differential_full_sweep(index: int) -> None:
+    assert_engines_identical(index)
