@@ -76,6 +76,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import ObsConfig, ObsRecorder
 from repro.obs.report import render_report
 from repro.obs.slo import evaluate_slo
+from repro.resilience import AutoscaleScenario, ChaosPlan, ChaosSpec
 from repro.store.wal import Journal, WriteAheadLog
 from repro.store.snapshot import Snapshot, SnapshotManager, StoreConfig
 from repro.store.recovery import RecoveryReport, recover_datastore, warm_state
@@ -90,9 +91,12 @@ __all__ = [
     "Action",
     "AdaptivePolicy",
     "AdmissionPolicy",
+    "AutoscaleScenario",
     "Bottleneck",
     "BottleneckDetector",
     "ChannelSpec",
+    "ChaosPlan",
+    "ChaosSpec",
     "ClusterResult",
     "ClusterSimulation",
     "ConsistentHashRing",

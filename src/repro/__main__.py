@@ -84,7 +84,7 @@ from repro.concurrency.config import (
 )
 from repro.cluster.replication import READ_POLICIES
 from repro.cluster.scenarios import SCENARIO_FACTORIES
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ClusterError, ConfigurationError, ReproError
 from repro.experiments import (
     BENCH_ENGINES,
     DEFAULT_BENCH_POLICIES,
@@ -320,12 +320,36 @@ def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
         for name in scenario_names
     ]
     channel = None
-    if args.channel_loss > 0 or args.channel_delay > 0 or args.channel_jitter > 0:
+    if (
+        args.channel_loss > 0
+        or args.channel_delay > 0
+        or args.channel_jitter > 0
+        or args.channel_retries > 0
+    ):
         channel = ChannelSpec(
             loss_probability=args.channel_loss,
             delay=args.channel_delay,
             jitter=args.channel_jitter,
+            retries=args.channel_retries,
+            retry_timeout=args.channel_retry_timeout,
+            retry_backoff=args.channel_retry_backoff,
         )
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.resilience.chaos import ChaosSpec
+
+        try:
+            chaos = ChaosSpec(
+                seed=args.chaos_seed,
+                faults=args.chaos_faults,
+                kinds=tuple(_csv_list(args.chaos_kinds)),
+                window=args.chaos_window,
+                loss=args.chaos_loss,
+                delay=args.chaos_delay,
+                slowdown=args.chaos_slowdown,
+            )
+        except ClusterError as exc:
+            raise SystemExit(str(exc)) from exc
     concurrency, stampede_policies, service_times = _cli_concurrency(args)
     obs_window = args.obs_window
     if args.obs_dir is not None and obs_window is None:
@@ -371,6 +395,8 @@ def _run_fleet_sweep(args: argparse.Namespace, kind: str) -> int:
         concurrency=[concurrency],
         stampede_policies=stampede_policies,
         service_times=service_times,
+        zones=args.zones,
+        chaos=chaos,
         **tier_axes,
     )
     _LOG.info("%s sweep '%s': %d cells", kind, spec.name, spec.num_cells)
@@ -995,6 +1021,31 @@ def build_parser() -> argparse.ArgumentParser:
         fleet.add_argument("--channel-loss", type=float, default=0.0)
         fleet.add_argument("--channel-delay", type=float, default=0.0)
         fleet.add_argument("--channel-jitter", type=float, default=0.0)
+        fleet.add_argument("--channel-retries", type=int, default=0,
+                           help="sender re-attempts against probabilistic channel "
+                                "loss (0 = fire-and-forget)")
+        fleet.add_argument("--channel-retry-timeout", type=float, default=0.0,
+                           help="seconds an attempt waits before retrying")
+        fleet.add_argument("--channel-retry-backoff", type=float, default=0.0,
+                           help="exponential backoff base added per retry")
+        fleet.add_argument("--zones", type=int, default=1,
+                           help="failure domains labeled round-robin over the ring "
+                                "(zone-outage needs >= 2; labels never move keys)")
+        fleet.add_argument("--chaos-seed", type=int, default=None,
+                           help="enable seeded chaos injection with this plan seed")
+        fleet.add_argument("--chaos-faults", type=int, default=4,
+                           help="fault budget of the chaos plan (needs --chaos-seed)")
+        fleet.add_argument("--chaos-kinds", default="delay,drop,slow-node,crash",
+                           help="fault kinds to draw from, comma separated: "
+                                "delay, drop, slow-node, crash")
+        fleet.add_argument("--chaos-window", type=float, default=0.1,
+                           help="fraction of the run each windowed fault lasts")
+        fleet.add_argument("--chaos-loss", type=float, default=0.5,
+                           help="partial loss rate of drop faults")
+        fleet.add_argument("--chaos-delay", type=float, default=0.5,
+                           help="extra channel delay of delay faults (seconds)")
+        fleet.add_argument("--chaos-slowdown", type=float, default=4.0,
+                           help="service-time multiplier of slow-node faults")
         fleet.add_argument("--processes", type=int, default=None,
                            help="worker processes (default: one per CPU, 1 = serial)")
         fleet.add_argument("--param", action="append", metavar="KEY=VALUE",

@@ -43,6 +43,7 @@ from repro.core.cost_model import CostModel
 from repro.core.policy import FreshnessPolicy
 from repro.errors import ClusterError, ConfigurationError, StoreError, WorkloadError
 from repro.obs.recorder import as_recorder
+from repro.resilience.chaos import as_chaos_plan
 from repro.sim.clock import SimulationClock
 from repro.store.recovery import (
     RecoveryReport,
@@ -158,6 +159,18 @@ class ClusterSimulation:
             fetch queue couples shards) and with ``run(stop_at=...)`` /
             :meth:`restore_from_store` (in-flight fetches are volatile state
             a checkpoint does not capture).
+        zones: Number of failure domains: node ``i`` is labeled
+            ``zone-{i % zones}`` on the ring.  Zones never affect placement
+            (pure metadata), so ``zones=1`` (default, unlabeled) is
+            byte-identical to any other labeling; correlated-failure
+            scenarios (``zone-outage``) require ``zones >= 2``.
+        chaos: Optional seeded fault plan
+            (:class:`~repro.resilience.ChaosSpec` or a prepared
+            :class:`~repro.resilience.ChaosPlan`).  Its timed faults (delay,
+            drop, slow-node, crash) merge with the scenario's events, so
+            chaos composes with any scenario.  Slow-node faults require the
+            in-flight fetch model; the vector planner falls back to the
+            scalar loop whenever a plan is present.
     """
 
     def __init__(
@@ -186,9 +199,18 @@ class ClusterSimulation:
         owned_nodes: Optional[Sequence[int]] = None,
         obs: Optional[Any] = None,
         concurrency: Optional[Any] = None,
+        zones: int = 1,
+        chaos: Optional[Any] = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError(f"num_nodes must be >= 1, got {num_nodes}")
+        if zones < 1:
+            raise ClusterError(f"zones must be >= 1, got {zones}")
+        if zones > num_nodes:
+            raise ClusterError(
+                f"zones ({zones}) exceeds fleet size ({num_nodes}); every "
+                "zone needs at least one node"
+            )
         if staleness_bound <= 0:
             raise ConfigurationError(
                 f"staleness_bound must be positive, got {staleness_bound}"
@@ -245,8 +267,16 @@ class ClusterSimulation:
         self.ring = ConsistentHashRing(vnodes=vnodes)
         self.router = ReplicaRouter(replication)
         self.scenario = scenario if scenario is not None else Scenario()
+        self.zones = int(zones)
 
         self.concurrency = as_concurrency(concurrency)
+        self.chaos = as_chaos_plan(chaos)
+        if self.chaos is not None and self.chaos.needs_concurrency and self.concurrency is None:
+            raise ClusterError(
+                "chaos plans drawing slow-node faults exercise the in-flight "
+                "fetch model: pass concurrency=ConcurrencyConfig(...) or drop "
+                "'slow-node' from ChaosSpec.kinds"
+            )
         #: The fleet-shared backend fetch server (``None`` when the
         #: instant-fetch model is in effect).
         self.backend: Optional[BackendServer] = None
@@ -266,6 +296,9 @@ class ClusterSimulation:
                 delay=channel.delay,
                 jitter=channel.jitter,
                 seed=node_seed,
+                retries=getattr(channel, "retries", 0),
+                retry_timeout=getattr(channel, "retry_timeout", 0.0),
+                retry_backoff=getattr(channel, "retry_backoff", 0.0),
             )
             detector = (
                 HotKeyDetector(hotkey, seed=node_seed ^ 0x5BF03635)
@@ -298,11 +331,19 @@ class ClusterSimulation:
                 node.attach_concurrency(self.concurrency, self.backend, node_seed)
             self._nodes[node_id] = node
             self._node_list.append(node)
-            self.ring.add_node(node_id)
+            self.ring.add_node(
+                node_id, zone=f"zone-{index % self.zones}" if self.zones > 1 else None
+            )
 
         self._owned_ids: Optional[frozenset[str]] = None
         self._flush_nodes: List[CacheNode] = self._node_list
         if owned_nodes is not None:
+            if self.scenario.requires_full_fleet:
+                raise ClusterError(
+                    f"scenario {self.scenario.name!r} decides membership from "
+                    "fleet-global signals, which an ownership-masked shard "
+                    "cannot observe; it is incompatible with owned_nodes"
+                )
             if store is not None:
                 raise ClusterError(
                     "owned_nodes is incompatible with a store: a checkpoint "
@@ -330,6 +371,7 @@ class ClusterSimulation:
 
         self._next_flush = self.staleness_bound
         self._next_due = self.staleness_bound
+        self._interval_hook: Optional[Callable[["ClusterSimulation", float], None]] = None
         self._has_run = False
         self._rebalances = 0
         self._resume_from: Optional[float] = None
@@ -396,6 +438,22 @@ class ClusterSimulation:
         node.rejoin()
         if warm:
             self._warm_restore(node, time if time is not None else self.clock.now)
+
+    def deactivate_node(self, index: int) -> None:
+        """Park a node in standby: off the ring without a departure.
+
+        Unlike :meth:`remove_node` this is not a failure or a drain — the
+        node simply never joined (the autoscaler's t=0 headroom), so no
+        departure is counted, no rebalance is recorded, and no state is
+        purged (there is nothing to purge).
+        """
+        node = self.node_at(index)
+        if node.node_id not in self.ring:
+            return
+        if len(self.ring) == 1:
+            raise ClusterError("cannot deactivate the last node on the ring")
+        self.ring.remove_node(node.node_id)
+        node.in_ring = False
 
     def crash_restart(self, time: float, warm: bool) -> None:
         """Kill-at-t: every node loses its volatile state and restarts.
@@ -473,8 +531,11 @@ class ClusterSimulation:
                 "fetches are volatile state a checkpoint does not capture"
             )
 
-        # Scenarios need a concrete horizon for their relative defaults.
-        if not self._explicit_duration and type(self.scenario) is not Scenario:
+        # Scenarios and chaos plans need a concrete horizon for their
+        # relative defaults.
+        if not self._explicit_duration and (
+            type(self.scenario) is not Scenario or self.chaos is not None
+        ):
             raise ClusterError(
                 "scenarios need an explicit duration to resolve their timelines"
             )
@@ -501,12 +562,31 @@ class ClusterSimulation:
                 f"scenario {self.scenario.name!r} exercises the in-flight "
                 "fetch model: pass concurrency=ConcurrencyConfig(...)"
             )
+        if self.scenario.min_zones > self.zones:
+            raise ClusterError(
+                f"scenario {self.scenario.name!r} needs at least "
+                f"{self.scenario.min_zones} zones; the fleet was built with "
+                f"zones={self.zones}"
+            )
         self.scenario.bind(
             duration=self.duration,
             staleness_bound=self.staleness_bound,
             num_nodes=len(self._node_list),
         )
-        events = sorted(self.scenario.events(), key=lambda event: event.time)
+        self.scenario.check(self)
+        scripted = self.scenario.events()
+        if self.chaos is not None:
+            self.chaos.bind(self.duration, len(self._node_list))
+            scripted = scripted + self.chaos.events()
+        # Control-loop scenarios observe the fleet at flush cadence; the
+        # hook is bound only when overridden so plain scenarios keep the
+        # untouched background path.
+        self._interval_hook = (
+            self.scenario.on_interval
+            if type(self.scenario).on_interval is not Scenario.on_interval
+            else None
+        )
+        events = sorted(scripted, key=lambda event: event.time)
         event_index = 0
         num_events = len(events)
         if self._resume_from is not None:
@@ -647,6 +727,8 @@ class ClusterSimulation:
                     node.deliver_until(next_flush)
                     node.flush(next_flush)
                 self._next_flush += self.staleness_bound
+                if self._interval_hook is not None:
+                    self._interval_hook(self, next_flush)
             else:
                 self._checkpoint(next_snapshot)
         self._refresh_next_due()
@@ -723,6 +805,8 @@ class ClusterSimulation:
         stats = self._store.stats()
         result.store = stats
         result.finalize()
+        for field_name, value in self.scenario.result_fields().items():
+            setattr(result, field_name, value)
         # Same flat-row persistence counters a finished run reports.
         result.totals.persistence_cost = stats["persistence_cost"]
         result.totals.wal_appends = stats["wal_appends"]
@@ -731,6 +815,7 @@ class ClusterSimulation:
         if self.obs is not None:
             if self.obs.record_global:
                 self.obs.event(stop_at, "interrupted")
+            self.obs.add_totals(self.scenario.result_fields())
             self.obs.finish(stop_at)
             result.obs = self.obs.payload()
         return result
@@ -878,12 +963,17 @@ class ClusterSimulation:
             stats = self._store.stats()
             result.store = stats
         result.finalize()
+        # Scenario-owned outcome fields (elasticity lag/cost/staleness) land
+        # after the counter fold so finalize() cannot zero them.
+        for field_name, value in self.scenario.result_fields().items():
+            setattr(result, field_name, value)
         if self._store is not None:
             result.totals.persistence_cost = stats["persistence_cost"]
             result.totals.wal_appends = stats["wal_appends"]
             result.totals.wal_flushes = stats["wal_flushes"]
             result.totals.snapshots_taken = stats["snapshots"]
         if self.obs is not None:
+            self.obs.add_totals(self.scenario.result_fields())
             self.obs.finish(end_time)
             result.obs = self.obs.payload()
         return result

@@ -24,7 +24,7 @@ change (add/remove) invalidates the cache and rebuilds the flat arrays.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ClusterError
 from repro.sketch.hashing import stable_fingerprint
@@ -61,6 +61,11 @@ class ConsistentHashRing:
         # count -> {key -> replica tuple}; cleared in place on membership
         # change so aliases held by hot loops stay valid.
         self._route_caches: Dict[int, Dict[str, Tuple[str, ...]]] = {}
+        # node_id -> failure-domain label.  Zones do not influence placement
+        # (points depend only on the node id, so a node rejoining after a
+        # zone outage lands on exactly its old points); they exist so
+        # correlated-failure scenarios can select "everything in zone-1".
+        self._zones: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -76,8 +81,13 @@ class ConsistentHashRing:
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._nodes
 
-    def add_node(self, node_id: str) -> None:
-        """Place ``node_id`` on the ring at its ``vnodes`` points."""
+    def add_node(self, node_id: str, zone: Optional[str] = None) -> None:
+        """Place ``node_id`` on the ring at its ``vnodes`` points.
+
+        ``zone`` optionally labels the node's failure domain.  Zones never
+        affect placement — ring points hash only the node id — so they are
+        pure metadata for correlated-failure scenarios.
+        """
         if node_id in self._nodes:
             raise ClusterError(f"node {node_id!r} is already on the ring")
         points = []
@@ -86,15 +96,40 @@ class ConsistentHashRing:
             insort(self._points, (point, node_id))
             points.append(point)
         self._nodes[node_id] = points
+        if zone is not None:
+            self._zones[node_id] = str(zone)
         self._membership_changed()
 
     def remove_node(self, node_id: str) -> None:
-        """Remove ``node_id`` and all its ring points."""
+        """Remove ``node_id`` and all its ring points.
+
+        The node's zone label (if any) is kept, so a rejoin after a zone
+        outage restores the node to its original failure domain.
+        """
         points = self._nodes.pop(node_id, None)
         if points is None:
             raise ClusterError(f"node {node_id!r} is not on the ring")
         self._points = [pair for pair in self._points if pair[1] != node_id]
         self._membership_changed()
+
+    def zone_of(self, node_id: str) -> Optional[str]:
+        """Failure-domain label of ``node_id``, or ``None`` if unlabeled."""
+        return self._zones.get(node_id)
+
+    def zone_members(self, zone: str) -> List[str]:
+        """Node ids labeled with ``zone`` that are currently on the ring."""
+        return sorted(
+            node_id
+            for node_id, label in self._zones.items()
+            if label == str(zone) and node_id in self._nodes
+        )
+
+    @property
+    def zones(self) -> List[str]:
+        """Distinct zone labels of nodes currently on the ring, sorted."""
+        return sorted(
+            {label for node, label in self._zones.items() if node in self._nodes}
+        )
 
     def _membership_changed(self) -> None:
         """Rebuild the flat mirrors and drop every cached route."""

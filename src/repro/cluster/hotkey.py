@@ -94,6 +94,21 @@ class HotKeyDetector:
         self.flagged.add(key)
         return True
 
+    def pressure(self) -> float:
+        """Share of recent shard traffic held by the heaviest flagged key.
+
+        This is the queryable hot-key pressure signal: 0.0 while no key has
+        been flagged (or before ``min_observations``), otherwise the largest
+        flagged key's approximate share of the sketch total, clamped to
+        [0, 1].  The autoscaler, the obs windows, and operators all read this
+        same number.
+        """
+        total = self._sketch.total
+        if total < self.config.min_observations or not self.flagged:
+            return 0.0
+        top = max(self._sketch.query(key) for key in sorted(self.flagged))
+        return min(1.0, top / total)
+
     def end_interval(self) -> None:
         """Advance the decay clock (called by the cluster at every flush)."""
         self._intervals_since_decay += 1

@@ -569,6 +569,10 @@ class CacheNode:
             else:
                 handler(buffered.key, buffered.key_size, flush_time)
         if self.detector is not None:
+            # Sample the interval's hot-key pressure before the decay clock
+            # advances, so the result (and obs windows) carries the same
+            # number the autoscaler saw for this interval.
+            self.result.hot_pressure += self.detector.pressure()
             self.detector.end_interval()
 
     def _decide(self, key: str, time: float) -> Action:

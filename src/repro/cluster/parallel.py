@@ -111,6 +111,14 @@ def replay_cluster_parallel(
             "queue, so shards cannot replay independently: it is incompatible "
             "with workers > 1 (run with workers=1)"
         )
+    scenario = cluster_kwargs.get("scenario")
+    if scenario is not None and getattr(scenario, "requires_full_fleet", False):
+        raise ClusterError(
+            f"scenario {getattr(scenario, 'name', type(scenario).__name__)!r} "
+            "reads fleet-global signals (dynamic membership), so an "
+            "ownership-masked shard would diverge: it is incompatible with "
+            "workers > 1 (run with workers=1)"
+        )
     if not isinstance(cluster_kwargs.get("policy"), str):
         raise ClusterError(
             "parallel replay ships the policy to workers by registry name; "

@@ -29,6 +29,10 @@ class NodeResult(SimulationResult):
     hot_decisions: int = 0
     #: Distinct keys this shard's detector ever flagged hot.
     hot_keys_flagged: int = 0
+    #: Accumulated per-flush hot-key pressure (heaviest flagged key's share
+    #: of recent shard traffic, summed over intervals) — the same signal the
+    #: autoscaler consumes, surfaced so obs windows and SLO rules can gate it.
+    hot_pressure: float = 0.0
     #: Ring membership churn observed by this node.
     departures: int = 0
     joins: int = 0
@@ -74,6 +78,7 @@ class NodeResult(SimulationResult):
             failed_fetches=self.failed_fetches,
             hot_decisions=self.hot_decisions,
             hot_keys_flagged=self.hot_keys_flagged,
+            hot_pressure=self.hot_pressure,
             departures=self.departures,
             joins=self.joins,
             crashes=self.crashes,
@@ -121,9 +126,27 @@ class ClusterResult:
     rebalances: int = 0
     hot_decisions: int = 0
     hot_keys_flagged: int = 0
+    hot_pressure: float = 0.0
     crashes: int = 0
     warm_restored: int = 0
     warm_invalidated: int = 0
+
+    # Elasticity outcome fields, owned by the autoscale scenario (zero for
+    # every other run).  They measure the gap to the ideal-elasticity
+    # baseline — an imaginary autoscaler that reacts instantly and for free,
+    # whose lag, cost, and staleness penalty are all exactly zero — so the
+    # fields themselves ARE the gap and can be SLO-gated directly.
+    scale_ups: int = 0
+    scale_downs: int = 0
+    #: Seconds spent between a watermark breach and the scaling action that
+    #: answered it (ideal baseline: 0.0).
+    elasticity_lag: float = 0.0
+    #: Cost charged for scaling actions (node warm/cold starts and drains;
+    #: ideal baseline: 0.0).
+    elasticity_cost: float = 0.0
+    #: Staleness violations accrued while the fleet was in breach of its
+    #: scaling watermark (ideal baseline: 0).
+    elasticity_staleness: int = 0
 
     # Fleet-level tier counters (sums of the per-node L1 counters).
     l1_hits: int = 0
@@ -171,6 +194,7 @@ class ClusterResult:
         self.failed_fetches = 0
         self.hot_decisions = 0
         self.hot_keys_flagged = 0
+        self.hot_pressure = 0.0
         self.crashes = 0
         self.warm_restored = 0
         self.warm_invalidated = 0
@@ -193,6 +217,7 @@ class ClusterResult:
             self.failed_fetches += node.failed_fetches
             self.hot_decisions += node.hot_decisions
             self.hot_keys_flagged += node.hot_keys_flagged
+            self.hot_pressure += node.hot_pressure
             self.crashes += node.crashes
             self.warm_restored += node.warm_restored
             self.warm_invalidated += node.warm_invalidated
@@ -218,6 +243,12 @@ class ClusterResult:
             rebalances=self.rebalances,
             hot_decisions=self.hot_decisions,
             hot_keys_flagged=self.hot_keys_flagged,
+            hot_pressure=self.hot_pressure,
+            scale_ups=self.scale_ups,
+            scale_downs=self.scale_downs,
+            elasticity_lag=self.elasticity_lag,
+            elasticity_cost=self.elasticity_cost,
+            elasticity_staleness=self.elasticity_staleness,
             crashes=self.crashes,
             warm_restored=self.warm_restored,
             warm_invalidated=self.warm_invalidated,

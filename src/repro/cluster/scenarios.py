@@ -100,15 +100,60 @@ class Scenario:
         """Whether the scenario needs the in-flight fetch model enabled."""
         return False
 
+    @property
+    def requires_full_fleet(self) -> bool:
+        """Whether the scenario drives dynamic membership over the full fleet.
+
+        Scenarios that decide membership from *global* runtime signals (the
+        autoscaler) cannot be sharded: an ownership-masked shard sees only a
+        slice of the load, so its decisions would diverge from the full
+        fleet's.  Shard-parallel replay refuses such scenarios outright.
+        """
+        return False
+
+    @property
+    def min_zones(self) -> int:
+        """Minimum number of distinct zone labels the fleet must carry."""
+        return 1
+
     def bind(self, duration: float, staleness_bound: float, num_nodes: int) -> None:
         """Resolve time defaults against the run's horizon and bound."""
         self.duration = float(duration)
         self.staleness_bound = float(staleness_bound)
         self.num_nodes = int(num_nodes)
 
+    def check(self, cluster: "ClusterSimulation") -> None:
+        """Validate the bound scenario against the concrete cluster.
+
+        Called once by ``ClusterSimulation.run()`` after :meth:`bind`, before
+        any request is replayed.  Scenarios that need fleet properties beyond
+        the ``requires_*`` flags (zone labels, specific node counts) raise
+        :class:`~repro.errors.ClusterError` here — a refusal up front instead
+        of a mid-run surprise.
+        """
+
     def events(self) -> List[ScenarioEvent]:
         """Return the timed events, sorted by time."""
         return []
+
+    def on_interval(self, cluster: "ClusterSimulation", time: float) -> None:
+        """Hook invoked after every background flush boundary.
+
+        The default is a no-op.  Control-loop scenarios (the autoscaler)
+        override this to observe the fleet at flush cadence and react in
+        simulated time; the cluster only calls the hook when it is
+        overridden, so plain scenarios pay nothing on the hot path.
+        """
+
+    def result_fields(self) -> Dict[str, Any]:
+        """Extra scenario-owned fields merged into the cluster result.
+
+        Whatever mapping this returns after the run is set verbatim on the
+        :class:`~repro.cluster.results.ClusterResult` (and folded into the
+        obs summary totals), making scenario-level outcomes — elasticity lag,
+        scaling cost — first-class, SLO-gateable result fields.
+        """
+        return {}
 
     def transform_request(self, request: Request) -> Request:
         """Optionally rewrite a request before routing (default: identity)."""
@@ -725,6 +770,21 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "stampede": StampedeScenario,
     "backend-saturation": BackendSaturationScenario,
 }
+
+# The resilience package (autoscaler, gray failures, zone outages, flapping)
+# registers its scenarios into the same factory table so `make_scenario` and
+# the CLI see one namespace.  Imported at the bottom because the resilience
+# module subclasses `Scenario`.  When *this* module is reached through an
+# import of `repro.resilience.scenarios` itself, the re-entrant import below
+# raises ImportError against the half-initialized module — that is fine: the
+# resilience module self-registers at its own bottom, so the table is always
+# complete once either import finishes.
+try:
+    from repro.resilience.scenarios import RESILIENCE_SCENARIOS  # noqa: E402
+except ImportError:  # pragma: no cover - re-entrant import order
+    pass
+else:
+    SCENARIO_FACTORIES.update(RESILIENCE_SCENARIOS)
 
 
 def make_scenario(

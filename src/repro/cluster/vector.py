@@ -133,6 +133,10 @@ class VectorClusterSimulation(ClusterSimulation):
         """
         if type(self.scenario) is not Scenario:
             return False
+        if self.chaos is not None:
+            # Fault plans mutate channels and nodes mid-run; the columnar
+            # kernels assume a static, ideal fleet.  Scalar fallback.
+            return False
         if self._store is not None:
             return False
         if self.concurrency is not None:

@@ -79,6 +79,7 @@ class FetchCoordinator:
         "followers_serve_stale",
         "leader_serves_stale",
         "early_expiry",
+        "slowdown",
         "_sampler",
         "_xfetch",
         "_inflight",
@@ -94,6 +95,12 @@ class FetchCoordinator:
         self.followers_serve_stale = policy in ("stale-while-revalidate", "dogpile-lock")
         self.leader_serves_stale = policy == "stale-while-revalidate"
         self.early_expiry = policy == "early-expiry"
+        #: Multiplier on every sampled service time.  1.0 is the healthy
+        #: host; gray-failure scenarios raise it mid-run to model a
+        #: slow-but-alive node without touching the sampler's random stream
+        #: (the underlying draw sequence is unchanged, so a window that is
+        #: never entered leaves replays byte-identical).
+        self.slowdown = 1.0
         self._sampler = ServiceTimeSampler(config, (seed ^ SERVICE_SEED_SALT) % 2**32)
         self._xfetch = random.Random((seed ^ XFETCH_SEED_SALT) % 2**32)
         self._inflight: Dict[str, InFlightFetch] = {}
@@ -118,7 +125,9 @@ class FetchCoordinator:
         datastore at issue time (the backend snapshot the fetch will carry);
         the coordinator only models *when* that value lands in the cache.
         """
-        start, done = self.server.schedule(issued_at, self._sampler.sample())
+        start, done = self.server.schedule(
+            issued_at, self._sampler.sample() * self.slowdown
+        )
         fetch = InFlightFetch(
             key=key,
             issued_at=issued_at,

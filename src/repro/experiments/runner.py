@@ -187,6 +187,8 @@ def _run_cluster_cell(cell: RunCell) -> Dict[str, Any]:
             tier=tier,
             obs=_cell_obs(cell),
             concurrency=_cell_concurrency(cell),
+            zones=cell.zones,
+            chaos=cell.chaos,
         )
         if cell.engine == "vector":
             # Falls back to the scalar routing loop for configurations the

@@ -28,15 +28,25 @@ from repro.concurrency.config import (
     ConcurrencyConfig,
 )
 from repro.errors import ConfigurationError
+from repro.resilience.chaos import ChaosSpec
 
 
 @dataclass(frozen=True, slots=True)
 class ChannelSpec:
-    """Parameters of a lossy/delayed backend-to-cache channel."""
+    """Parameters of a lossy/delayed backend-to-cache channel.
+
+    ``retries``/``retry_timeout``/``retry_backoff`` give senders bounded
+    re-attempts against probabilistic loss (see
+    :class:`~repro.backend.channel.Channel`); the defaults keep the channel
+    fire-and-forget and byte-identical to pre-retry rows.
+    """
 
     loss_probability: float = 0.0
     delay: float = 0.0
     jitter: float = 0.0
+    retries: int = 0
+    retry_timeout: float = 0.0
+    retry_backoff: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to primitives for serialisation."""
@@ -158,6 +168,12 @@ class RunCell:
     # latency percentiles).  The config's ``seed`` is rebound to the cell
     # seed by the runner, keeping the service-time streams workload-anchored.
     concurrency: Optional[ConcurrencyConfig] = None
+    # Resilience coordinates.  ``zones`` spreads cluster nodes round-robin
+    # over that many failure domains on the ring (labels only; placement is
+    # untouched, so zones=1 cells stay byte-identical).  ``chaos`` injects a
+    # seeded fault plan alongside whatever scenario the cell runs.
+    zones: int = 1
+    chaos: Optional["ChaosSpec"] = None
 
     def describe(self) -> Dict[str, Any]:
         """Flatten the cell coordinates for result rows and logs."""
@@ -199,6 +215,8 @@ class RunCell:
             "backend_capacity": (
                 self.concurrency.capacity if self.concurrency is not None else None
             ),
+            "zones": self.zones,
+            "chaos": self.chaos.describe() if self.chaos is not None else None,
         }
 
 
@@ -285,6 +303,13 @@ class ExperimentSpec:
         service_times: Service-time-distribution axis crossed with every
             non-``None`` ``concurrency`` entry (empty = each config keeps
             its own ``service_time``).
+        zones: Failure-domain count for cluster cells (not an axis): nodes
+            are labeled round-robin over ``zones`` domains on the ring.
+            Labels never affect placement, so ``zones=1`` is byte-identical
+            to not setting it; ``zone-outage`` cells need ``zones >= 2``.
+        chaos: Seeded fault plan (:class:`~repro.resilience.chaos.ChaosSpec`)
+            injected into every cluster cell alongside its scenario (not an
+            axis; ``None`` disables injection).
         duration: Trace duration in seconds, shared by every cell.
         base_seed: Root of the deterministic per-cell seeding.
         cost_preset: Cost-model preset name (see the registry).
@@ -315,6 +340,8 @@ class ExperimentSpec:
     concurrency: Sequence[Optional[ConcurrencyConfig]] = (None,)
     stampede_policies: Sequence[str] = ()
     service_times: Sequence[str] = ()
+    zones: int = 1
+    chaos: Optional[ChaosSpec] = None
     duration: float = 10.0
     base_seed: int = 0
     cost_preset: str = "fixed"
@@ -515,6 +542,42 @@ class ExperimentSpec:
                     "fetch model; every concurrency entry must be a "
                     "ConcurrencyConfig (the axis has instant-fetch entries)"
                 )
+            if materialized.min_zones > self.zones:
+                raise ConfigurationError(
+                    f"scenario {materialized.name!r} needs at least "
+                    f"{materialized.min_zones} failure domains; set "
+                    f"zones >= {materialized.min_zones} (got {self.zones})"
+                )
+        # Resilience coordinates: zones label the ring's failure domains and
+        # chaos injects a seeded fault plan — both are cluster-only, and a
+        # slow-node-capable plan needs the in-flight fetch model to have any
+        # service time to degrade.
+        if self.zones < 1:
+            raise ConfigurationError(f"zones must be >= 1, got {self.zones}")
+        wants_resilience = self.zones > 1 or self.chaos is not None
+        if wants_resilience and len(cluster_sizes) != len(self.num_nodes):
+            raise ConfigurationError(
+                "zones and chaos only apply to cluster cells; every num_nodes "
+                f"entry must be an integer fleet size (got {list(self.num_nodes)})"
+            )
+        if cluster_sizes and self.zones > min(cluster_sizes):
+            raise ConfigurationError(
+                f"zones ({self.zones}) exceeds the smallest fleet size "
+                f"({min(cluster_sizes)}) on the num_nodes axis"
+            )
+        if self.chaos is not None:
+            if not isinstance(self.chaos, ChaosSpec):
+                raise ConfigurationError(
+                    f"chaos must be a ChaosSpec, got {type(self.chaos).__name__}"
+                )
+            if "slow-node" in self.chaos.kinds and any(
+                entry is None for entry in self.concurrency
+            ):
+                raise ConfigurationError(
+                    "a chaos plan with 'slow-node' faults degrades backend "
+                    "service times; every concurrency entry must be a "
+                    "ConcurrencyConfig (the axis has instant-fetch entries)"
+                )
 
     def normalized_workloads(self) -> List[WorkloadSpec]:
         """Return the workload axis with bare names promoted to specs."""
@@ -672,6 +735,8 @@ class ExperimentSpec:
                     ),
                     slo_rules=slo_rules,
                     concurrency=concurrency,
+                    zones=self.zones,
+                    chaos=self.chaos,
                 )
             )
         return cells

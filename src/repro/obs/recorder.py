@@ -62,6 +62,7 @@ _RESULT_FIELDS = (
     "coalesced_reads",
     "stale_serves",
     "early_refreshes",
+    "hot_pressure",
 )
 # Fields sampled from each host's Cache.stats (the L2 cache).
 _CACHE_FIELDS = ("evictions", "expirations")
@@ -127,6 +128,7 @@ class ObsRecorder:
         "_last_latency",
         "_span_countdown",
         "_meta",
+        "_extra_totals",
     )
 
     def __init__(self, config: Optional[ObsConfig] = None) -> None:
@@ -143,6 +145,7 @@ class ObsRecorder:
         # Countdown of 1 samples the very first request, then every N-th.
         self._span_countdown = 1 if self.config.span_every else 0
         self._meta: Dict[str, Any] = {}
+        self._extra_totals: Dict[str, float] = {}
 
     # -- attachment and lifecycle -------------------------------------------
 
@@ -172,10 +175,21 @@ class ObsRecorder:
         if self.record_global:
             self.event(time, "run-start", **meta)
 
+    def add_totals(self, extras: Mapping[str, Any]) -> None:
+        """Fold scenario-owned result fields into the run totals.
+
+        Scenarios that own fleet-level results (the autoscaler's elasticity
+        gap, for instance) report them here so SLO rules can gate them via
+        ``counter_ceiling`` like any other total.  Repeated calls accumulate.
+        """
+        for field, value in extras.items():
+            if value:
+                self._extra_totals[field] = self._extra_totals.get(field, 0) + value
+
     def finish(self, end_time: float, **meta: Any) -> None:
         """Close the open window, record totals, and emit the run-end event."""
         self._flush_window()
-        totals: Dict[str, float] = {}
+        totals: Dict[str, float] = dict(self._extra_totals)
         for node_id, result, stats in self._hosts:
             for field, value in self._snapshot(result, stats).items():
                 if value:

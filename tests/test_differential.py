@@ -38,6 +38,7 @@ from repro.concurrency.config import (
     ConcurrencyConfig,
 )
 from repro.experiments.spec import ChannelSpec
+from repro.resilience import ChaosSpec
 from repro.tier.config import TierConfig
 from repro.workload.compiled import compile_workload
 from repro.workload.poisson import PoissonZipfWorkload
@@ -69,6 +70,8 @@ def draw_config(index: int) -> Dict[str, Any]:
         "tier_mode": rng.choice(("write-through", "write-back")),
         "channel": None,
         "scenario": None,
+        "zones": 1,
+        "chaos": None,
         "concurrency": None,
     }
     if rng.random() < 0.3:
@@ -78,9 +81,26 @@ def draw_config(index: int) -> Dict[str, Any]:
             "jitter": rng.choice((0.0, 0.02)),
         }
     if rng.random() < 0.3:
-        # node-failure removes a node from the ring, so it needs survivors.
-        choices = ("node-failure", "stampede") if num_nodes >= 2 else ("stampede",)
+        # node-failure/zone-outage/flapping churn ring membership, so they
+        # need survivors.
+        choices = (
+            ("node-failure", "stampede", "flapping", "zone-outage")
+            if num_nodes >= 2
+            else ("stampede",)
+        )
         config["scenario"] = rng.choice(choices)
+        if config["scenario"] == "zone-outage":
+            config["zones"] = 2
+    if rng.random() < 0.25:
+        # Fault plans draw from their own seeded stream; slow-node is left
+        # out so chaos cells stay valid without the fetch model.
+        config["chaos"] = {
+            "seed": rng.randint(0, 2**16),
+            "faults": rng.randint(2, 5),
+            "kinds": ("delay", "drop", "crash"),
+            "window": rng.choice((0.1, 0.3)),
+            "loss": rng.choice((0.3, 0.6)),
+        }
     if rng.random() < 0.4:
         config["concurrency"] = {
             "service_time": rng.choice(SERVICE_TIME_DISTRIBUTIONS),
@@ -105,6 +125,8 @@ def build_kwargs(config: Dict[str, Any]) -> Dict[str, Any]:
         tier=TierConfig(l1_capacity=config["l1_capacity"], mode=config["tier_mode"]),
         channel=ChannelSpec(**config["channel"]) if config["channel"] else None,
         scenario=make_scenario(config["scenario"], {}) if config["scenario"] else None,
+        zones=config["zones"],
+        chaos=ChaosSpec(**config["chaos"]) if config["chaos"] else None,
         concurrency=(
             ConcurrencyConfig(**config["concurrency"])
             if config["concurrency"]
@@ -161,6 +183,11 @@ def test_generator_is_deterministic_and_covers_the_space() -> None:
     assert any(config["concurrency"] for config in configs)
     assert any(config["concurrency"] is None for config in configs)
     assert any(config["scenario"] for config in configs)
+    # The resilience scenarios and chaos plans are differential axes too.
+    drawn_scenarios = {config["scenario"] for config in configs}
+    assert {"node-failure", "stampede", "flapping", "zone-outage"} <= drawn_scenarios
+    assert any(config["chaos"] for config in configs)
+    assert any(config["chaos"] is None for config in configs)
     assert any(config["channel"] for config in configs)
     assert any(config["l1_capacity"] for config in configs)
     assert any(config["num_nodes"] == 1 for config in configs)
